@@ -1,0 +1,246 @@
+//! 2-D decomposed Jacobi: rows split across *nodes*, columns split across
+//! the two TCA-reachable *GPUs inside each node* (§III-C) — exercising
+//! both communication levels the architecture provides:
+//!
+//! * vertical halos travel **node-to-node** through the PEACH2 ring;
+//! * horizontal halos travel **GPU-to-GPU inside the node**, which is
+//!   still a `tcaMemcpyPeer` — the §III-H promise that intra- and
+//!   inter-node copies share one API.
+//!
+//! Verified against a single-domain reference with identical arithmetic.
+
+use tca_core::prelude::*;
+
+/// Configuration of the 2-D run.
+#[derive(Clone, Copy, Debug)]
+pub struct Stencil2dConfig {
+    /// Columns owned by each GPU (grid width = 2 × this).
+    pub cols_per_gpu: usize,
+    /// Rows owned by each node (grid height = nodes × this).
+    pub rows_per_node: usize,
+    /// Jacobi iterations.
+    pub iters: usize,
+}
+
+impl Default for Stencil2dConfig {
+    fn default() -> Self {
+        Stencil2dConfig {
+            cols_per_gpu: 24,
+            rows_per_node: 12,
+            iters: 3,
+        }
+    }
+}
+
+/// Outcome of a 2-D stencil run.
+#[derive(Clone, Debug)]
+pub struct Stencil2dReport {
+    /// Max |distributed − reference| over owned cells.
+    pub max_error: f64,
+    /// Simulated time in node-to-node (vertical) halo traffic.
+    pub vertical_comm: Dur,
+    /// Simulated time in intra-node GPU-to-GPU (horizontal) halo traffic.
+    pub horizontal_comm: Dur,
+}
+
+fn pack(vals: &[f64]) -> Vec<u8> {
+    vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+fn unpack(bytes: &[u8]) -> Vec<f64> {
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect()
+}
+
+/// Runs the 2-D decomposition on `c` (each node contributes GPU0 + GPU1).
+pub fn run(c: &mut TcaCluster, cfg: Stencil2dConfig) -> Stencil2dReport {
+    let nodes = c.nodes() as usize;
+    let cpg = cfg.cols_per_gpu;
+    let rpn = cfg.rows_per_node;
+    let width = 2 * cpg;
+    let height = nodes * rpn;
+    // Local tile layout: (rpn + 2) rows × (cpg + 2) columns with halos.
+    let tile_cols = cpg + 2;
+    let tile_rows = rpn + 2;
+    let cell = |r: usize, col: usize| ((r * tile_cols + col) * 8) as u64;
+
+    // Reference grid with a fixed boundary frame.
+    let mut reference: Vec<Vec<f64>> = (0..height + 2)
+        .map(|r| {
+            (0..width + 2)
+                .map(|col| ((r * 13 + col * 7) % 50) as f64)
+                .collect()
+        })
+        .collect();
+
+    // One tile per (node, gpu).
+    let tiles: Vec<Vec<GpuAlloc>> = (0..nodes as u32)
+        .map(|n| {
+            (0..2usize)
+                .map(|g| c.alloc_gpu(n, g, (tile_rows * tile_cols * 8) as u64))
+                .collect()
+        })
+        .collect();
+
+    // Scatter (tile (n,g) owns rows n*rpn..(n+1)*rpn, cols g*cpg..(g+1)*cpg
+    // of the interior; reference index = owned index + 1 for the frame).
+    for n in 0..nodes {
+        for g in 0..2usize {
+            for tr in 0..tile_rows {
+                let rr = n * rpn + tr; // reference row
+                let row: Vec<f64> = (0..tile_cols)
+                    .map(|tc| reference[rr][g * cpg + tc])
+                    .collect();
+                c.write(&tiles[n][g].at(cell(tr, 0)), &pack(&row));
+            }
+        }
+    }
+
+    let mut vertical_comm = Dur::ZERO;
+    let mut horizontal_comm = Dur::ZERO;
+
+    for _ in 0..cfg.iters {
+        // --- Horizontal halos: GPU0 col cpg ↔ GPU1 col 1, inside each node.
+        // Column data is strided (one f64 per row) — the §III-D stride
+        // pattern, moved with one chained activation per direction.
+        let t0 = c.now();
+        for (n, node_tiles) in tiles.iter().enumerate() {
+            let _ = n;
+            // GPU0's last owned column → GPU1's left halo column.
+            c.memcpy_peer_strided(
+                &node_tiles[1].at(cell(1, 0)),
+                (tile_cols * 8) as u64,
+                &node_tiles[0].at(cell(1, cpg)),
+                (tile_cols * 8) as u64,
+                8,
+                rpn as u64,
+            );
+            // GPU1's first owned column → GPU0's right halo column.
+            c.memcpy_peer_strided(
+                &node_tiles[0].at(cell(1, cpg + 1)),
+                (tile_cols * 8) as u64,
+                &node_tiles[1].at(cell(1, 1)),
+                (tile_cols * 8) as u64,
+                8,
+                rpn as u64,
+            );
+        }
+        horizontal_comm += c.now().since(t0);
+
+        // --- Vertical halos: last owned row → lower neighbour's top halo,
+        // first owned row → upper neighbour's bottom halo, per GPU column.
+        let t0 = c.now();
+        for n in 0..nodes {
+            for g in 0..2usize {
+                if n + 1 < nodes {
+                    c.memcpy_peer(
+                        &tiles[n + 1][g].at(cell(0, 0)),
+                        &tiles[n][g].at(cell(rpn, 0)),
+                        (tile_cols * 8) as u64,
+                    );
+                }
+                if n > 0 {
+                    c.memcpy_peer(
+                        &tiles[n - 1][g].at(cell(rpn + 1, 0)),
+                        &tiles[n][g].at(cell(1, 0)),
+                        (tile_cols * 8) as u64,
+                    );
+                }
+            }
+        }
+        vertical_comm += c.now().since(t0);
+
+        // --- Local smoothing on every tile.
+        for node_tiles in &tiles {
+            for tile in node_tiles {
+                let cur = unpack(&c.read(&tile.at(0), tile_rows * tile_cols * 8));
+                let mut next = cur.clone();
+                for tr in 1..=rpn {
+                    for tc in 1..=cpg {
+                        let i = tr * tile_cols + tc;
+                        next[i] = 0.25
+                            * (cur[i - tile_cols] + cur[i + tile_cols] + cur[i - 1] + cur[i + 1]);
+                    }
+                }
+                for tr in 1..=rpn {
+                    c.write(
+                        &tile.at(cell(tr, 1)),
+                        &pack(&next[tr * tile_cols + 1..tr * tile_cols + 1 + cpg]),
+                    );
+                }
+            }
+        }
+
+        // --- Reference step.
+        let prev = reference.clone();
+        for (r, row) in reference.iter_mut().enumerate().skip(1).take(height) {
+            for col in 1..=width {
+                row[col] = 0.25
+                    * (prev[r - 1][col] + prev[r + 1][col] + prev[r][col - 1] + prev[r][col + 1]);
+            }
+        }
+    }
+
+    // Verify owned cells.
+    let mut max_error = 0.0f64;
+    for n in 0..nodes {
+        for g in 0..2usize {
+            for tr in 1..=rpn {
+                let got = unpack(&c.read(&tiles[n][g].at(cell(tr, 1)), cpg * 8));
+                let rr = n * rpn + tr;
+                for tc in 0..cpg {
+                    let want = reference[rr][g * cpg + tc + 1];
+                    max_error = max_error.max((got[tc] - want).abs());
+                }
+            }
+        }
+    }
+
+    Stencil2dReport {
+        max_error,
+        vertical_comm,
+        horizontal_comm,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_node_four_gpu_grid_matches_reference() {
+        let mut c = TcaClusterBuilder::new(2).build();
+        let rep = run(&mut c, Stencil2dConfig::default());
+        assert_eq!(rep.max_error, 0.0, "{rep:?}");
+        assert!(rep.vertical_comm > Dur::ZERO);
+        assert!(rep.horizontal_comm > Dur::ZERO);
+    }
+
+    #[test]
+    fn four_node_grid_matches_reference() {
+        let mut c = TcaClusterBuilder::new(4).build();
+        let rep = run(
+            &mut c,
+            Stencil2dConfig {
+                cols_per_gpu: 16,
+                rows_per_node: 8,
+                iters: 4,
+            },
+        );
+        assert_eq!(rep.max_error, 0.0, "{rep:?}");
+    }
+
+    #[test]
+    fn single_node_still_exchanges_horizontally() {
+        let mut c = TcaClusterBuilder::new(1).build();
+        let rep = run(&mut c, Stencil2dConfig::default());
+        assert_eq!(rep.max_error, 0.0, "{rep:?}");
+        assert_eq!(rep.vertical_comm, Dur::ZERO, "no node neighbours");
+        assert!(
+            rep.horizontal_comm > Dur::ZERO,
+            "GPU0 ↔ GPU1 inside the node"
+        );
+    }
+}

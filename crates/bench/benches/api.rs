@@ -1,0 +1,95 @@
+//! Criterion benchmarks of the user-facing layers: tcaMemcpyPeer paths,
+//! collectives, and the application kernels. As with `figures.rs`, these
+//! measure the *simulator's* wall-clock throughput on each workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tca_apps::{cg_solve, nbody_run, stencil_run, StencilConfig};
+use tca_core::prelude::*;
+use tca_core::Collectives;
+
+fn bench_memcpy_peer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memcpy_peer");
+    g.sample_size(10);
+    for size in [4096u64, 256 * 1024] {
+        g.bench_with_input(BenchmarkId::new("host_remote", size), &size, |b, &s| {
+            b.iter(|| {
+                let mut cl = TcaClusterBuilder::new(2).build();
+                cl.write(&MemRef::host(0, 0x4000_0000), &vec![1u8; s as usize]);
+                black_box(cl.memcpy_peer(
+                    &MemRef::host(1, 0x5000_0000),
+                    &MemRef::host(0, 0x4000_0000),
+                    s,
+                ))
+            })
+        });
+    }
+    g.bench_function("gpu_remote_64k", |b| {
+        b.iter(|| {
+            let mut cl = TcaClusterBuilder::new(2).build();
+            let a = cl.alloc_gpu(0, 0, 65536);
+            let d = cl.alloc_gpu(1, 0, 65536);
+            cl.write(&a.at(0), &vec![2u8; 65536]);
+            black_box(cl.memcpy_peer(&d.at(0), &a.at(0), 65536))
+        })
+    });
+    g.finish();
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives");
+    g.sample_size(10);
+    g.bench_function("barrier_8", |b| {
+        b.iter(|| {
+            let mut cl = TcaClusterBuilder::new(8).build();
+            let mut coll = Collectives::new();
+            black_box(coll.barrier(&mut cl))
+        })
+    });
+    g.bench_function("allreduce_4x1024", |b| {
+        b.iter(|| {
+            let mut cl = TcaClusterBuilder::new(4).build();
+            let mut coll = Collectives::new();
+            for r in 0..4u32 {
+                cl.write(&MemRef::host(r, 0x4000_0000), &vec![1u8; 8192]);
+            }
+            black_box(coll.allreduce_f64(&mut cl, 0x4000_0000, 1024))
+        })
+    });
+    g.bench_function("broadcast_8x64k", |b| {
+        b.iter(|| {
+            let mut cl = TcaClusterBuilder::new(8).build();
+            let mut coll = Collectives::new();
+            cl.write(&MemRef::host(0, 0x4000_0000), &vec![3u8; 65536]);
+            black_box(coll.broadcast(&mut cl, 0, 0x4000_0000, 65536, 16384))
+        })
+    });
+    g.finish();
+}
+
+fn bench_apps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("apps");
+    g.sample_size(10);
+    g.bench_function("stencil_4n", |b| {
+        b.iter(|| {
+            let mut cl = TcaClusterBuilder::new(4).build();
+            black_box(stencil_run(&mut cl, StencilConfig::default()))
+        })
+    });
+    g.bench_function("cg_4n_x32", |b| {
+        b.iter(|| {
+            let mut cl = TcaClusterBuilder::new(4).build();
+            black_box(cg_solve(&mut cl, 32, 1e-8, 300))
+        })
+    });
+    g.bench_function("nbody_2n", |b| {
+        b.iter(|| {
+            let mut cl = TcaClusterBuilder::new(2).build();
+            black_box(nbody_run(&mut cl, 8, 2, 1e-3))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_memcpy_peer, bench_collectives, bench_apps);
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! Criterion benchmarks: wall-clock cost of simulating each paper
+//! experiment (one group per table/figure). These gauge the *simulator's*
+//! throughput; the simulated results themselves come from the
+//! `tca-bench` binaries and are recorded in `EXPERIMENTS.md`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tca_bench::{
+    comparison, dma_bandwidth, dmac_ablation, fig9, latency_report, qpi_report, rig, ring_hops,
+    theoretical_peaks, Direction, Target,
+};
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_dma_local");
+    g.sample_size(10);
+    for size in [256u64, 4096, 65536] {
+        g.bench_with_input(BenchmarkId::new("cpu_write_255", size), &size, |b, &s| {
+            b.iter(|| {
+                let mut r = rig(2);
+                black_box(dma_bandwidth(
+                    &mut r,
+                    Target::LocalCpu,
+                    Direction::Write,
+                    255,
+                    s,
+                ))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("gpu_read_255", size), &size, |b, &s| {
+            b.iter(|| {
+                let mut r = rig(2);
+                black_box(dma_bandwidth(
+                    &mut r,
+                    Target::LocalGpu,
+                    Direction::Read,
+                    255,
+                    s,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_single_dma");
+    g.sample_size(10);
+    for size in [4096u64, 1 << 20] {
+        g.bench_with_input(BenchmarkId::new("cpu_write_1", size), &size, |b, &s| {
+            b.iter(|| {
+                let mut r = rig(2);
+                black_box(dma_bandwidth(
+                    &mut r,
+                    Target::LocalCpu,
+                    Direction::Write,
+                    1,
+                    s,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_chain_lengths");
+    g.sample_size(10);
+    g.bench_function("sweep_1_to_255", |b| {
+        b.iter(|| black_box(fig9(&[1, 4, 64, 255])))
+    });
+    g.finish();
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_remote_dma");
+    g.sample_size(10);
+    for size in [256u64, 4096] {
+        g.bench_with_input(
+            BenchmarkId::new("remote_cpu_write_255", size),
+            &size,
+            |b, &s| {
+                b.iter(|| {
+                    let mut r = rig(2);
+                    black_box(dma_bandwidth(
+                        &mut r,
+                        Target::RemoteCpu,
+                        Direction::Write,
+                        255,
+                        s,
+                    ))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("latency_l1");
+    g.sample_size(10);
+    g.bench_function("pio_loopback_and_ib", |b| {
+        b.iter(|| black_box(latency_report()))
+    });
+    g.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("a1_qpi", |b| b.iter(|| black_box(qpi_report())));
+    g.bench_function("a2_dmac_64k", |b| {
+        b.iter(|| black_box(dmac_ablation(&[65536])))
+    });
+    g.bench_function("a3_comparison_4k", |b| {
+        b.iter(|| black_box(comparison(&[4096])))
+    });
+    g.bench_function("a4_ring_hops", |b| b.iter(|| black_box(ring_hops())));
+    g.finish();
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables_e0");
+    g.bench_function("theoretical_peaks", |b| {
+        b.iter(|| black_box(theoretical_peaks()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig7,
+    bench_fig8,
+    bench_fig9,
+    bench_fig12,
+    bench_latency,
+    bench_ablations,
+    bench_tables
+);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! A2 (§IV-B2): node-to-node put on the shipping two-phase DMAC (stage
+//! through the internal memory, two activations) versus the "new DMAC"
+//! under development that reads the local source and writes the remote
+//! destination simultaneously in a pipeline.
+
+use tca_bench::{dmac_ablation, fmt_size, gbps};
+
+fn main() {
+    println!("A2 — node-to-node put: two-phase legacy DMAC vs pipelined DMAC (GB/s)");
+    println!(
+        "{:>8} {:>10} {:>10} {:>8}",
+        "size", "two-phase", "pipelined", "speedup"
+    );
+    let sizes: Vec<u64> = (10..=20).map(|p| 1u64 << p).collect();
+    for r in dmac_ablation(&sizes) {
+        println!(
+            "{:>8} {} {} {:>7.2}x",
+            fmt_size(r.size),
+            gbps(r.legacy_two_phase),
+            gbps(r.pipelined),
+            r.pipelined / r.legacy_two_phase
+        );
+    }
+}

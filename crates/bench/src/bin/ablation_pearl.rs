@@ -1,0 +1,20 @@
+//! A5: PEARL reliability under cable bit errors — corrupted TLPs are
+//! NAKed and replayed by the data-link layer (§III-A: "Adaptive and
+//! Reliable Link"), so transfers stay exact while bandwidth degrades
+//! gracefully.
+
+use tca_bench::reliability_ablation;
+
+fn main() {
+    println!("A5 — cable error rate vs remote 4KiB x255 DMA write");
+    println!("{:>10} {:>12} {:>10}", "err (ppm)", "BW (GB/s)", "replays");
+    for r in reliability_ablation(&[0, 1_000, 10_000, 50_000, 100_000]) {
+        println!(
+            "{:>10} {:>12.3} {:>10}",
+            r.error_ppm,
+            r.remote_write / 1e9,
+            r.replays
+        );
+    }
+    println!("\n(data integrity asserted at every point)");
+}

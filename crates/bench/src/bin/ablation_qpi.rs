@@ -1,0 +1,16 @@
+//! A1 (§IV-A2): P2P writes to a GPU on the other socket cross QPI and are
+//! "severely degraded by up to several hundred Mbytes/sec"; this is why
+//! PEACH2 only accesses GPU0 and GPU1 (§III-C).
+
+use tca_bench::qpi_report;
+
+fn main() {
+    let q = qpi_report();
+    println!("A1 — P2P write bandwidth vs socket placement");
+    println!("  same socket : {:8.3} GB/s", q.same_socket / 1e9);
+    println!(
+        "  across QPI  : {:8.3} GB/s  (paper: several hundred MB/s)",
+        q.across_qpi / 1e9
+    );
+    println!("  degradation : {:.1}x", q.same_socket / q.across_qpi);
+}

@@ -1,0 +1,34 @@
+//! A3 (§I / §V): GPU-to-GPU transfer time across the stacks the paper
+//! motivates against — the conventional three-copy MPI/IB path, the
+//! GPUDirect-RDMA-over-IB zero-copy path, and TCA (DMA and PIO).
+//!
+//! Expected shape: TCA wins decisively for short messages (the paper's
+//! central claim); the dual-rail IB staging pipeline wins raw bandwidth
+//! for very large transfers (which is why HA-PACS/TCA keeps InfiniBand
+//! for global high-bandwidth traffic, §II-B).
+
+use tca_bench::{comparison, fmt_size};
+
+fn main() {
+    println!("A3 — GPU-to-GPU transfer time (us)");
+    println!(
+        "{:>8} {:>10} {:>10} {:>12} {:>14}",
+        "size", "TCA DMA", "TCA PIO", "MPI staged", "IB GPUDirect"
+    );
+    let sizes: Vec<u64> = (3..=21).step_by(2).map(|p| 1u64 << p).collect();
+    for r in comparison(&sizes) {
+        let pio = if r.tca_pio_us > 0.0 {
+            format!("{:>10.2}", r.tca_pio_us)
+        } else {
+            format!("{:>10}", "-")
+        };
+        println!(
+            "{:>8} {:>10.2} {} {:>12.2} {:>14.2}",
+            fmt_size(r.size),
+            r.tca_dma_us,
+            pio,
+            r.mpi_staged_us,
+            r.ib_gpudirect_us
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! A6: ring-link contention — two pipelined node-to-node puts whose
+//! eastward paths share the 1→2 cable. The packet-level wire model
+//! serializes them; aggregate bandwidth stays pinned at the cable rate.
+
+use tca_bench::contention_report;
+
+fn main() {
+    let r = contention_report();
+    println!("A6 — two 1 MiB flows sharing one ring cable");
+    println!("  solo flow 0->2        : {:8.3} GB/s", r.solo / 1e9);
+    println!(
+        "  shared, per flow      : {:8.3} GB/s",
+        r.shared_per_flow / 1e9
+    );
+    println!(
+        "  shared, aggregate     : {:8.3} GB/s",
+        r.shared_aggregate / 1e9
+    );
+    println!(
+        "  fairness (per/solo)   : {:5.2}",
+        r.shared_per_flow / r.solo
+    );
+}

@@ -1,0 +1,27 @@
+//! Fig. 12: data size vs bandwidth from PEACH2 to the CPU/GPU on the
+//! *adjacent node* via the PEACH2–PEACH2 cable, 255 chained DMAs (§IV-B2).
+//!
+//! Paper anchors: remote CPU bandwidth drops at small sizes ("due to the
+//! latency for transfer between PEACH2") but is approximately the local
+//! value at 4 KB; remote GPU writes are approximately the local value at
+//! all sizes.
+
+use tca_bench::{default_sizes, fig12, fmt_size, gbps};
+
+fn main() {
+    println!("Fig. 12 — size vs bandwidth to the adjacent node, DMA x255 (GB/s)");
+    println!(
+        "{:>8} {:>9} {:>9} {:>9} {:>9}",
+        "size", "CPU(wr)", "CPU(rd)", "rCPU(wr)", "rGPU(wr)"
+    );
+    for r in fig12(&default_sizes()) {
+        println!(
+            "{:>8} {} {} {} {}",
+            fmt_size(r.size),
+            gbps(r.cpu_local_write),
+            gbps(r.cpu_local_read),
+            gbps(r.cpu_remote_write),
+            gbps(r.gpu_remote_write)
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! Fig. 7: data size vs bandwidth between PEACH2 and the CPU/GPU,
+//! 255 chained DMA requests (§IV-A).
+//!
+//! Paper anchors: CPU write peaks at ≈3.4 GB/s (93% of the 3.66 GB/s
+//! theoretical peak) at 4 KB; GPU write ≈ CPU write; GPU read caps at
+//! ≈830 MB/s; CPU read ≈ CPU write at 4 KB but lags below it.
+
+use tca_bench::{default_sizes, fig7, fmt_size, gbps};
+
+fn main() {
+    println!("Fig. 7 — size vs bandwidth, PEACH2 <-> CPU/GPU, DMA x255 (GB/s)");
+    println!(
+        "{:>8} {:>9} {:>9} {:>9} {:>9}",
+        "size", "CPU(wr)", "CPU(rd)", "GPU(wr)", "GPU(rd)"
+    );
+    for r in fig7(&default_sizes()) {
+        println!(
+            "{:>8} {} {} {} {}",
+            fmt_size(r.size),
+            gbps(r.cpu_write),
+            gbps(r.cpu_read),
+            gbps(r.gpu_write),
+            gbps(r.gpu_read)
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! Fig. 8: data size vs bandwidth for a *single* DMA request (§IV-A1).
+//!
+//! Paper anchor: severely degraded versus the 255-chain of Fig. 7 because
+//! retrieving the descriptor table dominates; converges for ≥8 KB.
+
+use tca_bench::{default_sizes, fig8, fmt_size, gbps};
+
+fn main() {
+    println!("Fig. 8 — size vs bandwidth, PEACH2 <-> CPU/GPU, single DMA (GB/s)");
+    println!(
+        "{:>8} {:>9} {:>9} {:>9} {:>9}",
+        "size", "CPU(wr)", "CPU(rd)", "GPU(wr)", "GPU(rd)"
+    );
+    for r in fig8(&default_sizes()) {
+        println!(
+            "{:>8} {} {} {} {}",
+            fmt_size(r.size),
+            gbps(r.cpu_write),
+            gbps(r.cpu_read),
+            gbps(r.gpu_write),
+            gbps(r.gpu_read)
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Fig. 9: number of chained DMA requests vs bandwidth at fixed 4 KiB
+//! (§IV-A1).
+//!
+//! Paper anchor: "DMA transfer including four requests achieves
+//! approximately 70% of the maximum performance."
+
+use tca_bench::{default_counts, fig9, gbps};
+
+fn main() {
+    println!("Fig. 9 — request count vs bandwidth at 4 KiB (GB/s)");
+    println!(
+        "{:>8} {:>9} {:>9} {:>9}",
+        "reqs", "CPU(wr)", "GPU(wr)", "CPU(rd)"
+    );
+    let rows = fig9(&default_counts());
+    for r in &rows {
+        println!(
+            "{:>8} {} {} {}",
+            r.requests,
+            gbps(r.cpu_write),
+            gbps(r.gpu_write),
+            gbps(r.cpu_read)
+        );
+    }
+    let max = rows.last().expect("rows").cpu_write;
+    let four = rows
+        .iter()
+        .find(|r| r.requests == 4)
+        .expect("n=4")
+        .cpu_write;
+    println!(
+        "\n4-request fraction of maximum: {:.0}% (paper: ~70%)",
+        100.0 * four / max
+    );
+}

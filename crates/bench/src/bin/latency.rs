@@ -1,0 +1,30 @@
+//! L1 (§IV-B1): the Fig. 10 loopback PIO latency and the InfiniBand
+//! comparison points.
+//!
+//! Paper anchors: PEACH2 one-way transfer latency = 782 ns with the
+//! 20121112 FPGA logic; InfiniBand FDR is announced as < 1 µs; "the
+//! latency of PEACH2 is approximately the same or slightly less than that
+//! of InfiniBand".
+
+use tca_bench::latency_report;
+
+fn main() {
+    let l = latency_report();
+    println!("S IV-B1 — latency (one-way unless noted)");
+    println!(
+        "  PEACH2 PIO via 2 boards + cable : {:7.0} ns   (paper: 782 ns)",
+        l.pio_oneway_ns
+    );
+    println!(
+        "  InfiniBand FDR RDMA write       : {:7.0} ns   (paper cites < 1 us)",
+        l.ib_fdr_oneway_ns
+    );
+    println!(
+        "  InfiniBand QDR RDMA write       : {:7.0} ns",
+        l.ib_qdr_oneway_ns
+    );
+    println!(
+        "  MPI eager half round trip (QDR) : {:7.0} ns",
+        l.mpi_halfrtt_ns
+    );
+}

@@ -1,0 +1,16 @@
+//! A4 (§III-E): latency as a function of ring hop count in an 8-node
+//! sub-cluster — each relay pays one chip transit plus one cable, the
+//! router deciding by bare address-bit comparison.
+
+use tca_bench::ring_hops;
+
+fn main() {
+    println!("A4 — ring hop count vs latency (8-node ring)");
+    println!("{:>6} {:>12} {:>14}", "hops", "PIO (ns)", "4KiB DMA (us)");
+    let rows = ring_hops();
+    for r in &rows {
+        println!("{:>6} {:>12.0} {:>14.2}", r.hops, r.pio_ns, r.dma_4k_us);
+    }
+    let d = rows[1].pio_ns - rows[0].pio_ns;
+    println!("\nper-hop increment: {d:.0} ns");
+}

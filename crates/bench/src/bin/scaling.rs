@@ -1,0 +1,23 @@
+//! A8: sub-cluster size scaling — why §II-B caps the sub-cluster at 8–16
+//! nodes. Neighbour-shift bandwidth scales with the ring (each cable
+//! carries one flow), but diameter latency grows linearly, bounding the
+//! useful size for latency-critical GPU communication.
+
+use tca_bench::scaling_sweep;
+
+fn main() {
+    println!("A8 — ring size scaling (neighbour shift of 256 KiB per node)");
+    println!(
+        "{:>6} {:>16} {:>16} {:>16}",
+        "nodes", "diameter (ns)", "agg BW (GB/s)", "per node (GB/s)"
+    );
+    for r in scaling_sweep() {
+        println!(
+            "{:>6} {:>16.0} {:>16.3} {:>16.3}",
+            r.nodes,
+            r.diameter_pio_ns,
+            r.shift_aggregate / 1e9,
+            r.shift_per_node / 1e9
+        );
+    }
+}

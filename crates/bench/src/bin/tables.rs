@@ -1,0 +1,17 @@
+//! T1/T2/E0: prints Tables I and II and the §IV-A1 theoretical-peak
+//! arithmetic.
+
+fn main() {
+    println!("{}", tca_core::presets::table_i());
+    println!("{}", tca_core::presets::table_ii());
+    println!("E0: theoretical peak payload rate (4 GB/s x 256/(256+16+2+4+1+1) = 3.66 GB/s)");
+    println!("  {:<30} {:>10} {:>12}", "link", "raw GB/s", "peak GB/s");
+    for r in tca_bench::theoretical_peaks() {
+        println!(
+            "  {:<30} {:>10.3} {:>12.3}",
+            r.label,
+            r.raw as f64 / 1e9,
+            r.peak / 1e9
+        );
+    }
+}

@@ -1,0 +1,942 @@
+//! # tca-bench — regeneration harness for every table and figure of the
+//! paper's evaluation (§II Table I, §IV Figs. 7/8/9/12 and the latency
+//! measurement), plus the ablations DESIGN.md calls out.
+//!
+//! Each `figN_*` function rebuilds the paper's exact measurement rig
+//! inside a fresh simulation and returns the series the figure plots; the
+//! `src/bin/*` binaries print them as aligned tables, and `EXPERIMENTS.md`
+//! records paper-vs-measured values. Criterion benches (under `benches/`)
+//! measure *simulator* throughput on the same workloads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use serde::Serialize;
+use tca_device::map::TcaBlock;
+use tca_device::node::{build_dual_socket_node, NodeConfig};
+use tca_device::{Gpu, HostBridge, QpiParams};
+use tca_net::{attach_ib, IbParams, MpiWorld, Protocol};
+use tca_pcie::{AddrRange, Fabric, LinkParams};
+use tca_peach2::{
+    build_loopback, build_ring, Descriptor, EngineKind, Peach2, Peach2Driver, Peach2Params,
+    SubCluster,
+};
+
+/// Default data-size sweep of Figs. 7/8/12 (64 B – 1 MiB, doubling).
+pub fn default_sizes() -> Vec<u64> {
+    (6..=20).map(|p| 1u64 << p).collect()
+}
+
+/// Default request-count sweep of Fig. 9.
+pub fn default_counts() -> Vec<u64> {
+    vec![1, 2, 4, 8, 16, 32, 64, 128, 255]
+}
+
+/// One measurement rig: an `n`-node ring of Table II nodes with drivers.
+pub struct Rig {
+    /// The simulation.
+    pub fabric: Fabric,
+    /// The sub-cluster.
+    pub sc: SubCluster,
+    /// Per-node drivers.
+    pub drivers: Vec<Peach2Driver>,
+}
+
+/// Builds a fresh ring rig of `n` nodes.
+pub fn rig(n: u32) -> Rig {
+    let mut fabric = Fabric::new();
+    let sc = build_ring(
+        &mut fabric,
+        n,
+        &NodeConfig::default(),
+        Peach2Params::default(),
+    );
+    let drivers: Vec<Peach2Driver> = (0..n as usize)
+        .map(|i| Peach2Driver::new(sc.map, i as u32, sc.nodes[i].host, sc.chips[i]))
+        .collect();
+    for d in &drivers {
+        d.init(&mut fabric);
+    }
+    Rig {
+        fabric,
+        sc,
+        drivers,
+    }
+}
+
+/// What a DMA sweep targets.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Target {
+    /// Host DRAM on the local node (the driver DMA buffer of §IV-A1).
+    LocalCpu,
+    /// Pinned GPU memory on the local node.
+    LocalGpu,
+    /// Host DRAM on the adjacent node (Fig. 11/12 rig).
+    RemoteCpu,
+    /// Pinned GPU memory on the adjacent node.
+    RemoteGpu,
+}
+
+/// DMA direction, defined from the viewpoint of the PEACH2 chip (§IV-A):
+/// a *write* transfers from PEACH2 to CPU/GPU.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// PEACH2 internal memory → target.
+    Write,
+    /// Target → PEACH2 internal memory (local targets only; remote reads
+    /// do not exist on PEARL).
+    Read,
+}
+
+/// Measures one chained-DMA point: `count` descriptors of `size` bytes in
+/// the given direction against the given target. Returns bytes/second over
+/// the doorbell→interrupt window, the §IV-A methodology.
+pub fn dma_bandwidth(r: &mut Rig, target: Target, dir: Direction, count: u64, size: u64) -> f64 {
+    let d = &r.drivers[0];
+    // Resolve the non-SRAM endpoint address (all descriptors reuse the
+    // same buffers: this is a bandwidth rig, not a dataset).
+    let other = match target {
+        Target::LocalCpu => d.dma_buf,
+        Target::RemoteCpu => r.sc.map.global_addr(1, TcaBlock::Host, 0x4000_0000),
+        Target::LocalGpu | Target::RemoteGpu => {
+            let node = if target == Target::LocalGpu { 0 } else { 1 };
+            let gpu = r.fabric.device_mut::<Gpu>(r.sc.nodes[node].gpus[0]);
+            let a = gpu.alloc(size);
+            let t = gpu.p2p_token(a, size);
+            let bar = gpu.pin(a, size, t);
+            if target == Target::LocalGpu {
+                bar
+            } else {
+                // Remote GPU: address it through the TCA window.
+                r.sc.map.global_addr(1, TcaBlock::Gpu0, a)
+            }
+        }
+    };
+    assert!(
+        !(matches!(dir, Direction::Read)
+            && matches!(target, Target::RemoteCpu | Target::RemoteGpu)),
+        "RDMA get is not supported over PEARL"
+    );
+    let sram = d.sram_addr(0);
+    if dir == Direction::Write {
+        r.fabric
+            .device_mut::<Peach2>(r.sc.chips[0])
+            .sram_mut()
+            .fill_pattern(0, size, 0x3c);
+    }
+    let descs: Vec<Descriptor> = (0..count)
+        .map(|_| match dir {
+            Direction::Write => Descriptor::new(sram, other, size),
+            Direction::Read => Descriptor::new(other, sram, size),
+        })
+        .collect();
+    let m = d.run_dma(&mut r.fabric, &descs, EngineKind::Legacy);
+    m.bandwidth()
+}
+
+/// One row of Fig. 7 / Fig. 8 (chained / single DMA, local targets).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct LocalDmaRow {
+    /// Transfer size per descriptor, bytes.
+    pub size: u64,
+    /// DMA write to local CPU memory, bytes/s.
+    pub cpu_write: f64,
+    /// DMA read from local CPU memory, bytes/s.
+    pub cpu_read: f64,
+    /// DMA write to local (pinned) GPU memory, bytes/s.
+    pub gpu_write: f64,
+    /// DMA read from local GPU memory, bytes/s.
+    pub gpu_read: f64,
+}
+
+/// Fig. 7: size vs bandwidth between PEACH2 and CPU/GPU, 255 chained DMAs.
+pub fn fig7(sizes: &[u64]) -> Vec<LocalDmaRow> {
+    local_dma_sweep(sizes, 255)
+}
+
+/// Fig. 8: size vs bandwidth for a single DMA request.
+pub fn fig8(sizes: &[u64]) -> Vec<LocalDmaRow> {
+    local_dma_sweep(sizes, 1)
+}
+
+fn local_dma_sweep(sizes: &[u64], count: u64) -> Vec<LocalDmaRow> {
+    sizes
+        .iter()
+        .map(|&size| LocalDmaRow {
+            size,
+            cpu_write: dma_bandwidth(&mut rig(2), Target::LocalCpu, Direction::Write, count, size),
+            cpu_read: dma_bandwidth(&mut rig(2), Target::LocalCpu, Direction::Read, count, size),
+            gpu_write: dma_bandwidth(&mut rig(2), Target::LocalGpu, Direction::Write, count, size),
+            gpu_read: dma_bandwidth(&mut rig(2), Target::LocalGpu, Direction::Read, count, size),
+        })
+        .collect()
+}
+
+/// One row of Fig. 9 (request count at fixed 4 KiB).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct Fig9Row {
+    /// Number of chained DMA requests.
+    pub requests: u64,
+    /// DMA write to CPU, bytes/s.
+    pub cpu_write: f64,
+    /// DMA write to GPU, bytes/s.
+    pub gpu_write: f64,
+    /// DMA read from CPU, bytes/s.
+    pub cpu_read: f64,
+}
+
+/// Fig. 9: number of DMA requests vs bandwidth at a fixed 4 KiB size.
+pub fn fig9(counts: &[u64]) -> Vec<Fig9Row> {
+    counts
+        .iter()
+        .map(|&n| Fig9Row {
+            requests: n,
+            cpu_write: dma_bandwidth(&mut rig(2), Target::LocalCpu, Direction::Write, n, 4096),
+            gpu_write: dma_bandwidth(&mut rig(2), Target::LocalGpu, Direction::Write, n, 4096),
+            cpu_read: dma_bandwidth(&mut rig(2), Target::LocalCpu, Direction::Read, n, 4096),
+        })
+        .collect()
+}
+
+/// One row of Fig. 12 (remote-node DMA writes vs the local curves).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct Fig12Row {
+    /// Transfer size per descriptor, bytes.
+    pub size: u64,
+    /// Local CPU write (the Fig. 7 curve, for comparison).
+    pub cpu_local_write: f64,
+    /// Local CPU read (Fig. 7 curve).
+    pub cpu_local_read: f64,
+    /// DMA write to the adjacent node's CPU memory via the cable.
+    pub cpu_remote_write: f64,
+    /// DMA write to the adjacent node's GPU memory via the cable.
+    pub gpu_remote_write: f64,
+}
+
+/// Fig. 12: size vs bandwidth to the adjacent node, 255 chained DMAs.
+pub fn fig12(sizes: &[u64]) -> Vec<Fig12Row> {
+    sizes
+        .iter()
+        .map(|&size| Fig12Row {
+            size,
+            cpu_local_write: dma_bandwidth(
+                &mut rig(2),
+                Target::LocalCpu,
+                Direction::Write,
+                255,
+                size,
+            ),
+            cpu_local_read: dma_bandwidth(
+                &mut rig(2),
+                Target::LocalCpu,
+                Direction::Read,
+                255,
+                size,
+            ),
+            cpu_remote_write: dma_bandwidth(
+                &mut rig(2),
+                Target::RemoteCpu,
+                Direction::Write,
+                255,
+                size,
+            ),
+            gpu_remote_write: dma_bandwidth(
+                &mut rig(2),
+                Target::RemoteGpu,
+                Direction::Write,
+                255,
+                size,
+            ),
+        })
+        .collect()
+}
+
+/// The §IV-B1 latency report.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct LatencyReport {
+    /// PIO one-way latency through two boards and one cable (Fig. 10), ns.
+    /// Paper: 782 ns.
+    pub pio_oneway_ns: f64,
+    /// InfiniBand FDR RDMA-write one-way latency (host to host), ns.
+    /// Paper cites "< 1 µs" from the ConnectX-3 product brief.
+    pub ib_fdr_oneway_ns: f64,
+    /// InfiniBand QDR (base-cluster hardware) one-way latency, ns.
+    pub ib_qdr_oneway_ns: f64,
+    /// MPI (eager, host-to-host) half-round-trip over QDR, ns.
+    pub mpi_halfrtt_ns: f64,
+}
+
+/// Measures the Fig. 10 loopback PIO latency plus the IB comparison points.
+pub fn latency_report() -> LatencyReport {
+    // --- PIO via the two-board loopback rig.
+    let pio_oneway_ns = {
+        let mut f = Fabric::new();
+        let rigl = build_loopback(&mut f, &NodeConfig::default(), Peach2Params::default());
+        let poll = 0x6000u64;
+        let watch = f
+            .device_mut::<HostBridge>(rigl.node.host)
+            .core_mut()
+            .add_watch(AddrRange::new(poll, 4));
+        let dst = rigl.map.global_addr(1, TcaBlock::Host, poll);
+        let t0 = f.now();
+        f.drive::<HostBridge, _>(rigl.node.host, |h, ctx| {
+            h.core_mut().cpu_store(dst, &1u32.to_le_bytes(), ctx);
+        });
+        f.run_until_idle();
+        let hits = f
+            .device::<HostBridge>(rigl.node.host)
+            .core()
+            .watch_hits(watch);
+        hits[0].since(t0).as_ns_f64()
+    };
+
+    let ib_oneway = |params: IbParams| -> f64 {
+        let mut f = Fabric::new();
+        let mut nodes: Vec<_> = (0..2)
+            .map(|i| tca_device::node::build_node(&mut f, &format!("n{i}"), &NodeConfig::default()))
+            .collect();
+        let net = attach_ib(&mut f, &mut nodes, params);
+        f.device_mut::<HostBridge>(nodes[0].host)
+            .core_mut()
+            .mem()
+            .write(0x4000_0000, &[1u8; 4]);
+        let watch = f
+            .device_mut::<HostBridge>(nodes[1].host)
+            .core_mut()
+            .add_watch(AddrRange::new(0x5000_0000, 4));
+        let t0 = f.now();
+        f.drive::<tca_net::IbHca, _>(net.hcas[0], |h, ctx| {
+            h.post(
+                tca_net::SendOp {
+                    src: 0x4000_0000,
+                    dst_node: 1,
+                    dst: 0x5000_0000,
+                    len: 4,
+                    flags_addr: 0x5100_0000,
+                    flag_value: 1,
+                },
+                ctx,
+            );
+        });
+        f.run_until_idle();
+        let hits = f
+            .device::<HostBridge>(nodes[1].host)
+            .core()
+            .watch_hits(watch);
+        hits[0].since(t0).as_ns_f64()
+    };
+
+    let mpi_halfrtt_ns = {
+        let mut f = Fabric::new();
+        let mut nodes: Vec<_> = (0..2)
+            .map(|i| tca_device::node::build_node(&mut f, &format!("n{i}"), &NodeConfig::default()))
+            .collect();
+        let net = attach_ib(&mut f, &mut nodes, IbParams::default());
+        let mut w = MpiWorld::new(nodes, net);
+        f.device_mut::<HostBridge>(w.nodes[0].host)
+            .core_mut()
+            .mem()
+            .write(0x4000_0000, &[1u8; 8]);
+        let fwd = w.send(&mut f, 0, 1, 0x4000_0000, 0x5000_0000, 8, Protocol::Eager);
+        let back = w.send(&mut f, 1, 0, 0x5000_0000, 0x4000_0100, 8, Protocol::Eager);
+        ((fwd + back) / 2).as_ns_f64()
+    };
+
+    LatencyReport {
+        pio_oneway_ns,
+        ib_fdr_oneway_ns: ib_oneway(IbParams::fdr()),
+        ib_qdr_oneway_ns: ib_oneway(IbParams::default()),
+        mpi_halfrtt_ns,
+    }
+}
+
+/// One row of the A2 DMAC ablation: two-phase legacy put vs pipelined put.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct DmacAblationRow {
+    /// Transfer size, bytes.
+    pub size: u64,
+    /// Legacy two-phase node-to-node put, bytes/s.
+    pub legacy_two_phase: f64,
+    /// Pipelined (new DMAC) node-to-node put, bytes/s.
+    pub pipelined: f64,
+}
+
+/// A2: the §IV-B2 "new DMAC" against the shipping two-phase procedure.
+pub fn dmac_ablation(sizes: &[u64]) -> Vec<DmacAblationRow> {
+    sizes
+        .iter()
+        .map(|&size| {
+            let mut r = rig(2);
+            let dst = r.sc.map.global_addr(1, TcaBlock::Host, 0x4000_0000);
+            let buf = r.drivers[0].dma_buf;
+            r.fabric
+                .device_mut::<HostBridge>(r.sc.nodes[0].host)
+                .core_mut()
+                .mem()
+                .fill_pattern(buf, size, 0x11);
+            let legacy = r.drivers[0]
+                .legacy_remote_put(&mut r.fabric, buf, dst, size)
+                .bandwidth();
+            let piped = r.drivers[0]
+                .pipelined_remote_put(&mut r.fabric, buf, dst, size)
+                .bandwidth();
+            DmacAblationRow {
+                size,
+                legacy_two_phase: legacy,
+                pipelined: piped,
+            }
+        })
+        .collect()
+}
+
+/// The A1 QPI ablation: P2P write bandwidth same-socket vs across QPI.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct QpiReport {
+    /// CPU streaming-store bandwidth into a same-socket GPU, bytes/s.
+    pub same_socket: f64,
+    /// The same stores crossing QPI to the other socket's GPU, bytes/s.
+    pub across_qpi: f64,
+}
+
+/// A1: reproduces §IV-A2's "several hundred Mbytes/sec" QPI degradation.
+pub fn qpi_report() -> QpiReport {
+    let run = |cross: bool| -> f64 {
+        let mut f = Fabric::new();
+        let node =
+            build_dual_socket_node(&mut f, "n0", &NodeConfig::default(), QpiParams::default());
+        let target = if cross {
+            node.socket1.gpus[0]
+        } else {
+            node.socket0.gpus[0]
+        };
+        let len = 256 * 1024u64;
+        let bar = {
+            let g = f.device_mut::<Gpu>(target);
+            let a = g.alloc(len);
+            let t = g.p2p_token(a, len);
+            g.pin(a, len, t)
+        };
+        let t0 = f.now();
+        f.drive::<HostBridge, _>(node.socket0.host, |h, ctx| {
+            let mut off = 0u64;
+            while off < len {
+                h.core_mut().cpu_store(bar + off, &[0u8; 256], ctx);
+                off += 256;
+            }
+        });
+        let end = f.run_until_idle();
+        len as f64 / end.since(t0).as_s_f64()
+    };
+    QpiReport {
+        same_socket: run(false),
+        across_qpi: run(true),
+    }
+}
+
+/// One row of the A3 comparison: GPU-to-GPU transfer time across stacks.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct ComparisonRow {
+    /// Message size, bytes.
+    pub size: u64,
+    /// TCA pipelined DMA GPU→GPU (remote), µs.
+    pub tca_dma_us: f64,
+    /// TCA PIO host→remote-GPU (short messages only; 0 when skipped), µs.
+    pub tca_pio_us: f64,
+    /// Conventional 3-copy path: cudaMemcpy + MPI/IB + cudaMemcpy, µs.
+    pub mpi_staged_us: f64,
+    /// GPUDirect-RDMA over IB (zero-copy, read-throttled), µs.
+    pub ib_gpudirect_us: f64,
+}
+
+/// A3: the §I motivation quantified — TCA vs the conventional cluster.
+pub fn comparison(sizes: &[u64]) -> Vec<ComparisonRow> {
+    sizes
+        .iter()
+        .map(|&size| {
+            // --- TCA side: 2-node ring, GPU0@n0 → GPU0@n1, pipelined DMAC.
+            let (tca_dma_us, tca_pio_us) = {
+                let mut r = rig(2);
+                let src_bar = {
+                    let g = r.fabric.device_mut::<Gpu>(r.sc.nodes[0].gpus[0]);
+                    let a = g.alloc(size);
+                    g.gddr().fill_pattern(a, size, 1);
+                    let t = g.p2p_token(a, size);
+                    g.pin(a, size, t)
+                };
+                {
+                    let g = r.fabric.device_mut::<Gpu>(r.sc.nodes[1].gpus[0]);
+                    let a = g.alloc(size);
+                    let t = g.p2p_token(a, size);
+                    g.pin(a, size, t);
+                }
+                let dst = r.sc.map.global_addr(1, TcaBlock::Gpu0, 0);
+                let dma = r.drivers[0]
+                    .pipelined_remote_put(&mut r.fabric, src_bar, dst, size)
+                    .window
+                    .as_us_f64();
+                let pio = if size <= 8192 {
+                    let t0 = r.fabric.now();
+                    let data = vec![0u8; size as usize];
+                    let host = r.sc.nodes[0].host;
+                    r.fabric.drive::<HostBridge, _>(host, |h, ctx| {
+                        h.core_mut().cpu_store_wc(dst, &data, ctx);
+                    });
+                    let end = r.fabric.run_until_idle();
+                    end.since(t0).as_us_f64()
+                } else {
+                    0.0
+                };
+                (dma, pio)
+            };
+
+            // --- Baseline side: 2 nodes + IB, staged and GPUDirect.
+            let (mpi_staged_us, ib_gpudirect_us) = {
+                let mut f = Fabric::new();
+                let mut nodes: Vec<_> = (0..2)
+                    .map(|i| {
+                        tca_device::node::build_node(
+                            &mut f,
+                            &format!("n{i}"),
+                            &NodeConfig::default(),
+                        )
+                    })
+                    .collect();
+                let net = attach_ib(&mut f, &mut nodes, IbParams::default());
+                let mut w = MpiWorld::new(nodes, net);
+                let (src_bar, dst_bar) = {
+                    let g = f.device_mut::<Gpu>(w.nodes[0].gpus[0]);
+                    let a = g.alloc(size);
+                    g.gddr().fill_pattern(a, size, 2);
+                    let t = g.p2p_token(a, size);
+                    let s = g.pin(a, size, t);
+                    let g = f.device_mut::<Gpu>(w.nodes[1].gpus[0]);
+                    let b = g.alloc(size);
+                    let t = g.p2p_token(b, size);
+                    let d = g.pin(b, size, t);
+                    (s, d)
+                };
+                let staged = w
+                    .send_gpu_staged(&mut f, 0, 0, 1, 0, size, Protocol::Auto)
+                    .as_us_f64();
+                let direct = w
+                    .send_gpu_gpudirect(&mut f, 0, src_bar, 1, dst_bar, size)
+                    .as_us_f64();
+                (staged, direct)
+            };
+
+            ComparisonRow {
+                size,
+                tca_dma_us,
+                tca_pio_us,
+                mpi_staged_us,
+                ib_gpudirect_us,
+            }
+        })
+        .collect()
+}
+
+/// One row of the A4 hop sweep.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct HopRow {
+    /// Ring hops between source and destination.
+    pub hops: u32,
+    /// PIO one-way latency, ns.
+    pub pio_ns: f64,
+    /// 4 KiB pipelined-DMA put window, µs.
+    pub dma_4k_us: f64,
+}
+
+/// A4: latency vs ring hop count in an 8-node ring (§III-E routing).
+pub fn ring_hops() -> Vec<HopRow> {
+    (1..=4u32)
+        .map(|hops| {
+            let mut r = rig(8);
+            let dstn = hops; // eastward neighbours
+            let poll = 0x4800_0000u64;
+            let watch = r
+                .fabric
+                .device_mut::<HostBridge>(r.sc.nodes[dstn as usize].host)
+                .core_mut()
+                .add_watch(AddrRange::new(poll, 4));
+            let dst = r.sc.map.global_addr(dstn, TcaBlock::Host, poll);
+            let t0 = r.fabric.now();
+            let host0 = r.sc.nodes[0].host;
+            r.fabric.drive::<HostBridge, _>(host0, |h, ctx| {
+                h.core_mut().cpu_store(dst, &1u32.to_le_bytes(), ctx);
+            });
+            r.fabric.run_until_idle();
+            let pio_ns = r
+                .fabric
+                .device::<HostBridge>(r.sc.nodes[dstn as usize].host)
+                .core()
+                .watch_hits(watch)[0]
+                .since(t0)
+                .as_ns_f64();
+            let dma_dst = r.sc.map.global_addr(dstn, TcaBlock::Host, 0x4000_0000);
+            let buf = r.drivers[0].dma_buf;
+            let dma_4k_us = r.drivers[0]
+                .pipelined_remote_put(&mut r.fabric, buf, dma_dst, 4096)
+                .window
+                .as_us_f64();
+            HopRow {
+                hops,
+                pio_ns,
+                dma_4k_us,
+            }
+        })
+        .collect()
+}
+
+/// One row of the A5 reliability ablation: cable bit errors vs remote
+/// bandwidth (PEARL's data-link replays keep transfers exact but slower).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct ReliabilityRow {
+    /// Per-TLP corruption probability, parts per million.
+    pub error_ppm: u32,
+    /// Remote 4 KiB × 255 chained write bandwidth, bytes/s.
+    pub remote_write: f64,
+    /// Link-level replays during the run.
+    pub replays: u64,
+}
+
+/// A5: sweeps the cable error rate; data integrity is asserted on every
+/// point — PEARL is a *reliable* link (§III-A).
+pub fn reliability_ablation(ppms: &[u32]) -> Vec<ReliabilityRow> {
+    ppms.iter()
+        .map(|&ppm| {
+            let mut fabric = Fabric::new();
+            let mut params = Peach2Params::default();
+            params.cable_link = params.cable_link.with_error_rate_ppm(ppm);
+            let sc = build_ring(&mut fabric, 2, &NodeConfig::default(), params);
+            let d = Peach2Driver::new(sc.map, 0, sc.nodes[0].host, sc.chips[0]);
+            d.init(&mut fabric);
+            fabric
+                .device_mut::<Peach2>(sc.chips[0])
+                .sram_mut()
+                .fill_pattern(0, 4096, 0x42);
+            let dst = sc.map.global_addr(1, TcaBlock::Host, 0x4000_0000);
+            let descs: Vec<Descriptor> = (0..255)
+                .map(|_| Descriptor::new(d.sram_addr(0), dst, 4096))
+                .collect();
+            let t0 = fabric.now();
+            let m = d.run_dma(&mut fabric, &descs, EngineKind::Legacy);
+            // A lossy cable stalls *behind* the engine's pacing, so measure
+            // to full drain (run_dma leaves the fabric idle) rather than
+            // the doorbell→interrupt window.
+            let drained = fabric.now().since(t0);
+            // Integrity: the destination holds the exact pattern.
+            let host1 = fabric.device::<HostBridge>(sc.nodes[1].host).core();
+            let mut chk = tca_pcie::PageMemory::new();
+            chk.write(0, &host1.mem_ref().read(0x4000_0000, 4096));
+            assert!(chk.verify_pattern(0, 4096, 0x42).is_ok(), "data corrupted");
+            let replays = (0..fabric.link_count() as u32)
+                .map(|l| {
+                    fabric.link_stats(tca_pcie::LinkId(l), 0).replays
+                        + fabric.link_stats(tca_pcie::LinkId(l), 1).replays
+                })
+                .sum();
+            ReliabilityRow {
+                error_ppm: ppm,
+                remote_write: m.bytes as f64 / drained.as_s_f64(),
+                replays,
+            }
+        })
+        .collect()
+}
+
+/// The A6 contention report: per-flow bandwidth when flows share a cable.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct ContentionReport {
+    /// One flow alone (node 0 → node 2, two eastward hops), bytes/s.
+    pub solo: f64,
+    /// Two flows sharing the 1→2 cable (0→2 and 1→3), per-flow bytes/s.
+    pub shared_per_flow: f64,
+    /// Sum of the shared flows, bytes/s (should ≈ the solo rate: the
+    /// cable is the bottleneck and the wire serializes fairly).
+    pub shared_aggregate: f64,
+}
+
+/// A6: link contention on the ring — two pipelined puts whose eastward
+/// paths overlap on one cable. The wire model must serialize them and
+/// share bandwidth, with the aggregate pinned at the single-cable rate.
+pub fn contention_report() -> ContentionReport {
+    use tca_core::prelude::*;
+    let len = 1u64 << 20;
+
+    let solo = {
+        let mut c = TcaClusterBuilder::new(8).build();
+        c.write(&MemRef::host(0, 0x4000_0000), &vec![1u8; len as usize]);
+        let d = c.memcpy_peer(
+            &MemRef::host(2, 0x5000_0000),
+            &MemRef::host(0, 0x4000_0000),
+            len,
+        );
+        len as f64 / d.as_s_f64()
+    };
+
+    let (shared_per_flow, shared_aggregate) = {
+        let mut c = TcaClusterBuilder::new(8).build();
+        c.write(&MemRef::host(0, 0x4000_0000), &vec![1u8; len as usize]);
+        c.write(&MemRef::host(1, 0x4000_0000), &vec![2u8; len as usize]);
+        let t0 = c.now();
+        let e1 = c.memcpy_peer_async(
+            &MemRef::host(2, 0x5000_0000),
+            &MemRef::host(0, 0x4000_0000),
+            len,
+        );
+        let e2 = c.memcpy_peer_async(
+            &MemRef::host(3, 0x5000_0000),
+            &MemRef::host(1, 0x4000_0000),
+            len,
+        );
+        c.wait(e1);
+        c.wait(e2);
+        c.synchronize();
+        let both = c.now().since(t0);
+        let agg = (2 * len) as f64 / both.as_s_f64();
+        (agg / 2.0, agg)
+    };
+
+    ContentionReport {
+        solo,
+        shared_per_flow,
+        shared_aggregate,
+    }
+}
+
+/// One row of the A8 sub-cluster-size scaling sweep.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct ScalingRow {
+    /// Ring size.
+    pub nodes: u32,
+    /// PIO latency to the farthest node (ring diameter), ns.
+    pub diameter_pio_ns: f64,
+    /// Aggregate bandwidth of a simultaneous neighbour shift
+    /// (every node puts 256 KiB to its eastward neighbour), bytes/s.
+    pub shift_aggregate: f64,
+    /// Per-node bandwidth of the shift, bytes/s.
+    pub shift_per_node: f64,
+}
+
+/// A8: why the sub-cluster is 8–16 nodes (§II-B: "a large number of nodes
+/// degrades the performance"). Diameter latency grows linearly with ring
+/// size while the neighbour-shift aggregate scales with node count (each
+/// cable carries one flow) — so the *latency* bound, not bandwidth, caps
+/// the useful sub-cluster size.
+pub fn scaling_sweep() -> Vec<ScalingRow> {
+    use tca_core::prelude::*;
+    [2u32, 4, 8, 16]
+        .into_iter()
+        .map(|n| {
+            // Diameter PIO latency.
+            let mut c = TcaClusterBuilder::new(n).build();
+            let far = n / 2;
+            let t0 = c.now();
+            c.pio_put(0, &MemRef::host(far, 0x4000_0000), &[1u8; 4]);
+            let diameter_pio_ns = c.now().since(t0).as_ns_f64();
+
+            // Simultaneous neighbour shift.
+            let len = 256u64 * 1024;
+            let mut c = TcaClusterBuilder::new(n).build();
+            for r in 0..n {
+                c.write(&MemRef::host(r, 0x4000_0000), &vec![r as u8; len as usize]);
+            }
+            let t0 = c.now();
+            let events: Vec<TcaEvent> = (0..n)
+                .map(|r| {
+                    c.memcpy_peer_async(
+                        &MemRef::host((r + 1) % n, 0x5000_0000),
+                        &MemRef::host(r, 0x4000_0000),
+                        len,
+                    )
+                })
+                .collect();
+            for ev in events {
+                c.wait(ev);
+            }
+            c.synchronize();
+            let elapsed = c.now().since(t0);
+            let agg = (n as u64 * len) as f64 / elapsed.as_s_f64();
+            ScalingRow {
+                nodes: n,
+                diameter_pio_ns,
+                shift_aggregate: agg,
+                shift_per_node: agg / n as f64,
+            }
+        })
+        .collect()
+}
+
+/// One row of the E0 theoretical-peak table (the §IV-A1 formula).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct PeakRow {
+    /// Link label.
+    pub label: &'static str,
+    /// Raw byte rate, bytes/s.
+    pub raw: u64,
+    /// Theoretical peak payload rate at the link's MPS, bytes/s.
+    pub peak: f64,
+}
+
+/// E0: the theoretical-peak arithmetic for the links the paper discusses.
+pub fn theoretical_peaks() -> Vec<PeakRow> {
+    let mk = |label, p: LinkParams| PeakRow {
+        label,
+        raw: p.raw_bytes_per_sec(),
+        peak: p.theoretical_peak_bytes_per_sec(),
+    };
+    vec![
+        mk("PCIe Gen2 x8 (PEACH2 ports)", LinkParams::gen2_x8()),
+        mk("PCIe Gen2 x16 (GPU slots)", LinkParams::gen2_x16()),
+        mk("PCIe Gen3 x8 (IB HCA slot)", LinkParams::gen3_x8()),
+    ]
+}
+
+/// Formats a bandwidth column in the paper's GB/s convention.
+pub fn gbps(x: f64) -> String {
+    format!("{:8.3}", x / 1e9)
+}
+
+/// Formats a byte size compactly (64B, 4KB, 1MB).
+pub fn fmt_size(s: u64) -> String {
+    if s >= 1 << 20 {
+        format!("{}MB", s >> 20)
+    } else if s >= 1 << 10 {
+        format!("{}KB", s >> 10)
+    } else {
+        format!("{s}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_anchor_points() {
+        let rows = fig7(&[4096]);
+        let r = rows[0];
+        assert!((3.1e9..3.6e9).contains(&r.cpu_write), "{r:?}");
+        assert!(r.gpu_write > 0.9 * r.cpu_write, "GPU write ≈ CPU write");
+        assert!((0.6e9..0.87e9).contains(&r.gpu_read), "830 MB/s ceiling");
+        assert!(r.cpu_read < r.cpu_write);
+    }
+
+    #[test]
+    fn fig8_is_much_slower_at_4k() {
+        let f7 = fig7(&[4096])[0];
+        let f8 = fig8(&[4096])[0];
+        assert!(f8.cpu_write < 0.5 * f7.cpu_write);
+    }
+
+    #[test]
+    fn fig9_seventy_percent_at_four() {
+        let rows = fig9(&[4, 255]);
+        let ratio = rows[0].cpu_write / rows[1].cpu_write;
+        assert!((0.6..0.8).contains(&ratio), "ratio={ratio}");
+    }
+
+    #[test]
+    fn fig12_remote_write_converges_at_4k() {
+        let rows = fig12(&[256, 4096]);
+        let small = rows[0];
+        let big = rows[1];
+        assert!(
+            small.cpu_remote_write < 0.85 * small.cpu_local_write,
+            "remote slower at small sizes: {small:?}"
+        );
+        assert!(
+            big.cpu_remote_write > 0.75 * big.cpu_local_write,
+            "converging at 4 KiB: {big:?}"
+        );
+        assert!(big.gpu_remote_write > 0.9 * big.cpu_local_write);
+    }
+
+    #[test]
+    fn latency_report_matches_paper_regime() {
+        let l = latency_report();
+        assert!((580.0..980.0).contains(&l.pio_oneway_ns), "{l:?}");
+        assert!(l.ib_fdr_oneway_ns < 1600.0, "{l:?}");
+        assert!(l.pio_oneway_ns < l.ib_fdr_oneway_ns, "{l:?}");
+        assert!(l.mpi_halfrtt_ns > l.ib_qdr_oneway_ns, "{l:?}");
+    }
+
+    #[test]
+    fn qpi_ablation_degrades() {
+        let q = qpi_report();
+        assert!(q.across_qpi < 0.4e9, "{q:?}");
+        assert!(q.same_socket > 5.0 * q.across_qpi, "{q:?}");
+    }
+
+    #[test]
+    fn dmac_ablation_pipelined_wins() {
+        let rows = dmac_ablation(&[65536]);
+        assert!(
+            rows[0].pipelined > 1.5 * rows[0].legacy_two_phase,
+            "{rows:?}"
+        );
+    }
+
+    #[test]
+    fn comparison_tca_wins_small_messages() {
+        let rows = comparison(&[64]);
+        let r = rows[0];
+        assert!(r.tca_dma_us < r.mpi_staged_us, "{r:?}");
+        assert!(r.tca_pio_us < r.ib_gpudirect_us, "{r:?}");
+    }
+
+    #[test]
+    fn scaling_diameter_grows_but_shift_bandwidth_scales() {
+        let rows = scaling_sweep();
+        for w in rows.windows(2) {
+            assert!(
+                w[1].diameter_pio_ns > w[0].diameter_pio_ns,
+                "diameter latency grows: {rows:?}"
+            );
+        }
+        let first = rows.first().expect("rows");
+        let last = rows.last().expect("rows");
+        // Aggregate scales near-linearly (disjoint cables)...
+        assert!(
+            last.shift_aggregate > 5.0 * first.shift_aggregate,
+            "{rows:?}"
+        );
+        // ...while per-node bandwidth stays roughly flat.
+        assert!(last.shift_per_node > 0.8 * first.shift_per_node, "{rows:?}");
+    }
+
+    #[test]
+    fn contention_shares_the_cable() {
+        let r = contention_report();
+        // Each shared flow is slower than solo; the aggregate is within
+        // the single-cable envelope (some slack: flows also use disjoint
+        // first-hop links).
+        assert!(r.shared_per_flow < 0.8 * r.solo, "{r:?}");
+        assert!(r.shared_aggregate < 1.35 * r.solo, "{r:?}");
+        assert!(r.shared_aggregate > 0.8 * r.solo, "{r:?}");
+    }
+
+    #[test]
+    fn reliability_degrades_gracefully() {
+        let rows = reliability_ablation(&[0, 100_000]);
+        assert_eq!(rows[0].replays, 0);
+        assert!(rows[1].replays > 100, "{rows:?}");
+        assert!(
+            rows[1].remote_write < rows[0].remote_write,
+            "lossy slower: {rows:?}"
+        );
+        assert!(
+            rows[1].remote_write > 0.5 * rows[0].remote_write,
+            "but not collapsed: {rows:?}"
+        );
+    }
+
+    #[test]
+    fn ring_hops_monotonic() {
+        let rows = ring_hops();
+        for w in rows.windows(2) {
+            assert!(w[1].pio_ns > w[0].pio_ns, "{rows:?}");
+        }
+    }
+}

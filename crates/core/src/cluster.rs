@@ -1,0 +1,185 @@
+//! The TCA sub-cluster handle: simulation world + boards + drivers.
+
+use tca_device::node::NodeConfig;
+use tca_net::{attach_ib, IbParams, MpiWorld};
+use tca_pcie::Fabric;
+use tca_peach2::{build_dual_ring, build_ring, Peach2Driver, Peach2Params, SubCluster};
+
+/// Topology of the sub-cluster cables.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Topology {
+    /// Single E↔W ring (Fig. 5).
+    #[default]
+    Ring,
+    /// Two rings coupled pairwise through port S (§III-D).
+    DualRing,
+}
+
+/// Builder for a [`TcaCluster`].
+pub struct TcaClusterBuilder {
+    nodes: u32,
+    topology: Topology,
+    node_cfg: NodeConfig,
+    peach2: Peach2Params,
+    ib: Option<IbParams>,
+}
+
+impl TcaClusterBuilder {
+    /// Starts a builder for `nodes` nodes (a power of two in 1..=16, the
+    /// paper's sub-cluster unit being 8–16, §II-B).
+    pub fn new(nodes: u32) -> Self {
+        TcaClusterBuilder {
+            nodes,
+            topology: Topology::Ring,
+            node_cfg: crate::presets::table_ii_node_config(),
+            peach2: crate::presets::table_ii_peach2_params(),
+            ib: None,
+        }
+    }
+
+    /// Selects the cable topology.
+    pub fn topology(mut self, t: Topology) -> Self {
+        self.topology = t;
+        self
+    }
+
+    /// Overrides the node configuration.
+    pub fn node_config(mut self, cfg: NodeConfig) -> Self {
+        self.node_cfg = cfg;
+        self
+    }
+
+    /// Overrides the PEACH2 parameters.
+    pub fn peach2_params(mut self, p: Peach2Params) -> Self {
+        self.peach2 = p;
+        self
+    }
+
+    /// Additionally attaches the InfiniBand network (the hierarchical
+    /// TCA + IB configuration of §II-B).
+    pub fn with_infiniband(mut self, p: IbParams) -> Self {
+        self.ib = Some(p);
+        self
+    }
+
+    /// Builds the cluster.
+    pub fn build(self) -> TcaCluster {
+        let mut fabric = Fabric::new();
+        let mut sub = match self.topology {
+            Topology::Ring => build_ring(&mut fabric, self.nodes, &self.node_cfg, self.peach2),
+            Topology::DualRing => {
+                build_dual_ring(&mut fabric, self.nodes, &self.node_cfg, self.peach2)
+            }
+        };
+        let drivers: Vec<Peach2Driver> = (0..self.nodes as usize)
+            .map(|i| Peach2Driver::new(sub.map, i as u32, sub.nodes[i].host, sub.chips[i]))
+            .collect();
+        for d in &drivers {
+            d.init(&mut fabric);
+        }
+        let mpi = self.ib.map(|p| {
+            let net = attach_ib(&mut fabric, &mut sub.nodes, p);
+            MpiWorld::new(sub.nodes.clone(), net)
+        });
+        TcaCluster {
+            fabric,
+            sub,
+            drivers,
+            mpi,
+        }
+    }
+}
+
+/// A running TCA sub-cluster.
+pub struct TcaCluster {
+    /// The simulated world. Exposed so advanced users (and the bench
+    /// harness) can reach devices directly.
+    pub fabric: Fabric,
+    /// Nodes, chips and the shared address map.
+    pub sub: SubCluster,
+    /// One PEACH2 driver per node.
+    pub drivers: Vec<Peach2Driver>,
+    /// The optional InfiniBand/MPI world sharing the same nodes.
+    pub mpi: Option<MpiWorld>,
+}
+
+impl TcaCluster {
+    /// Number of nodes.
+    pub fn nodes(&self) -> u32 {
+        self.sub.map.nodes()
+    }
+
+    /// A human-readable status report: per-board NIOS state, DMA run
+    /// counts, and total fabric events — the operator's one-stop view.
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "TCA sub-cluster: {} nodes, {} simulated, {} events",
+            self.nodes(),
+            self.fabric.now(),
+            self.fabric.events_executed()
+        );
+        for (i, &chip) in self.sub.chips.iter().enumerate() {
+            let c = self.fabric.device::<tca_peach2::Peach2>(chip);
+            let done = c.runs.iter().filter(|r| r.complete.is_some()).count();
+            let bytes: u64 = c.runs.iter().map(|r| r.bytes).sum();
+            let _ = writeln!(
+                out,
+                "  node {i}: {} DMA runs ({bytes} B), {} relayed, windows {}",
+                done,
+                c.relayed.get(),
+                c.dma_window_hist
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_build_a_ring() {
+        let c = TcaClusterBuilder::new(4).build();
+        assert_eq!(c.nodes(), 4);
+        assert_eq!(c.drivers.len(), 4);
+        assert!(c.mpi.is_none());
+    }
+
+    #[test]
+    fn builder_with_infiniband_shares_nodes() {
+        let c = TcaClusterBuilder::new(2)
+            .with_infiniband(IbParams::default())
+            .build();
+        let mpi = c.mpi.as_ref().expect("IB attached");
+        assert_eq!(mpi.size(), 2);
+        assert_eq!(mpi.nodes[0].host, c.sub.nodes[0].host, "same hosts");
+    }
+
+    #[test]
+    fn report_summarises_activity() {
+        use crate::api::MemRef;
+        let mut c = TcaClusterBuilder::new(2).build();
+        c.write(&MemRef::host(0, 0x4000_0000), &[1u8; 1024]);
+        c.memcpy_peer(
+            &MemRef::host(1, 0x5000_0000),
+            &MemRef::host(0, 0x4000_0000),
+            1024,
+        );
+        let r = c.report();
+        assert!(r.contains("2 nodes"), "{r}");
+        assert!(r.contains("node 0: 1 DMA runs (1024 B)"), "{r}");
+        assert!(r.contains("node 1: 0 DMA runs"), "{r}");
+    }
+
+    #[test]
+    fn dual_ring_topology_builds() {
+        let c = TcaClusterBuilder::new(8)
+            .topology(Topology::DualRing)
+            .build();
+        assert_eq!(c.nodes(), 8);
+    }
+}

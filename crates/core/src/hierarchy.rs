@@ -1,0 +1,262 @@
+//! The hierarchical HA-PACS/TCA network (§II-B).
+//!
+//! "Since the length of the PCIe external cable is limited to several
+//! meters and a large number of nodes degrades the performance, it is
+//! inefficient to generate a large-scale cluster … Therefore, HA-PACS/TCA
+//! can use a hierarchical network that incorporates TCA interconnect for
+//! local communication with low latency and InfiniBand for global
+//! communication with high bandwidth."
+//!
+//! [`HierarchicalCluster`] builds several independent TCA sub-clusters
+//! (each its own PEACH2 ring with its own Fig. 4 window interpretation)
+//! inside one simulation, spans *all* nodes with the InfiniBand network,
+//! and routes each transfer over the right tier automatically.
+
+use tca_device::map::TcaBlock;
+use tca_device::node::NodeConfig;
+use tca_device::HostBridge;
+use tca_net::{attach_ib, IbParams, MpiWorld, Protocol};
+use tca_pcie::Fabric;
+use tca_peach2::{build_ring, Peach2Driver, Peach2Params, SubCluster};
+use tca_sim::Dur;
+
+/// Which tier carried a transfer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Route {
+    /// PEACH2 within the source's sub-cluster: low latency.
+    Tca,
+    /// InfiniBand across sub-clusters: global reach, high bandwidth.
+    InfiniBand,
+}
+
+/// A multi-sub-cluster system with the two-tier network.
+pub struct HierarchicalCluster {
+    /// The single simulation world.
+    pub fabric: Fabric,
+    /// The TCA sub-clusters (disjoint PEACH2 rings).
+    pub subclusters: Vec<SubCluster>,
+    /// Per-sub-cluster drivers, indexed `[sc][local_node]`.
+    pub drivers: Vec<Vec<Peach2Driver>>,
+    /// The global MPI/IB world over every node (global ranks).
+    pub mpi: MpiWorld,
+    nodes_per_sc: u32,
+}
+
+impl HierarchicalCluster {
+    /// Builds `subclusters × nodes_per_sc` nodes: each sub-cluster is a
+    /// PEACH2 ring; InfiniBand spans everything (the production
+    /// HA-PACS/TCA shape the conclusion describes: every node carries four
+    /// GPUs, an IB adaptor, and a PEACH2 board).
+    pub fn build(subclusters: u32, nodes_per_sc: u32) -> Self {
+        let mut fabric = Fabric::new();
+        let mut scs = Vec::new();
+        let mut drivers = Vec::new();
+        let cfg = NodeConfig::default();
+        for s in 0..subclusters {
+            let sc = build_ring(&mut fabric, nodes_per_sc, &cfg, Peach2Params::default());
+            let drv: Vec<Peach2Driver> = (0..nodes_per_sc as usize)
+                .map(|i| Peach2Driver::new(sc.map, i as u32, sc.nodes[i].host, sc.chips[i]))
+                .collect();
+            for d in &drv {
+                d.init(&mut fabric);
+            }
+            let _ = s;
+            scs.push(sc);
+            drivers.push(drv);
+        }
+        // One IB network over all nodes, in global-rank order.
+        let mut all_nodes: Vec<_> = scs.iter().flat_map(|sc| sc.nodes.iter().cloned()).collect();
+        let net = attach_ib(&mut fabric, &mut all_nodes, IbParams::default());
+        let mpi = MpiWorld::new(all_nodes, net);
+        HierarchicalCluster {
+            fabric,
+            subclusters: scs,
+            drivers,
+            mpi,
+            nodes_per_sc,
+        }
+    }
+
+    /// Total node count (global ranks `0..total`).
+    pub fn total_nodes(&self) -> u32 {
+        self.nodes_per_sc * self.subclusters.len() as u32
+    }
+
+    /// Splits a global rank into (sub-cluster, local node).
+    pub fn locate(&self, rank: u32) -> (usize, u32) {
+        assert!(rank < self.total_nodes(), "rank {rank} out of range");
+        (
+            (rank / self.nodes_per_sc) as usize,
+            rank % self.nodes_per_sc,
+        )
+    }
+
+    /// The tier a transfer between two ranks takes.
+    pub fn route_between(&self, a: u32, b: u32) -> Route {
+        if self.locate(a).0 == self.locate(b).0 {
+            Route::Tca
+        } else {
+            Route::InfiniBand
+        }
+    }
+
+    /// Messages at or below this size take the PIO path inside a
+    /// sub-cluster (§III-F1: "PIO communication is useful for the short
+    /// message transfer"); larger ones use the pipelined DMAC, whose
+    /// doorbell + descriptor-fetch + interrupt overhead only pays off
+    /// beyond this.
+    pub const PIO_THRESHOLD: u64 = 2048;
+
+    /// Moves `len` bytes between host buffers of two ranks over the
+    /// appropriate tier; returns the tier and the elapsed simulated time.
+    ///
+    /// Intra-sub-cluster: a PIO put for short messages, a pipelined-DMAC
+    /// put otherwise. Inter-sub-cluster: MPI over InfiniBand.
+    pub fn send(
+        &mut self,
+        src_rank: u32,
+        dst_rank: u32,
+        src_addr: u64,
+        dst_addr: u64,
+        len: u64,
+    ) -> (Route, Dur) {
+        let (s_sc, s_local) = self.locate(src_rank);
+        let (d_sc, d_local) = self.locate(dst_rank);
+        if s_sc == d_sc {
+            let map = self.subclusters[s_sc].map;
+            let dst_global = map.global_addr(d_local, TcaBlock::Host, dst_addr);
+            let t0 = self.fabric.now();
+            if len <= Self::PIO_THRESHOLD {
+                // Short message: CPU stores straight through the window.
+                let host = self.subclusters[s_sc].nodes[s_local as usize].host;
+                let data = self
+                    .fabric
+                    .device::<HostBridge>(host)
+                    .core()
+                    .mem_ref()
+                    .read(src_addr, len as usize);
+                self.fabric.drive::<HostBridge, _>(host, |h, ctx| {
+                    h.core_mut().cpu_store_wc(dst_global, &data, ctx);
+                });
+            } else {
+                let drv = self.drivers[s_sc][s_local as usize];
+                drv.pipelined_remote_put(&mut self.fabric, src_addr, dst_global, len);
+            }
+            // Drain for remote visibility (put completion is source-side).
+            self.fabric.run_until_idle();
+            (Route::Tca, self.fabric.now().since(t0))
+        } else {
+            let d = self.mpi.send(
+                &mut self.fabric,
+                src_rank as usize,
+                dst_rank as usize,
+                src_addr,
+                dst_addr,
+                len,
+                Protocol::Auto,
+            );
+            (Route::InfiniBand, d)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern(len: usize, seed: u8) -> Vec<u8> {
+        (0..len)
+            .map(|i| (i as u8) ^ seed.wrapping_mul(29))
+            .collect()
+    }
+
+    fn host_write(h: &mut HierarchicalCluster, rank: u32, addr: u64, data: &[u8]) {
+        let host = h.mpi.nodes[rank as usize].host;
+        h.fabric
+            .device_mut::<HostBridge>(host)
+            .core_mut()
+            .mem()
+            .write(addr, data);
+    }
+
+    fn host_read(h: &HierarchicalCluster, rank: u32, addr: u64, len: usize) -> Vec<u8> {
+        let host = h.mpi.nodes[rank as usize].host;
+        h.fabric
+            .device::<HostBridge>(host)
+            .core()
+            .mem_ref()
+            .read(addr, len)
+    }
+
+    #[test]
+    fn tier_selection_matches_topology() {
+        let h = HierarchicalCluster::build(2, 4);
+        assert_eq!(h.total_nodes(), 8);
+        assert_eq!(h.route_between(0, 3), Route::Tca);
+        assert_eq!(h.route_between(4, 7), Route::Tca);
+        assert_eq!(h.route_between(0, 4), Route::InfiniBand);
+        assert_eq!(h.route_between(3, 5), Route::InfiniBand);
+        assert_eq!(h.locate(6), (1, 2));
+    }
+
+    #[test]
+    fn transfers_deliver_on_both_tiers() {
+        let mut h = HierarchicalCluster::build(2, 4);
+        // Intra: rank 1 → rank 3 (sub-cluster 0).
+        let d1 = pattern(4096, 1);
+        host_write(&mut h, 1, 0x4000_0000, &d1);
+        let (route, _) = h.send(1, 3, 0x4000_0000, 0x5000_0000, 4096);
+        assert_eq!(route, Route::Tca);
+        assert_eq!(host_read(&h, 3, 0x5000_0000, 4096), d1);
+        // Inter: rank 2 → rank 6 (crosses sub-clusters).
+        let d2 = pattern(4096, 2);
+        host_write(&mut h, 2, 0x4100_0000, &d2);
+        let (route, _) = h.send(2, 6, 0x4100_0000, 0x5100_0000, 4096);
+        assert_eq!(route, Route::InfiniBand);
+        assert_eq!(host_read(&h, 6, 0x5100_0000, 4096), d2);
+    }
+
+    #[test]
+    fn tca_tier_is_lower_latency_for_short_messages() {
+        let mut h = HierarchicalCluster::build(2, 4);
+        host_write(&mut h, 0, 0x4000_0000, &[1u8; 64]);
+        let (_, intra) = h.send(0, 1, 0x4000_0000, 0x5000_0000, 64);
+        let (_, inter) = h.send(0, 4, 0x4000_0000, 0x5200_0000, 64);
+        assert!(
+            intra < inter,
+            "TCA short-message latency ({intra}) must beat IB+MPI ({inter})"
+        );
+    }
+
+    #[test]
+    fn all_pairs_deliver_in_a_16_node_system() {
+        // The fall-2013 production shape: 16 nodes as two 8-node rings.
+        let mut h = HierarchicalCluster::build(2, 8);
+        for src in (0..16).step_by(5) {
+            for dst in (1..16).step_by(3) {
+                if src == dst {
+                    continue;
+                }
+                let data = pattern(512, (src * 16 + dst) as u8);
+                let addr = 0x4000_0000 + (src * 16 + dst) as u64 * 0x1000;
+                host_write(&mut h, src, addr, &data);
+                h.send(src, dst, addr, addr + 0x800, 512);
+                assert_eq!(host_read(&h, dst, addr + 0x800, 512), data, "{src}->{dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn subcluster_windows_do_not_interfere() {
+        // Both sub-clusters use the same global TCA window addresses; the
+        // windows must stay node-local: a put in sub-cluster 0 must never
+        // leak into sub-cluster 1's identically-numbered node.
+        let mut h = HierarchicalCluster::build(2, 4);
+        let data = pattern(1024, 9);
+        host_write(&mut h, 0, 0x4000_0000, &data);
+        h.send(0, 2, 0x4000_0000, 0x5000_0000, 1024); // sc0 local node 2
+        assert_eq!(host_read(&h, 2, 0x5000_0000, 1024), data);
+        // Global rank 6 is sub-cluster 1's local node 2 — must be untouched.
+        assert_eq!(host_read(&h, 6, 0x5000_0000, 1024), vec![0u8; 1024]);
+    }
+}

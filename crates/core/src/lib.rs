@@ -1,0 +1,53 @@
+//! # tca-core — the Tightly Coupled Accelerators programming interface
+//!
+//! The paper's user-facing contribution: a sub-cluster of 8–16 nodes whose
+//! GPUs share one PCIe address space, programmed CUDA-style (§III-H):
+//!
+//! ```
+//! use tca_core::prelude::*;
+//!
+//! // A 4-node ring with PEACH2 boards, Table II hardware.
+//! let mut cluster = TcaClusterBuilder::new(4).build();
+//!
+//! // CUDA flow: allocate + pin GPU memory on two different nodes.
+//! let a = cluster.alloc_gpu(0, 0, 4096);
+//! let b = cluster.alloc_gpu(2, 1, 4096);
+//!
+//! // Produce data on node 0's GPU, then tcaMemcpyPeer it to node 2's GPU
+//! // — no MPI, no staging copies, one call.
+//! cluster.write(&a.at(0), &[7u8; 4096]);
+//! let elapsed = cluster.memcpy_peer(&b.at(0), &a.at(0), 4096);
+//! assert_eq!(cluster.read(&b.at(0), 4096), vec![7u8; 4096]);
+//! assert!(elapsed.as_us_f64() < 50.0);
+//! ```
+//!
+//! Everything runs inside the deterministic simulation the lower crates
+//! provide; see the workspace `DESIGN.md` for the hardware-substitution
+//! rationale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod api;
+pub mod cluster;
+pub mod collectives;
+pub mod hierarchy;
+pub mod presets;
+
+pub use api::{GpuAlloc, MemRef, MemSpace, TcaEvent};
+pub use cluster::{TcaCluster, TcaClusterBuilder, Topology};
+pub use collectives::Collectives;
+pub use hierarchy::{HierarchicalCluster, Route};
+
+/// Common imports for examples and tests.
+pub mod prelude {
+    pub use crate::api::{GpuAlloc, MemRef, MemSpace, TcaEvent};
+    pub use crate::cluster::{TcaCluster, TcaClusterBuilder, Topology};
+    pub use crate::collectives::Collectives;
+    pub use crate::hierarchy::{HierarchicalCluster, Route};
+    pub use crate::presets;
+    pub use tca_net::{IbParams, Protocol};
+    pub use tca_peach2::{Descriptor, EngineKind};
+    pub use tca_sim::{Dur, SimTime};
+}

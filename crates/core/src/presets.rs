@@ -1,0 +1,209 @@
+//! Machine presets encoding the paper's hardware tables.
+//!
+//! Table I (the HA-PACS base cluster) and Table II (the §IV test
+//! environment) are specification tables; the bench harness prints them and
+//! the presets double as configuration sources for the simulation.
+
+use std::fmt;
+use tca_device::{GpuParams, HostParams, NodeConfig};
+use tca_net::{IbParams, IbSpeed};
+use tca_peach2::Peach2Params;
+
+/// One row of a specification table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecRow {
+    /// Item name.
+    pub item: &'static str,
+    /// Specification text.
+    pub value: &'static str,
+}
+
+/// A named specification table.
+#[derive(Clone, Debug)]
+pub struct SpecTable {
+    /// Table caption.
+    pub title: &'static str,
+    /// Rows in print order.
+    pub rows: Vec<SpecRow>,
+}
+
+impl fmt::Display for SpecTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        let w = self.rows.iter().map(|r| r.item.len()).max().unwrap_or(0);
+        for r in &self.rows {
+            writeln!(f, "  {:<w$}  {}", r.item, r.value, w = w)?;
+        }
+        Ok(())
+    }
+}
+
+/// Table I — specifications of the HA-PACS base cluster.
+pub fn table_i() -> SpecTable {
+    SpecTable {
+        title: "Table I: Specifications of the HA-PACS base cluster",
+        rows: vec![
+            SpecRow {
+                item: "CPU",
+                value: "Intel Xeon-E5 2670 2.6 GHz x 2 sockets (8 cores + 20 MB cache / socket)",
+            },
+            SpecRow {
+                item: "Memory",
+                value: "DDR3 1600 MHz x 4 ch, 128 GBytes",
+            },
+            SpecRow {
+                item: "CPU peak",
+                value: "332.8 GFlops",
+            },
+            SpecRow {
+                item: "GPU",
+                value: "NVIDIA Tesla M2090 1.3 GHz x 4",
+            },
+            SpecRow {
+                item: "GPU memory",
+                value: "GDDR5 6 GBytes / GPU",
+            },
+            SpecRow {
+                item: "GPU peak",
+                value: "2660 GFlops",
+            },
+            SpecRow {
+                item: "InfiniBand",
+                value: "Mellanox Connect-X3 dual-port QDR",
+            },
+            SpecRow {
+                item: "Nodes",
+                value: "268",
+            },
+            SpecRow {
+                item: "Storage",
+                value: "Lustre file system, 504 TBytes",
+            },
+            SpecRow {
+                item: "Interconnect",
+                value: "InfiniBand QDR 288-port switch x 2, fat tree, full bisection",
+            },
+            SpecRow {
+                item: "Total peak",
+                value: "802 TFlops",
+            },
+            SpecRow {
+                item: "Racks",
+                value: "26",
+            },
+            SpecRow {
+                item: "Max power",
+                value: "408 kW",
+            },
+        ],
+    }
+}
+
+/// Table II — the §IV preliminary-evaluation test environment.
+pub fn table_ii() -> SpecTable {
+    SpecTable {
+        title: "Table II: Test environment for preliminary performance evaluation",
+        rows: vec![
+            SpecRow {
+                item: "CPU",
+                value: "Xeon-E5 2670 2.6 GHz x 2",
+            },
+            SpecRow {
+                item: "Memory",
+                value: "DDR3 1600 MHz x 4 ch, 128 GBytes",
+            },
+            SpecRow {
+                item: "Motherboard",
+                value: "(a) SuperMicro X9DRG-QF / (b) Intel S2600IP",
+            },
+            SpecRow {
+                item: "GPU",
+                value: "NVIDIA K20, 2496 cores, 705 MHz",
+            },
+            SpecRow {
+                item: "GPU memory",
+                value: "GDDR5 2600 MHz, 5 GBytes",
+            },
+            SpecRow {
+                item: "PEACH2 board",
+                value: "16 layers (main) + 8 layers (sub)",
+            },
+            SpecRow {
+                item: "FPGA",
+                value: "Altera Stratix IV GX 530/290, 1932 pin",
+            },
+            SpecRow {
+                item: "PEACH2 logic",
+                value: "version 20121112, 250 MHz",
+            },
+            SpecRow {
+                item: "OS",
+                value: "Linux, CentOS 6.3 (kernel 2.6.32-279)",
+            },
+            SpecRow {
+                item: "GPU driver",
+                value: "NVIDIA-Linux-x86_64-304.{51,64}",
+            },
+            SpecRow {
+                item: "Environment",
+                value: "CUDA 5.0",
+            },
+        ],
+    }
+}
+
+/// Node configuration matching the Table II testbed (K20 GPUs, two of
+/// which are TCA-reachable).
+pub fn table_ii_node_config() -> NodeConfig {
+    NodeConfig {
+        gpus: 2,
+        host: HostParams::default(),
+        gpu: GpuParams {
+            mem_size: 5 << 30, // K20: 5 GB
+            ..GpuParams::default()
+        },
+        ..NodeConfig::default()
+    }
+}
+
+/// PEACH2 parameters of the evaluated prototype (logic 20121112).
+pub fn table_ii_peach2_params() -> Peach2Params {
+    Peach2Params::default()
+}
+
+/// Base-cluster InfiniBand: dual-rail QDR (Table I).
+pub fn table_i_ib_params() -> IbParams {
+    IbParams {
+        speed: IbSpeed::Qdr,
+        rails: 2,
+        ..IbParams::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_render_every_row() {
+        let t1 = table_i();
+        let out = t1.to_string();
+        assert!(out.contains("802 TFlops"));
+        assert!(out.contains("M2090"));
+        assert_eq!(t1.rows.len(), 13);
+        let t2 = table_ii();
+        let out2 = t2.to_string();
+        assert!(out2.contains("Stratix IV"));
+        assert!(out2.contains("CUDA 5.0"));
+        assert_eq!(t2.rows.len(), 11);
+    }
+
+    #[test]
+    fn presets_are_consistent_with_the_tables() {
+        let cfg = table_ii_node_config();
+        assert_eq!(cfg.gpu.mem_size, 5 << 30, "K20 memory");
+        assert_eq!(cfg.host.dram_size, 128 << 30);
+        let ib = table_i_ib_params();
+        assert_eq!(ib.rails, 2, "dual-port QDR");
+    }
+}

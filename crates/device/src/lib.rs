@@ -1,0 +1,40 @@
+//! # tca-device — hosts, GPUs, and node assembly
+//!
+//! The commodity half of a TCA node (Fig. 2 of the paper):
+//!
+//! * [`HostBridge`] — a Xeon E5 socket: DRAM sink/source with memory
+//!   latency, PCIe root-complex bridging between downstream devices
+//!   (the GPUDirect P2P path), MSI handling with interrupt-entry cost,
+//!   poll watches, and a [`HostAgent`] hook for driver/runtime software
+//!   models.
+//! * [`Gpu`] — a Kepler GPU seen through GPUDirect Support for RDMA:
+//!   the alloc → token → pin flow, full-rate write sink, and the serial
+//!   BAR read path that caps DMA reads at 830 MB/s (§IV-A2).
+//! * [`map`] — the node-local address map and the 512 GiB TCA window
+//!   partitioning of Fig. 4.
+//! * [`node`] — builders for the single- and dual-socket (QPI) node.
+//!
+//! ```
+//! use tca_device::map::{TcaBlock, TcaMap};
+//!
+//! // Fig. 4: the 512 GiB window split over 8 nodes, 4 blocks each.
+//! let map = TcaMap::new(8);
+//! let g = map.global_addr(3, TcaBlock::Gpu1, 0x1000);
+//! assert_eq!(map.classify(g), Some((3, TcaBlock::Gpu1, 0x1000)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod gpu;
+pub mod host;
+pub mod map;
+pub mod node;
+pub mod params;
+
+pub use gpu::{Gpu, P2pToken};
+pub use host::{HostAgent, HostApi, HostBridge, HostCore, WatchId};
+pub use map::{gpu_bar, tca_window, TcaBlock, TcaMap, TCA_WINDOW_BASE, TCA_WINDOW_SIZE};
+pub use node::{build_dual_socket_node, build_node, DualSocketNode, Node, NodeConfig};
+pub use params::{GpuParams, HostParams, QpiParams};

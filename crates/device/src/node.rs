@@ -1,0 +1,309 @@
+//! Node assembly: wiring sockets, GPUs and (later) PEACH2/HCA boards into
+//! the Fig. 2 block diagram.
+//!
+//! A TCA compute node has two Xeon E5 sockets; GPU0/GPU1 and the PEACH2
+//! board share socket 0's PCIe lanes, GPU2/GPU3 hang off socket 1, and the
+//! sockets are joined by QPI — across which P2P is "still prohibited"
+//! performance-wise (§III-C, §IV-A2). Most experiments use the
+//! single-socket builder; the dual-socket builder exists for the QPI
+//! ablation.
+
+use crate::gpu::Gpu;
+use crate::host::HostBridge;
+use crate::map::{gpu_bar, tca_window};
+use crate::params::{GpuParams, HostParams, QpiParams};
+use tca_pcie::{DeviceId, Fabric, LinkParams, PortIdx};
+use tca_sim::Dur;
+
+/// Configuration of one node.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeConfig {
+    /// GPUs on socket 0 (the TCA-reachable ones; PEACH2 only accesses GPU0
+    /// and GPU1, §III-C).
+    pub gpus: usize,
+    /// Socket parameters.
+    pub host: HostParams,
+    /// GPU parameters (shared template).
+    pub gpu: GpuParams,
+    /// Host↔GPU slot link (Gen2 x16 for the Table II GPUs).
+    pub gpu_link: LinkParams,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            gpus: 2,
+            host: HostParams::default(),
+            gpu: GpuParams::default(),
+            gpu_link: LinkParams::gen2_x16().with_latency(Dur::from_ns(150)),
+        }
+    }
+}
+
+/// Handles to the devices of one built node (single socket).
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// The socket / root complex / DRAM device.
+    pub host: DeviceId,
+    /// GPUs, in BAR order.
+    pub gpus: Vec<DeviceId>,
+    /// Next free host port index — PEACH2 / HCA attach claims ports here.
+    pub next_port: u8,
+}
+
+impl Node {
+    /// Claims the next free downstream port on the host bridge.
+    pub fn claim_port(&mut self) -> PortIdx {
+        let p = PortIdx(self.next_port);
+        self.next_port += 1;
+        p
+    }
+}
+
+/// Builds a single-socket node: host bridge + `cfg.gpus` GPUs, with BAR
+/// windows and completion routes registered.
+pub fn build_node(fabric: &mut Fabric, name: &str, cfg: &NodeConfig) -> Node {
+    let host = fabric.add_device(|id| HostBridge::new(id, format!("{name}.host"), cfg.host));
+    let mut gpus = Vec::with_capacity(cfg.gpus);
+    for i in 0..cfg.gpus {
+        let gpu_name = format!("{name}.gpu{i}");
+        let gpu = fabric.add_device(|id| Gpu::new(id, gpu_name, gpu_bar(i), cfg.gpu));
+        fabric.connect((host, PortIdx(i as u8)), (gpu, PortIdx(0)), cfg.gpu_link);
+        let hb = fabric.device_mut::<HostBridge>(host);
+        hb.core_mut().add_window(gpu_bar(i), PortIdx(i as u8));
+        hb.core_mut().add_id_route(gpu, PortIdx(i as u8));
+        gpus.push(gpu);
+    }
+    Node {
+        host,
+        gpus,
+        next_port: cfg.gpus as u8,
+    }
+}
+
+/// A dual-socket node for the QPI-crossing ablation: socket 0 carries
+/// GPU0/GPU1 (+ later PEACH2), socket 1 carries GPU2/GPU3.
+#[derive(Clone, Debug)]
+pub struct DualSocketNode {
+    /// Socket 0 (the TCA side).
+    pub socket0: Node,
+    /// Socket 1 (across QPI).
+    pub socket1: Node,
+}
+
+/// Builds the dual-socket Fig. 2 node. `gpus_per_socket` GPUs per socket;
+/// global GPU numbering follows BAR order (socket 0: 0..n, socket 1: n..2n).
+pub fn build_dual_socket_node(
+    fabric: &mut Fabric,
+    name: &str,
+    cfg: &NodeConfig,
+    qpi: QpiParams,
+) -> DualSocketNode {
+    let n = cfg.gpus;
+    // Socket 0 owns the low DRAM half, socket 1 the high half.
+    let mut host0_params = cfg.host;
+    host0_params.dram_size = cfg.host.dram_size / 2;
+    let mut host1_params = cfg.host;
+    host1_params.dram_base = cfg.host.dram_base + cfg.host.dram_size / 2;
+    host1_params.dram_size = cfg.host.dram_size / 2;
+
+    let host0 =
+        fabric.add_device(|id| HostBridge::new(id, format!("{name}.socket0"), host0_params));
+    let host1 =
+        fabric.add_device(|id| HostBridge::new(id, format!("{name}.socket1"), host1_params));
+
+    let mut sockets = [
+        Node {
+            host: host0,
+            gpus: vec![],
+            next_port: 0,
+        },
+        Node {
+            host: host1,
+            gpus: vec![],
+            next_port: 0,
+        },
+    ];
+
+    #[allow(clippy::needless_range_loop)] // `s` indexes two parallel uses
+    for s in 0..2 {
+        for local in 0..n {
+            let global = s * n + local;
+            let gpu_name = format!("{name}.gpu{global}");
+            let gpu = fabric.add_device(|id| Gpu::new(id, gpu_name, gpu_bar(global), cfg.gpu));
+            let port = PortIdx(sockets[s].next_port);
+            sockets[s].next_port += 1;
+            fabric.connect((sockets[s].host, port), (gpu, PortIdx(0)), cfg.gpu_link);
+            let hb = fabric.device_mut::<HostBridge>(sockets[s].host);
+            hb.core_mut().add_window(gpu_bar(global), port);
+            hb.core_mut().add_id_route(gpu, port);
+            sockets[s].gpus.push(gpu);
+        }
+    }
+
+    // QPI link between the sockets. P2P traffic crossing it is throttled
+    // to qpi.p2p_rate; we only route P2P (BAR) traffic across it, so host
+    // memory traffic is unaffected.
+    let qpi_port0 = PortIdx(sockets[0].next_port);
+    sockets[0].next_port += 1;
+    let qpi_port1 = PortIdx(sockets[1].next_port);
+    sockets[1].next_port += 1;
+    let qpi_link = LinkParams::gen2_x16()
+        .with_rate(qpi.p2p_rate)
+        .with_latency(qpi.latency);
+    fabric.connect(
+        (sockets[0].host, qpi_port0),
+        (sockets[1].host, qpi_port1),
+        qpi_link,
+    );
+
+    // Cross-socket windows: each socket reaches the other's GPU BARs and
+    // DRAM half through QPI. Socket 1 additionally reaches the TCA window
+    // (PEACH2 sits on socket 0).
+    {
+        let hb0 = fabric.device_mut::<HostBridge>(host0);
+        for g in n..2 * n {
+            hb0.core_mut().add_window(gpu_bar(g), qpi_port0);
+        }
+        hb0.core_mut().add_window(
+            tca_pcie::AddrRange::new(host1_params.dram_base, host1_params.dram_size),
+            qpi_port0,
+        );
+        for &g in &sockets[1].gpus {
+            hb0.core_mut().add_id_route(g, qpi_port0);
+        }
+        hb0.core_mut().add_id_route(host1, qpi_port0);
+    }
+    {
+        let hb1 = fabric.device_mut::<HostBridge>(host1);
+        for g in 0..n {
+            hb1.core_mut().add_window(gpu_bar(g), qpi_port1);
+        }
+        hb1.core_mut().add_window(
+            tca_pcie::AddrRange::new(host0_params.dram_base, host0_params.dram_size),
+            qpi_port1,
+        );
+        hb1.core_mut().add_window(tca_window(), qpi_port1);
+        for &g in &sockets[0].gpus {
+            hb1.core_mut().add_id_route(g, qpi_port1);
+        }
+        hb1.core_mut().add_id_route(host0, qpi_port1);
+    }
+
+    let [socket0, socket1] = sockets;
+    DualSocketNode { socket0, socket1 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_socket_node_wiring() {
+        let mut f = Fabric::new();
+        let node = build_node(&mut f, "n0", &NodeConfig::default());
+        assert_eq!(node.gpus.len(), 2);
+        assert_eq!(node.next_port, 2);
+        // CPU writes into GPU0's pinned memory through the bridge.
+        let pcie = {
+            let g = f.device_mut::<Gpu>(node.gpus[0]);
+            let a = g.alloc(4096);
+            let t = g.p2p_token(a, 4096);
+            g.pin(a, 4096, t)
+        };
+        f.drive::<HostBridge, _>(node.host, |h, ctx| {
+            h.core_mut().cpu_store(pcie, &[5u8; 16], ctx);
+        });
+        f.run_until_idle();
+        assert_eq!(
+            f.device::<Gpu>(node.gpus[0]).gddr_ref().read(0, 16),
+            vec![5u8; 16]
+        );
+    }
+
+    #[test]
+    fn claim_port_advances() {
+        let mut f = Fabric::new();
+        let mut node = build_node(&mut f, "n0", &NodeConfig::default());
+        assert_eq!(node.claim_port(), PortIdx(2));
+        assert_eq!(node.claim_port(), PortIdx(3));
+    }
+
+    #[test]
+    fn dual_socket_cross_qpi_write_is_throttled() {
+        let mut f = Fabric::new();
+        let node =
+            build_dual_socket_node(&mut f, "n0", &NodeConfig::default(), QpiParams::default());
+        // Pin GPU2 (socket 1) memory and write to it from socket 0's CPU.
+        let pcie = {
+            let g = f.device_mut::<Gpu>(node.socket1.gpus[0]);
+            let a = g.alloc(64 * 1024);
+            let t = g.p2p_token(a, 64 * 1024);
+            g.pin(a, 64 * 1024, t)
+        };
+        let start = f.now();
+        f.drive::<HostBridge, _>(node.socket0.host, |h, ctx| {
+            for i in 0..256u64 {
+                h.core_mut().cpu_store(pcie + i * 256, &[1u8; 256], ctx);
+            }
+        });
+        let end = f.run_until_idle();
+        let g = f.device::<Gpu>(node.socket1.gpus[0]);
+        assert_eq!(g.gddr_ref().read(0, 4), vec![1u8; 4]);
+        let bw = (256.0 * 256.0) / end.since(start).as_s_f64();
+        // Must be QPI-P2P limited: several hundred MB/s, nowhere near 3+ GB/s.
+        assert!(bw < 400_000_000.0, "bw={bw}");
+    }
+
+    #[test]
+    fn dual_socket_same_socket_write_is_fast() {
+        let mut f = Fabric::new();
+        let node =
+            build_dual_socket_node(&mut f, "n0", &NodeConfig::default(), QpiParams::default());
+        let pcie = {
+            let g = f.device_mut::<Gpu>(node.socket0.gpus[0]);
+            let a = g.alloc(64 * 1024);
+            let t = g.p2p_token(a, 64 * 1024);
+            g.pin(a, 64 * 1024, t)
+        };
+        let start = f.now();
+        f.drive::<HostBridge, _>(node.socket0.host, |h, ctx| {
+            for i in 0..256u64 {
+                h.core_mut().cpu_store(pcie + i * 256, &[1u8; 256], ctx);
+            }
+        });
+        let end = f.run_until_idle();
+        let bw = (256.0 * 256.0) / end.since(start).as_s_f64();
+        assert!(bw > 3_000_000_000.0, "bw={bw}");
+    }
+
+    #[test]
+    fn cross_socket_dram_write_reaches_peer_memory() {
+        let mut f = Fabric::new();
+        let node =
+            build_dual_socket_node(&mut f, "n0", &NodeConfig::default(), QpiParams::default());
+        // A device on socket1 writes into socket0's DRAM range.
+        let s1_gpu_port = PortIdx(0);
+        let _ = s1_gpu_port;
+        f.drive::<HostBridge, _>(node.socket1.host, |h, ctx| {
+            h.core_mut().cpu_store(0x100, b"qpi", ctx);
+        });
+        f.run_until_idle();
+        // socket1's own DRAM starts at 64 GiB; 0x100 belongs to socket0.
+        assert_eq!(
+            f.device::<HostBridge>(node.socket0.host)
+                .core()
+                .mem_ref()
+                .read(0x100, 3),
+            b"qpi"
+        );
+        // And it was a TLP over QPI, not a local store.
+        assert_eq!(
+            f.device::<HostBridge>(node.socket1.host)
+                .core()
+                .mem_ref()
+                .read(0x100, 3),
+            vec![0, 0, 0]
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! Host-bridge edge cases beyond the unit tests: overlapping watches,
+//! interrupt bursts, write-combining boundaries, and window validation.
+
+use tca_device::node::{build_node, NodeConfig};
+use tca_device::HostBridge;
+use tca_pcie::{AddrRange, Ctx, Device, DeviceId, Fabric, LinkParams, PortIdx, Tlp, TlpKind};
+use tca_sim::Dur;
+
+struct Probe {
+    #[allow(dead_code)]
+    id: DeviceId,
+}
+impl Device for Probe {
+    fn on_tlp(&mut self, _p: PortIdx, _t: Tlp, _c: &mut Ctx<'_>) {}
+    fn on_timer(&mut self, _t: u64, _c: &mut Ctx<'_>) {}
+}
+
+fn rig() -> (Fabric, tca_device::node::Node, DeviceId) {
+    let mut f = Fabric::new();
+    let mut node = build_node(&mut f, "n0", &NodeConfig::default());
+    let probe = f.add_device(|id| Probe { id });
+    let port = node.claim_port();
+    f.connect(
+        (node.host, port),
+        (probe, PortIdx(0)),
+        LinkParams::gen2_x8(),
+    );
+    (f, node, probe)
+}
+
+#[test]
+fn overlapping_watches_each_fire() {
+    let (mut f, node, probe) = rig();
+    let (w1, w2, w3) = {
+        let hb = f.device_mut::<HostBridge>(node.host);
+        let c = hb.core_mut();
+        (
+            c.add_watch(AddrRange::new(0x1000, 0x100)),
+            c.add_watch(AddrRange::new(0x1080, 0x100)), // overlaps w1
+            c.add_watch(AddrRange::new(0x9000, 4)),     // unrelated
+        )
+    };
+    f.drive::<Probe, _>(probe, |_, ctx| {
+        // One write covering the overlap region of w1 and w2.
+        ctx.send(PortIdx(0), Tlp::write(0x1090, vec![1u8; 8]));
+    });
+    f.run_until_idle();
+    let core = f.device::<HostBridge>(node.host).core();
+    assert_eq!(core.watch_hits(w1).len(), 1);
+    assert_eq!(core.watch_hits(w2).len(), 1);
+    assert_eq!(core.watch_hits(w3).len(), 0);
+}
+
+#[test]
+fn interrupt_burst_all_recorded_in_order() {
+    let (mut f, node, probe) = rig();
+    f.drive::<Probe, _>(probe, |_, ctx| {
+        for v in 0..8u32 {
+            ctx.send(PortIdx(0), Tlp::msi(v));
+        }
+    });
+    f.run_until_idle();
+    let core = f.device::<HostBridge>(node.host).core();
+    let vectors: Vec<u32> = core.interrupts().iter().map(|i| i.2).collect();
+    assert_eq!(vectors, (0..8).collect::<Vec<_>>());
+    for (arrived, entered, _) in core.interrupts() {
+        assert_eq!(entered.since(*arrived), Dur::from_ns(900));
+    }
+}
+
+#[test]
+fn wc_copy_handles_unaligned_tails() {
+    let (mut f, node, _probe) = rig();
+    // 200 bytes to the GPU0 window: 3×64 + 8-byte tail.
+    let gpu_bar = tca_device::map::gpu_bar(0);
+    // Pin so the writes land.
+    let a = {
+        let g = f.device_mut::<tca_device::Gpu>(node.gpus[0]);
+        let a = g.alloc(4096);
+        let t = g.p2p_token(a, 4096);
+        g.pin(a, 4096, t);
+        a
+    };
+    let payload: Vec<u8> = (0..200u32).map(|i| i as u8).collect();
+    f.drive::<HostBridge, _>(node.host, |h, ctx| {
+        h.core_mut().cpu_store_wc(gpu_bar.base() + a, &payload, ctx);
+    });
+    f.run_until_idle();
+    let g = f.device::<tca_device::Gpu>(node.gpus[0]);
+    assert_eq!(g.gddr_ref().read(a, 200), payload);
+}
+
+#[test]
+#[should_panic(expected = "overlaps")]
+fn overlapping_windows_rejected() {
+    let (mut f, node, _probe) = rig();
+    let hb = f.device_mut::<HostBridge>(node.host);
+    hb.core_mut()
+        .add_window(AddrRange::new(0x20_0000_0000, 0x1000), PortIdx(7));
+}
+
+#[test]
+#[should_panic(expected = "unmapped")]
+fn store_to_hole_in_the_map_panics() {
+    let (mut f, node, _probe) = rig();
+    f.drive::<HostBridge, _>(node.host, |h, ctx| {
+        // Beyond the GPU BARs (and with no PEACH2 window) lies unmapped space.
+        h.core_mut().cpu_store(0x30_0000_0000, &[1], ctx);
+    });
+}
+
+#[test]
+fn dram_byte_counters_track_device_writes() {
+    let (mut f, node, probe) = rig();
+    f.drive::<Probe, _>(probe, |_, ctx| {
+        ctx.send(PortIdx(0), Tlp::write(0x2000, vec![1u8; 100]));
+        ctx.send(PortIdx(0), Tlp::write(0x3000, vec![2u8; 156]));
+    });
+    f.run_until_idle();
+    let core = f.device::<HostBridge>(node.host).core();
+    assert_eq!(core.dram_writes.get(), 2);
+    assert_eq!(core.dram_bytes_in.get(), 256);
+}
+
+#[test]
+fn completion_chunking_honours_configured_size() {
+    // Host with a 128-byte completion chunk answers a 512-byte read in 4.
+    let mut f = Fabric::new();
+    let mut cfg = NodeConfig::default();
+    cfg.host.completion_chunk = 128;
+    let mut node = build_node(&mut f, "n0", &cfg);
+    struct Collector {
+        id: DeviceId,
+        completions: u32,
+        last_seen: bool,
+    }
+    impl Device for Collector {
+        fn on_tlp(&mut self, _p: PortIdx, tlp: Tlp, _c: &mut Ctx<'_>) {
+            if let TlpKind::Completion { last, .. } = tlp.kind {
+                self.completions += 1;
+                self.last_seen = last;
+            }
+        }
+        fn on_timer(&mut self, _t: u64, _c: &mut Ctx<'_>) {}
+    }
+    let coll = f.add_device(|id| Collector {
+        id,
+        completions: 0,
+        last_seen: false,
+    });
+    let port = node.claim_port();
+    f.connect((node.host, port), (coll, PortIdx(0)), LinkParams::gen2_x8());
+    f.device_mut::<HostBridge>(node.host)
+        .core_mut()
+        .add_id_route(coll, port);
+    f.drive::<Collector, _>(coll, |d, ctx| {
+        ctx.send(PortIdx(0), Tlp::read(0x4000, 512, tca_pcie::Tag(0), d.id));
+    });
+    f.run_until_idle();
+    let c = f.device::<Collector>(coll);
+    assert_eq!(c.completions, 4);
+    assert!(c.last_seen);
+}

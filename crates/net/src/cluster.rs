@@ -1,0 +1,226 @@
+//! Wiring HCAs and switches onto a set of nodes.
+//!
+//! Every HA-PACS node carries an InfiniBand interface in addition to (on
+//! HA-PACS/TCA) the PEACH2 board — the hierarchy of §II-B: "TCA
+//! interconnect for local communication with low latency and InfiniBand
+//! for global communication with high bandwidth". The attach function
+//! works on any [`Node`], so a sub-cluster can have both networks at once.
+
+use crate::hca::{IbHca, IbSwitch};
+use crate::params::IbParams;
+use tca_device::node::Node;
+use tca_device::HostBridge;
+use tca_pcie::{DeviceId, Fabric, PortIdx};
+
+/// Handles to an InfiniBand network over a set of nodes.
+pub struct IbNetwork {
+    /// Per-node HCA devices (index == node id).
+    pub hcas: Vec<DeviceId>,
+    /// One switch per rail.
+    pub switches: Vec<DeviceId>,
+    /// Parameters the network was built with.
+    pub params: IbParams,
+}
+
+/// Attaches one HCA per node and cables every rail to its own switch.
+pub fn attach_ib(fabric: &mut Fabric, nodes: &mut [Node], params: IbParams) -> IbNetwork {
+    assert!(!nodes.is_empty());
+    let switches: Vec<DeviceId> = (0..params.rails)
+        .map(|r| {
+            let name = format!("ibsw{r}");
+            fabric.add_device(|id| IbSwitch::new(id, name, params.switch_latency))
+        })
+        .collect();
+    let mut hcas = Vec::with_capacity(nodes.len());
+    for (i, node) in nodes.iter_mut().enumerate() {
+        let name = format!("hca.n{i}");
+        let hca = fabric.add_device(|id| IbHca::new(id, name, i as u32, params));
+        let host_port = node.claim_port();
+        fabric.connect((node.host, host_port), (hca, PortIdx(0)), params.pcie_link);
+        {
+            let hb = fabric.device_mut::<HostBridge>(node.host);
+            hb.core_mut().add_id_route(hca, host_port);
+        }
+        for (r, &sw) in switches.iter().enumerate() {
+            fabric.connect(
+                (hca, PortIdx(1 + r as u8)),
+                (sw, PortIdx(i as u8)),
+                params.rail_link(),
+            );
+        }
+        hcas.push(hca);
+    }
+    IbNetwork {
+        hcas,
+        switches,
+        params,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hca::SendOp;
+    use tca_device::node::{build_node, NodeConfig};
+
+    #[test]
+    fn rdma_write_lands_in_remote_dram() {
+        let mut f = Fabric::new();
+        let mut nodes: Vec<Node> = (0..3)
+            .map(|i| build_node(&mut f, &format!("n{i}"), &NodeConfig::default()))
+            .collect();
+        let net = attach_ib(&mut f, &mut nodes, IbParams::default());
+        // Node 0 sends 64 KiB to node 2's DRAM.
+        f.device_mut::<HostBridge>(nodes[0].host)
+            .core_mut()
+            .mem()
+            .fill_pattern(0x10_0000, 64 * 1024, 0xab);
+        f.drive::<IbHca, _>(net.hcas[0], |h, ctx| {
+            h.post(
+                SendOp {
+                    src: 0x10_0000,
+                    dst_node: 2,
+                    dst: 0x20_0000,
+                    len: 64 * 1024,
+                    flags_addr: 0x30_0000,
+                    flag_value: 7,
+                },
+                ctx,
+            );
+        });
+        f.run_until_idle();
+        let host2 = f.device::<HostBridge>(nodes[2].host).core();
+        let data = host2.mem_ref().read(0x20_0000, 64 * 1024);
+        let mut chk = tca_pcie::PageMemory::new();
+        chk.write(0x10_0000, &data);
+        assert!(chk.verify_pattern(0x10_0000, 64 * 1024, 0xab).is_ok());
+        // Both rail flags written.
+        assert_eq!(host2.mem_ref().read_u32(0x30_0000), 7);
+        assert_eq!(host2.mem_ref().read_u32(0x30_0004), 7);
+        // Frames went through both rails' switches.
+        assert!(f.device::<IbSwitch>(net.switches[0]).switched.get() > 0);
+        assert!(f.device::<IbSwitch>(net.switches[1]).switched.get() > 0);
+        assert!(f.device::<IbHca>(net.hcas[0]).idle());
+    }
+
+    #[test]
+    fn dual_rail_bandwidth_exceeds_single_rail() {
+        let run = |rails: u8| {
+            let mut f = Fabric::new();
+            let mut nodes: Vec<Node> = (0..2)
+                .map(|i| build_node(&mut f, &format!("n{i}"), &NodeConfig::default()))
+                .collect();
+            let params = IbParams {
+                rails,
+                ..IbParams::default()
+            };
+            let net = attach_ib(&mut f, &mut nodes, params);
+            let len = 1u64 << 20;
+            f.device_mut::<HostBridge>(nodes[0].host)
+                .core_mut()
+                .mem()
+                .fill_pattern(0x10_0000, len, 1);
+            let t0 = f.now();
+            f.drive::<IbHca, _>(net.hcas[0], |h, ctx| {
+                h.post(
+                    SendOp {
+                        src: 0x10_0000,
+                        dst_node: 1,
+                        dst: 0x20_0000,
+                        len,
+                        flags_addr: 0x30_0000,
+                        flag_value: 1,
+                    },
+                    ctx,
+                );
+            });
+            let end = f.run_until_idle();
+            len as f64 / end.since(t0).as_s_f64()
+        };
+        let one = run(1);
+        let two = run(2);
+        assert!(two > 1.6 * one, "one={one:.3e} two={two:.3e}");
+        // Dual-rail QDR approaches its 6.4 GB/s aggregate.
+        assert!(two > 5.0e9, "two={two:.3e}");
+    }
+
+    #[test]
+    fn chained_ops_execute_in_order() {
+        let mut f = Fabric::new();
+        let mut nodes: Vec<Node> = (0..2)
+            .map(|i| build_node(&mut f, &format!("n{i}"), &NodeConfig::default()))
+            .collect();
+        let net = attach_ib(&mut f, &mut nodes, IbParams::default());
+        f.device_mut::<HostBridge>(nodes[0].host)
+            .core_mut()
+            .mem()
+            .write(0x1000, b"first");
+        f.device_mut::<HostBridge>(nodes[0].host)
+            .core_mut()
+            .mem()
+            .write(0x2000, b"second");
+        f.drive::<IbHca, _>(net.hcas[0], |h, ctx| {
+            for (src, dst, v) in [(0x1000u64, 0x9000u64, 1u32), (0x2000, 0xa000, 2)] {
+                h.post(
+                    SendOp {
+                        src,
+                        dst_node: 1,
+                        dst,
+                        len: 6,
+                        flags_addr: 0xb000 + v as u64 * 16,
+                        flag_value: v,
+                    },
+                    ctx,
+                );
+            }
+        });
+        f.run_until_idle();
+        let host1 = f.device::<HostBridge>(nodes[1].host).core();
+        assert_eq!(&host1.mem_ref().read(0x9000, 5), b"first");
+        assert_eq!(&host1.mem_ref().read(0xa000, 6), b"second");
+        assert_eq!(host1.mem_ref().read_u32(0xb010), 1);
+        assert_eq!(host1.mem_ref().read_u32(0xb020), 2);
+    }
+
+    #[test]
+    fn gpudirect_rdma_read_source_is_throttled() {
+        use tca_device::Gpu;
+        // HCA reading from a pinned GPU BAR source hits the same 830 MB/s
+        // translation path PEACH2 does — the era-accurate GPUDirect-RDMA
+        // send-side limitation.
+        let mut f = Fabric::new();
+        let mut nodes: Vec<Node> = (0..2)
+            .map(|i| build_node(&mut f, &format!("n{i}"), &NodeConfig::default()))
+            .collect();
+        let net = attach_ib(&mut f, &mut nodes, IbParams::default());
+        let len = 256u64 * 1024;
+        let src = {
+            let g = f.device_mut::<Gpu>(nodes[0].gpus[0]);
+            let a = g.alloc(len);
+            g.gddr().fill_pattern(a, len, 0x5a);
+            let t = g.p2p_token(a, len);
+            g.pin(a, len, t)
+        };
+        let t0 = f.now();
+        f.drive::<IbHca, _>(net.hcas[0], |h, ctx| {
+            h.post(
+                SendOp {
+                    src,
+                    dst_node: 1,
+                    dst: 0x40_0000,
+                    len,
+                    flags_addr: 0x50_0000,
+                    flag_value: 9,
+                },
+                ctx,
+            );
+        });
+        let end = f.run_until_idle();
+        let bw = len as f64 / end.since(t0).as_s_f64();
+        assert!(bw < 850e6, "bw={bw:.3e}");
+        let host1 = f.device::<HostBridge>(nodes[1].host).core();
+        let mut chk = tca_pcie::PageMemory::new();
+        chk.write(0, &host1.mem_ref().read(0x40_0000, len as usize));
+        assert!(chk.verify_pattern(0, len, 0x5a).is_ok());
+    }
+}

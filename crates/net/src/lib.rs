@@ -1,0 +1,37 @@
+//! # tca-net — the baseline interconnect
+//!
+//! What TCA is compared against: InfiniBand (QDR dual-rail on the base
+//! cluster, FDR as the §IV-B1 latency reference) plus an MPI-like runtime
+//! with the conventional three-step GPU staging path and a
+//! GPUDirect-RDMA-over-IB variant.
+//!
+//! * [`IbHca`] / [`IbSwitch`] — the network devices; frames move as real
+//!   payload-carrying packets over rate-overridden links.
+//! * [`attach_ib`] — puts an HCA in every node and cables rails to
+//!   switches (works alongside a PEACH2 board: the §II-B hierarchical
+//!   network).
+//! * [`MpiWorld`] — eager/rendezvous protocols, `cudaMemcpy` staging,
+//!   GPUDirect; all software costs advance the simulated clock.
+//!
+//! ```
+//! use tca_net::{ib_addr, ib_decode, IbParams};
+//!
+//! // Dual-rail QDR (Table I) carries 6.4 GB/s of payload.
+//! assert_eq!(IbParams::default().aggregate_rate(), 6_400_000_000);
+//! // Frames carry node-tagged addresses through the switches.
+//! assert_eq!(ib_decode(ib_addr(5, 0x1234)), (5, 0x1234));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cluster;
+pub mod hca;
+pub mod mpi;
+pub mod params;
+
+pub use cluster::{attach_ib, IbNetwork};
+pub use hca::{ib_addr, ib_decode, IbHca, IbSwitch, SendOp};
+pub use mpi::{MpiWorld, Protocol};
+pub use params::{CudaCopyParams, IbParams, IbSpeed, MpiParams};

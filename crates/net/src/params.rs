@@ -1,0 +1,166 @@
+//! Baseline-interconnect parameters: InfiniBand HCA/switch timing and the
+//! software costs of the MPI-like runtime and the CUDA copy path.
+
+use tca_pcie::LinkParams;
+use tca_sim::Dur;
+
+/// InfiniBand generation of the HCA (Table I uses dual-rail QDR on the
+/// base cluster; §IV-B1 quotes FDR < 1 µs as the comparison point).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IbSpeed {
+    /// QDR 4x: 32 Gb/s signalling, 8b/10b → 3.2 GB/s payload per rail
+    /// (commonly quoted as 4 GB/s raw).
+    Qdr,
+    /// FDR 4x: 54.5 Gb/s signalling, 64b/66b → ≈ 6.6 GB/s per rail.
+    Fdr,
+}
+
+impl IbSpeed {
+    /// Payload byte rate of one rail.
+    pub fn rail_rate(self) -> u64 {
+        match self {
+            IbSpeed::Qdr => 3_200_000_000,
+            IbSpeed::Fdr => 6_600_000_000,
+        }
+    }
+}
+
+/// Parameters of one HCA + the fabric it connects to.
+#[derive(Clone, Copy, Debug)]
+pub struct IbParams {
+    /// Link speed per rail.
+    pub speed: IbSpeed,
+    /// Number of rails (Connect-X3 dual-port QDR → 2, Table I).
+    pub rails: u8,
+    /// IB MTU: frame payload granularity on the wire.
+    pub mtu: u32,
+    /// Doorbell decoded → first source read issued (WQE fetch + setup).
+    pub hca_setup: Dur,
+    /// Cable + SerDes latency per wire traversal.
+    pub wire_latency: Dur,
+    /// Switch traversal latency.
+    pub switch_latency: Dur,
+    /// Frame received → first TLP pushed toward host memory.
+    pub rx_forward: Dur,
+    /// PCIe slot of the HCA (Gen3 x8 on the base cluster, §II-A).
+    pub pcie_link: LinkParams,
+    /// Outstanding read tags of the HCA's gather engine.
+    pub tags: u16,
+}
+
+impl Default for IbParams {
+    fn default() -> Self {
+        IbParams {
+            speed: IbSpeed::Qdr,
+            rails: 2,
+            mtu: 2048,
+            hca_setup: Dur::from_ns(150),
+            wire_latency: Dur::from_ns(100),
+            switch_latency: Dur::from_ns(100),
+            rx_forward: Dur::from_ns(100),
+            pcie_link: LinkParams::gen3_x8().with_latency(Dur::from_ns(150)),
+            tags: 16,
+        }
+    }
+}
+
+impl IbParams {
+    /// FDR preset (the §IV-B1 "< 1 µs" comparison point).
+    pub fn fdr() -> Self {
+        IbParams {
+            speed: IbSpeed::Fdr,
+            hca_setup: Dur::from_ns(100),
+            wire_latency: Dur::from_ns(70),
+            switch_latency: Dur::from_ns(80),
+            rx_forward: Dur::from_ns(80),
+            ..IbParams::default()
+        }
+    }
+
+    /// Link parameters of one rail (wire model reuses the PCIe link
+    /// machinery with an overridden byte rate).
+    pub fn rail_link(&self) -> LinkParams {
+        LinkParams::gen2_x8()
+            .with_rate(self.speed.rail_rate())
+            .with_latency(self.wire_latency)
+            .with_max_payload(self.mtu)
+    }
+
+    /// Aggregate network bandwidth across rails.
+    pub fn aggregate_rate(&self) -> u64 {
+        self.speed.rail_rate() * self.rails as u64
+    }
+}
+
+/// Software costs of the MPI-like runtime.
+#[derive(Clone, Copy, Debug)]
+pub struct MpiParams {
+    /// Messages up to this size use the eager protocol (copied through
+    /// pre-registered bounce buffers); larger ones use rendezvous.
+    pub eager_threshold: u64,
+    /// Per-call software overhead (stack entry, header build).
+    pub sw_overhead: Dur,
+    /// Receive-side matching overhead.
+    pub match_overhead: Dur,
+    /// Host memcpy rate for bounce-buffer copies.
+    pub memcpy_rate: u64,
+}
+
+impl Default for MpiParams {
+    fn default() -> Self {
+        MpiParams {
+            eager_threshold: 8192,
+            sw_overhead: Dur::from_ns(300),
+            match_overhead: Dur::from_ns(200),
+            memcpy_rate: 5_000_000_000,
+        }
+    }
+}
+
+/// Costs of the `cudaMemcpy` staging path (the per-step copies of the
+/// conventional GPU cluster, §III-A).
+#[derive(Clone, Copy, Debug)]
+pub struct CudaCopyParams {
+    /// Fixed launch/driver overhead per copy call.
+    pub launch: Dur,
+    /// Device-to-host copy rate (pinned staging).
+    pub d2h_rate: u64,
+    /// Host-to-device copy rate.
+    pub h2d_rate: u64,
+}
+
+impl Default for CudaCopyParams {
+    fn default() -> Self {
+        CudaCopyParams {
+            launch: Dur::from_us(7),
+            d2h_rate: 6_000_000_000,
+            h2d_rate: 6_200_000_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qdr_dual_rail_is_table_i_bandwidth() {
+        let p = IbParams::default();
+        // Table I: dual-rail QDR ≈ 8 GB/s raw (we carry 6.4 GB/s payload).
+        assert_eq!(p.aggregate_rate(), 6_400_000_000);
+        assert_eq!(p.rails, 2);
+    }
+
+    #[test]
+    fn rail_link_uses_override_rate() {
+        let p = IbParams::default();
+        assert_eq!(p.rail_link().raw_bytes_per_sec(), 3_200_000_000);
+        assert_eq!(p.rail_link().max_payload, 2048);
+    }
+
+    #[test]
+    fn fdr_is_faster_than_qdr() {
+        assert!(IbSpeed::Fdr.rail_rate() > IbSpeed::Qdr.rail_rate());
+        assert!(IbParams::fdr().wire_latency < IbParams::default().wire_latency);
+    }
+}

@@ -1,0 +1,177 @@
+//! Baseline-stack edge cases: MTU segmentation, protocol crossover, FDR vs
+//! QDR scaling, and misuse panics.
+
+use tca_device::node::{build_node, Node, NodeConfig};
+use tca_device::HostBridge;
+use tca_net::{attach_ib, IbHca, IbParams, IbSwitch, MpiWorld, Protocol, SendOp};
+use tca_pcie::Fabric;
+use tca_sim::Dur;
+
+fn world(n: usize, params: IbParams) -> (Fabric, MpiWorld) {
+    let mut f = Fabric::new();
+    let mut nodes: Vec<Node> = (0..n)
+        .map(|i| build_node(&mut f, &format!("n{i}"), &NodeConfig::default()))
+        .collect();
+    let net = attach_ib(&mut f, &mut nodes, params);
+    (f, MpiWorld::new(nodes, net))
+}
+
+#[test]
+fn frames_respect_the_mtu() {
+    let (mut f, w) = world(2, IbParams::default());
+    f.device_mut::<HostBridge>(w.nodes[0].host)
+        .core_mut()
+        .mem()
+        .fill_pattern(0x4000_0000, 10_000, 1);
+    f.drive::<IbHca, _>(w.net.hcas[0], |h, ctx| {
+        h.post(
+            SendOp {
+                src: 0x4000_0000,
+                dst_node: 1,
+                dst: 0x5000_0000,
+                len: 10_000,
+                flags_addr: 0x5100_0000,
+                flag_value: 1,
+            },
+            ctx,
+        );
+    });
+    f.run_until_idle();
+    // 10 000 B at a 2048 B MTU = 5 frames.
+    let tx = f.device::<IbHca>(w.net.hcas[0]).frames_tx.get();
+    assert_eq!(tx, 5);
+    let rx: u64 = w
+        .net
+        .hcas
+        .iter()
+        .map(|&h| f.device::<IbHca>(h).frames_rx.get())
+        .sum();
+    // Data frames + the 2 per-rail flag frames all arrive at node 1.
+    assert_eq!(rx, 7);
+}
+
+#[test]
+fn protocol_crossover_behaves_like_a_real_mpi() {
+    // Around the eager threshold the two protocols should trade places.
+    let (mut f, mut w) = world(2, IbParams::default());
+    f.device_mut::<HostBridge>(w.nodes[0].host)
+        .core_mut()
+        .mem()
+        .fill_pattern(0x4000_0000, 1 << 20, 2);
+    let small = 512u64;
+    let eager_s = w.send(
+        &mut f,
+        0,
+        1,
+        0x4000_0000,
+        0x5000_0000,
+        small,
+        Protocol::Eager,
+    );
+    let rndv_s = w.send(
+        &mut f,
+        0,
+        1,
+        0x4000_0000,
+        0x5200_0000,
+        small,
+        Protocol::Rendezvous,
+    );
+    assert!(eager_s < rndv_s, "small: eager {eager_s} < rndv {rndv_s}");
+    let big = 1u64 << 20;
+    let eager_b = w.send(&mut f, 0, 1, 0x4000_0000, 0x5400_0000, big, Protocol::Eager);
+    let rndv_b = w.send(
+        &mut f,
+        0,
+        1,
+        0x4000_0000,
+        0x5600_0000,
+        big,
+        Protocol::Rendezvous,
+    );
+    assert!(rndv_b < eager_b, "big: rndv {rndv_b} < eager {eager_b}");
+}
+
+#[test]
+fn fdr_beats_qdr_on_latency_and_bandwidth() {
+    let run = |p: IbParams| {
+        let (mut f, mut w) = world(2, p);
+        f.device_mut::<HostBridge>(w.nodes[0].host)
+            .core_mut()
+            .mem()
+            .fill_pattern(0x4000_0000, 1 << 20, 3);
+        let lat = w.send(&mut f, 0, 1, 0x4000_0000, 0x5000_0000, 8, Protocol::Eager);
+        let bw = w.send(
+            &mut f,
+            0,
+            1,
+            0x4000_0000,
+            0x5200_0000,
+            1 << 20,
+            Protocol::Rendezvous,
+        );
+        (lat, bw)
+    };
+    let (qdr_lat, qdr_bw) = run(IbParams::default());
+    let (fdr_lat, fdr_bw) = run(IbParams::fdr());
+    assert!(fdr_lat < qdr_lat, "fdr {fdr_lat} vs qdr {qdr_lat}");
+    assert!(fdr_bw < qdr_bw, "1 MiB moves faster on FDR");
+}
+
+#[test]
+fn switches_count_every_frame() {
+    let (mut f, w) = world(3, IbParams::default());
+    f.device_mut::<HostBridge>(w.nodes[2].host)
+        .core_mut()
+        .mem()
+        .fill_pattern(0x4000_0000, 4096, 4);
+    f.drive::<IbHca, _>(w.net.hcas[2], |h, ctx| {
+        h.post(
+            SendOp {
+                src: 0x4000_0000,
+                dst_node: 0,
+                dst: 0x5000_0000,
+                len: 4096,
+                flags_addr: 0x5100_0000,
+                flag_value: 9,
+            },
+            ctx,
+        );
+    });
+    f.run_until_idle();
+    let switched: u64 = w
+        .net
+        .switches
+        .iter()
+        .map(|&s| f.device::<IbSwitch>(s).switched.get())
+        .sum();
+    // 2 data frames + 2 flag frames (one per rail).
+    assert_eq!(switched, 4);
+}
+
+#[test]
+fn mpi_advance_burns_exact_time() {
+    let (mut f, w) = world(2, IbParams::default());
+    let t0 = f.now();
+    w.advance(&mut f, 0, Dur::from_us(5));
+    assert_eq!(f.now().since(t0), Dur::from_us(5));
+}
+
+#[test]
+#[should_panic(expected = "empty SendOp")]
+fn zero_length_send_rejected() {
+    let (mut f, w) = world(2, IbParams::default());
+    f.drive::<IbHca, _>(w.net.hcas[0], |h, ctx| {
+        h.post(
+            SendOp {
+                src: 0,
+                dst_node: 1,
+                dst: 0,
+                len: 0,
+                flags_addr: 0,
+                flag_value: 0,
+            },
+            ctx,
+        );
+    });
+}

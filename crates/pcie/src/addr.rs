@@ -1,0 +1,209 @@
+//! PCIe address-space helpers.
+//!
+//! The whole TCA sub-cluster shares one 64-bit PCIe address space (§III-E of
+//! the paper). Everything here is plain arithmetic over `u64` addresses with
+//! a thin [`AddrRange`] abstraction used by BARs, routing windows, and the
+//! sub-cluster address map.
+
+use std::fmt;
+
+/// A half-open address range `[base, base + len)` in the PCIe space.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AddrRange {
+    base: u64,
+    len: u64,
+}
+
+impl AddrRange {
+    /// Builds a range; `len` may be zero (an empty range contains nothing).
+    ///
+    /// # Panics
+    /// Panics if the range wraps past the end of the address space.
+    #[track_caller]
+    pub const fn new(base: u64, len: u64) -> Self {
+        assert!(base.checked_add(len).is_some(), "AddrRange wraps");
+        AddrRange { base, len }
+    }
+
+    /// Range covering `[base, end)`.
+    #[track_caller]
+    pub const fn span(base: u64, end: u64) -> Self {
+        assert!(end >= base, "AddrRange end before base");
+        AddrRange {
+            base,
+            len: end - base,
+        }
+    }
+
+    /// Base (inclusive).
+    #[inline]
+    pub const fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Length in bytes.
+    #[inline]
+    pub const fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when the range is empty.
+    #[inline]
+    pub const fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// End (exclusive).
+    #[inline]
+    pub const fn end(&self) -> u64 {
+        self.base + self.len
+    }
+
+    /// Whether `addr` falls inside the range.
+    #[inline]
+    pub const fn contains(&self, addr: u64) -> bool {
+        addr >= self.base && addr < self.end()
+    }
+
+    /// Whether the whole access `[addr, addr+len)` falls inside the range.
+    #[inline]
+    pub fn contains_access(&self, addr: u64, len: u64) -> bool {
+        match addr.checked_add(len) {
+            Some(end) => addr >= self.base && end <= self.end(),
+            None => false,
+        }
+    }
+
+    /// Offset of `addr` from the base.
+    ///
+    /// # Panics
+    /// Panics if `addr` is outside the range.
+    #[inline]
+    #[track_caller]
+    pub fn offset_of(&self, addr: u64) -> u64 {
+        assert!(self.contains(addr), "addr {addr:#x} outside range {self:?}");
+        addr - self.base
+    }
+
+    /// Whether two ranges overlap.
+    pub const fn overlaps(&self, other: &AddrRange) -> bool {
+        self.base < other.end() && other.base < self.end() && self.len > 0 && other.len > 0
+    }
+
+    /// Splits the range into `n` equal aligned slices (used for the per-node
+    /// partitioning of the 512 GiB TCA window, Fig. 4).
+    ///
+    /// # Panics
+    /// Panics if `len` is not divisible by `n`.
+    #[track_caller]
+    pub fn split_equal(&self, n: u64) -> impl Iterator<Item = AddrRange> + '_ {
+        assert!(
+            n > 0 && self.len.is_multiple_of(n),
+            "cannot split {self:?} into {n}"
+        );
+        let slice = self.len / n;
+        (0..n).map(move |i| AddrRange::new(self.base + i * slice, slice))
+    }
+}
+
+impl fmt::Debug for AddrRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:#x}..{:#x})", self.base, self.end())
+    }
+}
+
+/// Rounds `x` up to the next multiple of `align` (a power of two).
+#[inline]
+#[track_caller]
+pub fn align_up(x: u64, align: u64) -> u64 {
+    assert!(align.is_power_of_two(), "alignment must be a power of two");
+    x.checked_add(align - 1).expect("align_up overflow") & !(align - 1)
+}
+
+/// Rounds `x` down to a multiple of `align` (a power of two).
+#[inline]
+#[track_caller]
+pub fn align_down(x: u64, align: u64) -> u64 {
+    assert!(align.is_power_of_two(), "alignment must be a power of two");
+    x & !(align - 1)
+}
+
+/// Whether `x` is a multiple of `align` (a power of two).
+#[inline]
+pub fn is_aligned(x: u64, align: u64) -> bool {
+    align.is_power_of_two() && x & (align - 1) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_and_offsets() {
+        let r = AddrRange::new(0x1000, 0x100);
+        assert!(r.contains(0x1000));
+        assert!(r.contains(0x10ff));
+        assert!(!r.contains(0x1100));
+        assert!(!r.contains(0xfff));
+        assert_eq!(r.offset_of(0x1080), 0x80);
+        assert_eq!(r.end(), 0x1100);
+    }
+
+    #[test]
+    fn contains_access_edges() {
+        let r = AddrRange::new(0x1000, 0x100);
+        assert!(r.contains_access(0x1000, 0x100));
+        assert!(!r.contains_access(0x1000, 0x101));
+        assert!(!r.contains_access(0x10ff, 2));
+        assert!(r.contains_access(0x10ff, 1));
+        assert!(!r.contains_access(u64::MAX, 2), "wrap must not pass");
+    }
+
+    #[test]
+    fn empty_range_contains_nothing() {
+        let r = AddrRange::new(0x1000, 0);
+        assert!(r.is_empty());
+        assert!(!r.contains(0x1000));
+        assert!(!r.overlaps(&AddrRange::new(0, u64::MAX)));
+    }
+
+    #[test]
+    fn overlap_cases() {
+        let a = AddrRange::new(0x100, 0x100);
+        assert!(a.overlaps(&AddrRange::new(0x180, 0x100)));
+        assert!(a.overlaps(&AddrRange::new(0x0, 0x101)));
+        assert!(!a.overlaps(&AddrRange::new(0x200, 0x100)), "adjacent");
+        assert!(!a.overlaps(&AddrRange::new(0x0, 0x100)), "adjacent below");
+    }
+
+    #[test]
+    fn split_equal_partitions() {
+        let r = AddrRange::new(0x8_0000_0000, 512 << 30);
+        let parts: Vec<_> = r.split_equal(16).collect();
+        assert_eq!(parts.len(), 16);
+        assert_eq!(parts[0].base(), r.base());
+        assert_eq!(parts[15].end(), r.end());
+        for w in parts.windows(2) {
+            assert_eq!(w[0].end(), w[1].base(), "contiguous");
+            assert!(!w[0].overlaps(&w[1]));
+        }
+        assert_eq!(parts[3].len(), 32 << 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "wraps")]
+    fn wrapping_range_rejected() {
+        let _ = AddrRange::new(u64::MAX - 1, 4);
+    }
+
+    #[test]
+    fn alignment_helpers() {
+        assert_eq!(align_up(0, 4096), 0);
+        assert_eq!(align_up(1, 4096), 4096);
+        assert_eq!(align_up(4096, 4096), 4096);
+        assert_eq!(align_down(8191, 4096), 4096);
+        assert!(is_aligned(1 << 30, 4096));
+        assert!(!is_aligned(12, 8));
+        assert!(!is_aligned(12, 12), "non-power-of-two alignment");
+    }
+}

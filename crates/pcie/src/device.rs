@@ -1,0 +1,165 @@
+//! The device abstraction every model implements.
+//!
+//! A [`Device`] is a node on the PCIe fabric (host bridge, GPU, PEACH2
+//! chip, NIC…). Devices are event-driven: the fabric calls [`Device::on_tlp`]
+//! when a packet arrives on one of the device's ports and
+//! [`Device::on_timer`] when a self-armed timer fires. Handlers communicate
+//! back through [`Ctx`], which *buffers* actions (sends, timers, credit
+//! releases) that the fabric applies after the handler returns — this keeps
+//! borrows simple and execution order explicit.
+
+use crate::tlp::{DeviceId, FcClass, PortIdx, Tlp};
+use std::any::Any;
+use tca_sim::{Dur, SimTime, TraceLevel};
+
+/// A held receive-buffer credit. Devices that apply backpressure (PEACH2's
+/// finite internal packet buffer) call [`Ctx::hold_credits`] inside
+/// `on_tlp` and release the hold once the packet has actually left the
+/// device. Dropping a hold without releasing it leaks receiver buffer space
+/// and will eventually stall the link — deliberately, as real hardware would.
+#[derive(Debug)]
+#[must_use = "a credit hold must eventually be released back to the link"]
+pub struct CreditHold {
+    pub(crate) link: u32,
+    /// Direction index the packet travelled (0 or 1).
+    pub(crate) dir: u8,
+    pub(crate) class: FcClass,
+    pub(crate) hdr: u32,
+    pub(crate) data: u32,
+}
+
+/// Buffered effects of one handler invocation.
+#[derive(Debug)]
+pub(crate) enum Action {
+    Send { port: PortIdx, tlp: Tlp },
+    Timer { delay: Dur, tag: u64 },
+    Release { hold: CreditHold },
+}
+
+/// Handler context: the only way a device interacts with the world.
+pub struct Ctx<'a> {
+    pub(crate) now: SimTime,
+    pub(crate) self_id: DeviceId,
+    pub(crate) actions: Vec<Action>,
+    /// Credits of the in-flight delivery; `Some` only inside `on_tlp`.
+    pub(crate) delivery_credits: Option<CreditHold>,
+    pub(crate) tracer: &'a mut tca_sim::Tracer,
+}
+
+impl Ctx<'_> {
+    /// Current simulation time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The handling device's own id (used as requester id in reads).
+    #[inline]
+    pub fn self_id(&self) -> DeviceId {
+        self.self_id
+    }
+
+    /// Queues a TLP for transmission out of `port`. Transmission obeys link
+    /// serialization and flow control; packets queued on a blocked link are
+    /// sent in order when credits return.
+    pub fn send(&mut self, port: PortIdx, tlp: Tlp) {
+        self.actions.push(Action::Send { port, tlp });
+    }
+
+    /// Arms a one-shot timer that calls `on_timer(tag)` after `delay`.
+    pub fn timer_in(&mut self, delay: Dur, tag: u64) {
+        self.actions.push(Action::Timer { delay, tag });
+    }
+
+    /// Takes ownership of the receive credits of the packet currently being
+    /// delivered, deferring their return to the sender. Call
+    /// [`Ctx::release_credits`] (possibly from a later handler) when the
+    /// packet has drained out of the device.
+    ///
+    /// # Panics
+    /// Panics outside `on_tlp` or when called twice for one delivery.
+    #[track_caller]
+    pub fn hold_credits(&mut self) -> CreditHold {
+        self.delivery_credits
+            .take()
+            .expect("hold_credits: no in-flight delivery (or already held)")
+    }
+
+    /// Returns previously held credits to the link, unblocking queued
+    /// packets of the matching class.
+    pub fn release_credits(&mut self, hold: CreditHold) {
+        self.actions.push(Action::Release { hold });
+    }
+
+    /// Emits a trace line at the given level.
+    pub fn trace(&mut self, level: TraceLevel, line: impl FnOnce() -> String) {
+        self.tracer.emit(level, self.now, line);
+    }
+}
+
+/// A device model attached to the fabric.
+///
+/// The `Any` supertrait enables downcasting through trait upcasting, so the
+/// bench harness can reach into concrete device types between run steps.
+pub trait Device: Any {
+    /// A TLP arrived on `port`.
+    fn on_tlp(&mut self, port: PortIdx, tlp: Tlp, ctx: &mut Ctx<'_>);
+
+    /// A timer armed via [`Ctx::timer_in`] fired.
+    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_>);
+
+    /// Human-readable name for traces.
+    fn name(&self) -> &str {
+        "device"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tca_sim::Tracer;
+
+    struct Probe;
+    impl Device for Probe {
+        fn on_tlp(&mut self, _p: PortIdx, _t: Tlp, _c: &mut Ctx<'_>) {}
+        fn on_timer(&mut self, _t: u64, _c: &mut Ctx<'_>) {}
+    }
+
+    #[test]
+    fn ctx_buffers_actions_in_order() {
+        let mut tracer = Tracer::default();
+        let mut ctx = Ctx {
+            now: SimTime::ZERO,
+            self_id: DeviceId(3),
+            actions: vec![],
+            delivery_credits: None,
+            tracer: &mut tracer,
+        };
+        ctx.send(PortIdx(0), Tlp::msi(1));
+        ctx.timer_in(Dur::from_ns(5), 42);
+        assert_eq!(ctx.actions.len(), 2);
+        assert!(matches!(ctx.actions[0], Action::Send { .. }));
+        assert!(matches!(ctx.actions[1], Action::Timer { tag: 42, .. }));
+        assert_eq!(ctx.self_id(), DeviceId(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "no in-flight delivery")]
+    fn hold_credits_outside_delivery_panics() {
+        let mut tracer = Tracer::default();
+        let mut ctx = Ctx {
+            now: SimTime::ZERO,
+            self_id: DeviceId(0),
+            actions: vec![],
+            delivery_credits: None,
+            tracer: &mut tracer,
+        };
+        let _ = ctx.hold_credits();
+    }
+
+    #[test]
+    fn device_trait_is_object_safe() {
+        let b: Box<dyn Device> = Box::new(Probe);
+        assert_eq!(b.name(), "device");
+    }
+}

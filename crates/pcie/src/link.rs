@@ -1,0 +1,292 @@
+//! PCIe link parameters and rate arithmetic.
+//!
+//! Reproduces the bandwidth math of §III-A and §IV-A1: a Gen2 x8 link runs
+//! eight 5 GT/s lanes with 8b/10b encoding → 4 GB/s of raw byte rate, and
+//! the per-TLP overhead caps the payload rate at
+//! `4 GB/s × 256/280 = 3.657 GB/s` for a 256-byte max payload.
+
+use crate::tlp::TLP_OVERHEAD_BYTES;
+use tca_sim::{Dur, SimTime};
+
+/// PCI Express generation (lane signalling rate + line encoding).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PcieGen {
+    /// 2.5 GT/s, 8b/10b.
+    Gen1,
+    /// 5 GT/s, 8b/10b. What PEACH2's Stratix IV hard IP provides.
+    Gen2,
+    /// 8 GT/s, 128b/130b.
+    Gen3,
+}
+
+impl PcieGen {
+    /// Lane signalling rate in transfers (bits on the wire) per second.
+    pub const fn gigatransfers_per_sec(self) -> u64 {
+        match self {
+            PcieGen::Gen1 => 2_500_000_000,
+            PcieGen::Gen2 => 5_000_000_000,
+            PcieGen::Gen3 => 8_000_000_000,
+        }
+    }
+
+    /// Encoding efficiency as a (numerator, denominator) pair:
+    /// 8b/10b for Gen1/2, 128b/130b for Gen3.
+    pub const fn encoding(self) -> (u64, u64) {
+        match self {
+            PcieGen::Gen1 | PcieGen::Gen2 => (8, 10),
+            PcieGen::Gen3 => (128, 130),
+        }
+    }
+}
+
+/// Static parameters of one PCIe link (or external PEARL cable link).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkParams {
+    /// Signalling generation.
+    pub gen: PcieGen,
+    /// Bundled lane count (×n).
+    pub lanes: u8,
+    /// One-way latency added per traversal: SerDes, equalizers, repeaters,
+    /// cable propagation. Calibrated per link kind (§5 of DESIGN.md).
+    pub latency: Dur,
+    /// Maximum TLP payload in bytes. 256 in the paper's test environment.
+    pub max_payload: u32,
+    /// Maximum read-request size in bytes.
+    pub max_read_request: u32,
+    /// Advertised posted-header credits of the receiver (TLP count).
+    pub posted_hdr_credits: u32,
+    /// Advertised posted-data credits of the receiver (16-byte units).
+    pub posted_data_credits: u32,
+    /// Advertised non-posted-header credits.
+    pub nonposted_hdr_credits: u32,
+    /// Advertised completion-header credits.
+    pub completion_hdr_credits: u32,
+    /// Advertised completion-data credits (16-byte units).
+    pub completion_data_credits: u32,
+    /// Delay between a packet being consumed by the receiver and the
+    /// corresponding flow-control credit update reaching the sender.
+    pub credit_return_delay: Dur,
+    /// Overrides the byte rate computed from `gen`/`lanes`. Used for links
+    /// that are not PCIe wires but reuse the link machinery: the QPI hop
+    /// between sockets (whose P2P rate collapses, §IV-A2) and the
+    /// InfiniBand network links of the baseline.
+    pub rate_override: Option<u64>,
+    /// Per-TLP corruption probability in parts-per-million. PEARL is an
+    /// *Adaptive and Reliable Link* (§III-A): a corrupted TLP is detected
+    /// by its LCRC, NAKed, and replayed by the data-link layer — data is
+    /// never lost, bandwidth degrades. 0 (default) models clean cables.
+    pub error_rate_ppm: u32,
+}
+
+impl LinkParams {
+    /// A Gen2 x8 link — every PEACH2 port (§III-B) — with typical credits.
+    pub fn gen2_x8() -> LinkParams {
+        LinkParams {
+            gen: PcieGen::Gen2,
+            lanes: 8,
+            latency: Dur::from_ns(150),
+            max_payload: 256,
+            max_read_request: 512,
+            posted_hdr_credits: 64,
+            posted_data_credits: 64 * 16, // 16 KiB of posted data in flight
+            nonposted_hdr_credits: 32,
+            completion_hdr_credits: 64,
+            completion_data_credits: 64 * 16,
+            credit_return_delay: Dur::from_ns(100),
+            rate_override: None,
+            error_rate_ppm: 0,
+        }
+    }
+
+    /// A Gen2 x16 link — GPU slots in the HA-PACS node (Table II era GPUs
+    /// are PCIe 2.0 devices).
+    pub fn gen2_x16() -> LinkParams {
+        LinkParams {
+            lanes: 16,
+            ..LinkParams::gen2_x8()
+        }
+    }
+
+    /// A Gen3 x8 link — the InfiniBand HCA slot of the base cluster (§II-A).
+    pub fn gen3_x8() -> LinkParams {
+        LinkParams {
+            gen: PcieGen::Gen3,
+            ..LinkParams::gen2_x8()
+        }
+    }
+
+    /// Overrides the one-way latency.
+    pub fn with_latency(mut self, latency: Dur) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Overrides the maximum payload size.
+    pub fn with_max_payload(mut self, mps: u32) -> Self {
+        assert!(mps.is_power_of_two() && (128..=4096).contains(&mps));
+        self.max_payload = mps;
+        self
+    }
+
+    /// Sets the per-TLP corruption probability (parts per million).
+    pub fn with_error_rate_ppm(mut self, ppm: u32) -> Self {
+        assert!(ppm < 500_000, "error rate above 50% would never converge");
+        self.error_rate_ppm = ppm;
+        self
+    }
+
+    /// Time penalty of one link-level replay: the NAK DLLP crosses back,
+    /// the replay buffer rewinds, and the TLP retransmits.
+    pub fn replay_penalty(&self) -> Dur {
+        self.latency + self.latency + Dur::from_ns(100)
+    }
+
+    /// Overrides the computed byte rate (QPI / InfiniBand style links).
+    pub fn with_rate(mut self, bytes_per_sec: u64) -> Self {
+        assert!(bytes_per_sec > 0);
+        self.rate_override = Some(bytes_per_sec);
+        self
+    }
+
+    /// Raw byte rate after encoding: `lanes × GT/s × encoding ÷ 8`, unless
+    /// overridden via [`LinkParams::with_rate`].
+    ///
+    /// Gen2 x8 → exactly 4 GB/s, as the paper states.
+    pub fn raw_bytes_per_sec(&self) -> u64 {
+        if let Some(r) = self.rate_override {
+            return r;
+        }
+        let (num, den) = self.gen.encoding();
+        self.lanes as u64 * self.gen.gigatransfers_per_sec() * num / den / 8
+    }
+
+    /// The paper's theoretical peak payload rate: raw rate derated by the
+    /// per-TLP overhead at this link's maximum payload size.
+    ///
+    /// `4 GB/s × 256/(256+16+2+4+1+1) = 3.657 GB/s` for Gen2 x8 / MPS 256.
+    pub fn theoretical_peak_bytes_per_sec(&self) -> f64 {
+        let mps = self.max_payload as f64;
+        self.raw_bytes_per_sec() as f64 * mps / (mps + TLP_OVERHEAD_BYTES as f64)
+    }
+
+    /// Time the wire is occupied by a packet of `wire_bytes` total bytes.
+    pub fn serialize(&self, wire_bytes: u64) -> Dur {
+        Dur::for_bytes(wire_bytes, self.raw_bytes_per_sec())
+    }
+}
+
+/// Tracks one direction of a link: when the wire frees up, and byte/packet
+/// counters for utilization reporting.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WireState {
+    /// Instant at which the wire becomes idle.
+    pub busy_until: SimTime,
+    /// Total wire bytes pushed (payload + overhead).
+    pub wire_bytes: u64,
+    /// Total packets pushed.
+    pub packets: u64,
+    /// Link-level replays performed (corrupted TLPs retransmitted).
+    pub replays: u64,
+}
+
+impl WireState {
+    /// Reserves the wire for a packet of `wire_bytes` starting no earlier
+    /// than `now`; returns `(departure, arrival_at_other_end)` given the
+    /// serialization time and one-way latency.
+    pub fn reserve(
+        &mut self,
+        now: SimTime,
+        params: &LinkParams,
+        wire_bytes: u64,
+    ) -> (SimTime, SimTime) {
+        let departure = self.busy_until.max(now);
+        let tx = params.serialize(wire_bytes);
+        self.busy_until = departure + tx;
+        self.wire_bytes += wire_bytes;
+        self.packets += 1;
+        // Store-and-forward: the packet is available at the receiver when the
+        // last symbol has arrived.
+        (departure, self.busy_until + params.latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen2_x8_is_4_gbytes_per_sec() {
+        assert_eq!(LinkParams::gen2_x8().raw_bytes_per_sec(), 4_000_000_000);
+    }
+
+    #[test]
+    fn gen2_x16_is_8_gbytes_per_sec() {
+        assert_eq!(LinkParams::gen2_x16().raw_bytes_per_sec(), 8_000_000_000);
+    }
+
+    #[test]
+    fn gen3_x8_rate() {
+        // 8 × 8 GT/s × 128/130 / 8 = 7.877 GB/s
+        let r = LinkParams::gen3_x8().raw_bytes_per_sec();
+        assert_eq!(r, 7_876_923_076);
+    }
+
+    #[test]
+    fn theoretical_peak_matches_paper() {
+        // §IV-A1: 4 GB/s × 256/280 = 3.657 GB/s (paper rounds to 3.66).
+        let peak = LinkParams::gen2_x8().theoretical_peak_bytes_per_sec();
+        assert!((peak - 3.657e9).abs() < 2e6, "peak={peak}");
+    }
+
+    #[test]
+    fn serialization_times() {
+        let p = LinkParams::gen2_x8();
+        // A 280-wire-byte TLP at 4 GB/s = 70 ns.
+        assert_eq!(p.serialize(280), Dur::from_ns(70));
+    }
+
+    #[test]
+    fn wire_reserve_serializes_back_to_back() {
+        let p = LinkParams::gen2_x8().with_latency(Dur::from_ns(10));
+        let mut w = WireState::default();
+        let (d1, a1) = w.reserve(SimTime::ZERO, &p, 280);
+        assert_eq!(d1, SimTime::ZERO);
+        assert_eq!(a1, SimTime::from_ps(80_000)); // 70 ns tx + 10 ns latency
+                                                  // Second packet must queue behind the first.
+        let (d2, a2) = w.reserve(SimTime::ZERO, &p, 280);
+        assert_eq!(d2, SimTime::from_ps(70_000));
+        assert_eq!(a2, SimTime::from_ps(150_000));
+        assert_eq!(w.packets, 2);
+        assert_eq!(w.wire_bytes, 560);
+    }
+
+    #[test]
+    fn wire_idle_gap_not_backdated() {
+        let p = LinkParams::gen2_x8().with_latency(Dur::ZERO);
+        let mut w = WireState::default();
+        w.reserve(SimTime::ZERO, &p, 280);
+        // Much later send starts immediately.
+        let (d, _) = w.reserve(SimTime::from_ps(1_000_000), &p, 280);
+        assert_eq!(d, SimTime::from_ps(1_000_000));
+    }
+
+    #[test]
+    fn with_max_payload_validates() {
+        let p = LinkParams::gen2_x8().with_max_payload(512);
+        assert_eq!(p.max_payload, 512);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_max_payload_rejected() {
+        let _ = LinkParams::gen2_x8().with_max_payload(300);
+    }
+
+    #[test]
+    fn rate_override_wins() {
+        let p = LinkParams::gen2_x8().with_rate(300_000_000);
+        assert_eq!(p.raw_bytes_per_sec(), 300_000_000);
+        // 300 bytes at 300 MB/s = 1 µs.
+        assert_eq!(p.serialize(300), Dur::from_us(1));
+    }
+}

@@ -1,0 +1,48 @@
+//! # tca-peach2 — the PEACH2 chip, its board, and its drivers
+//!
+//! The paper's hardware contribution, reproduced as an evented device
+//! model:
+//!
+//! * [`Peach2`] — the chip: four PCIe Gen2 x8 ports (N = host, E/W = ring,
+//!   S = ring coupling), the register-programmed address router of Fig. 5,
+//!   the port-N global↔local address conversion of Fig. 4, the chaining
+//!   DMA controller with in-host-memory descriptor tables (whose fetch
+//!   cost is exactly the Fig. 8/9 overhead), and the *pipelined* DMAC the
+//!   paper describes as under development in §IV-B2.
+//! * [`topology`] — sub-cluster builders: single ring, dual ring coupled
+//!   through port S, and the two-boards-one-node loopback rig of Fig. 10.
+//! * [`Peach2Driver`] — the host kernel-driver model, including the
+//!   TSC-to-TSC measurement methodology of §IV-A.
+//!
+//! ```
+//! use tca_device::node::NodeConfig;
+//! use tca_peach2::{build_ring, Peach2Params};
+//! use tca_pcie::Fabric;
+//!
+//! let mut fabric = Fabric::new();
+//! let sc = build_ring(&mut fabric, 4, &NodeConfig::default(), Peach2Params::default());
+//! assert_eq!(sc.chips.len(), 4);
+//! // Every chip routes every other node's slice somewhere.
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod chip;
+pub mod dma;
+pub mod driver;
+pub mod nios;
+pub mod params;
+pub mod regs;
+pub mod topology;
+
+pub use chip::{ring_routing, DmaRunRecord, Peach2, PORT_E, PORT_N, PORT_S, PORT_W};
+pub use dma::{Descriptor, EngineKind, DESC_SIZE};
+pub use driver::{DmaMeasurement, Peach2Driver};
+pub use nios::{LinkHealth, MgmtEvent, Nios, PortCounters, PortRole};
+pub use params::Peach2Params;
+pub use regs::{RegFile, RouteRule, SRAM_OFFSET};
+pub use topology::{
+    attach_peach2, build_dual_ring, build_loopback, build_ring, LoopbackRig, SubCluster,
+};

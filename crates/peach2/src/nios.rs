@@ -1,0 +1,235 @@
+//! The NIOS management microcontroller.
+//!
+//! §III-D: "The PEACH2 chip also includes Altera's NIOS processor as a
+//! micro controller. The controller works only to monitor and manage
+//! PEARL, except for the packet transfer. Thus, a small, low-power
+//! controller is sufficient. In addition … Gigabit Ethernet and RS-232C
+//! are equipped for communication with the NIOS processor."
+//!
+//! The model keeps the same separation: the NIOS never touches the data
+//! path; it observes per-port health counters, keeps an event log, and
+//! executes management commands — including the dynamic port-S role
+//! switch the paper lists as future work ("dynamic switching for the role
+//! of the port will be implemented because the partial reconfiguration
+//! for PCIe IP is available in this FPGA", §III-D). Reconfiguration takes
+//! the port down for the partial-reconfiguration time; traffic routed to
+//! it during that window is the operator's bug and panics loudly.
+
+use std::fmt;
+use tca_sim::{Dur, SimTime};
+
+/// PCIe port role within PEARL (§III-D: E is fixed EP, W fixed RC, S is
+/// selectable).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PortRole {
+    /// Root complex end of a link.
+    RootComplex,
+    /// Endpoint end of a link.
+    Endpoint,
+}
+
+/// Link state of one external port as the NIOS sees it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LinkHealth {
+    /// No cable / never trained.
+    Down,
+    /// Trained and passing traffic.
+    Up,
+    /// Temporarily down for partial reconfiguration.
+    Reconfiguring,
+}
+
+/// Per-port counters the NIOS exposes over its management interfaces.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PortCounters {
+    /// TLPs that entered the chip through this port.
+    pub ingress: u64,
+    /// TLPs that left through this port.
+    pub egress: u64,
+}
+
+/// One management event in the NIOS log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MgmtEvent {
+    /// A port finished training.
+    LinkUp(u8),
+    /// Partial reconfiguration started on a port.
+    ReconfigStart(u8),
+    /// Partial reconfiguration finished; new role active.
+    ReconfigDone(u8, PortRole),
+    /// A DMA chain completed (descriptor count).
+    DmaComplete(u32),
+}
+
+/// The management controller state embedded in each chip.
+pub struct Nios {
+    port_health: [LinkHealth; 4],
+    port_role: [PortRole; 4],
+    counters: [PortCounters; 4],
+    log: Vec<(SimTime, MgmtEvent)>,
+    /// Time partial reconfiguration keeps a port down. Partial
+    /// reconfiguration of a PCIe hard-IP region on a Stratix IV is in the
+    /// tens of milliseconds.
+    pub reconfig_time: Dur,
+    /// Port currently reconfiguring (role to apply on completion).
+    pub(crate) reconfig_pending: Option<(u8, PortRole)>,
+}
+
+impl Default for Nios {
+    fn default() -> Self {
+        Nios {
+            port_health: [LinkHealth::Down; 4],
+            // §III-D fixed roles: N is an ordinary device (EP toward the
+            // host), E is EP, W is RC; S defaults to RC until configured.
+            port_role: [
+                PortRole::Endpoint,
+                PortRole::Endpoint,
+                PortRole::RootComplex,
+                PortRole::RootComplex,
+            ],
+            counters: [PortCounters::default(); 4],
+            log: Vec::new(),
+            reconfig_time: Dur::from_ms(40),
+            reconfig_pending: None,
+        }
+    }
+}
+
+impl Nios {
+    /// Marks a port trained (called when a cable is attached).
+    pub fn link_up(&mut self, port: u8, at: SimTime) {
+        self.port_health[port as usize] = LinkHealth::Up;
+        self.log.push((at, MgmtEvent::LinkUp(port)));
+    }
+
+    /// Health of a port.
+    pub fn health(&self, port: u8) -> LinkHealth {
+        self.port_health[port as usize]
+    }
+
+    /// Configured role of a port.
+    pub fn role(&self, port: u8) -> PortRole {
+        self.port_role[port as usize]
+    }
+
+    /// Counters of a port.
+    pub fn counters(&self, port: u8) -> PortCounters {
+        self.counters[port as usize]
+    }
+
+    /// The management event log (oldest first).
+    pub fn log(&self) -> &[(SimTime, MgmtEvent)] {
+        &self.log
+    }
+
+    pub(crate) fn count_ingress(&mut self, port: u8) {
+        self.counters[port as usize].ingress += 1;
+    }
+
+    pub(crate) fn count_egress(&mut self, port: u8) {
+        self.counters[port as usize].egress += 1;
+    }
+
+    pub(crate) fn note_dma_complete(&mut self, at: SimTime, descriptors: u32) {
+        self.log.push((at, MgmtEvent::DmaComplete(descriptors)));
+    }
+
+    pub(crate) fn begin_reconfig(&mut self, port: u8, role: PortRole, at: SimTime) {
+        assert_eq!(
+            port, 3,
+            "only port S supports role switching (§III-D); E/W roles are fixed"
+        );
+        assert!(
+            self.reconfig_pending.is_none(),
+            "reconfiguration already in progress"
+        );
+        self.port_health[port as usize] = LinkHealth::Reconfiguring;
+        self.reconfig_pending = Some((port, role));
+        self.log.push((at, MgmtEvent::ReconfigStart(port)));
+    }
+
+    pub(crate) fn finish_reconfig(&mut self, at: SimTime) {
+        let (port, role) = self
+            .reconfig_pending
+            .take()
+            .expect("no reconfiguration pending");
+        self.port_role[port as usize] = role;
+        self.port_health[port as usize] = LinkHealth::Up;
+        self.log.push((at, MgmtEvent::ReconfigDone(port, role)));
+    }
+
+    /// True while a port is unusable due to reconfiguration.
+    pub fn is_reconfiguring(&self, port: u8) -> bool {
+        self.port_health[port as usize] == LinkHealth::Reconfiguring
+    }
+}
+
+impl fmt::Display for Nios {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "NIOS management status")?;
+        for (i, name) in ["N", "E", "W", "S"].iter().enumerate() {
+            writeln!(
+                f,
+                "  port {name}: {:?} role={:?} in={} out={}",
+                self.port_health[i],
+                self.port_role[i],
+                self.counters[i].ingress,
+                self.counters[i].egress
+            )?;
+        }
+        writeln!(f, "  log entries: {}", self.log.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_roles_match_the_paper() {
+        let n = Nios::default();
+        // "the role of Ports E and W are fixed to EP and RC, respectively"
+        assert_eq!(n.role(1), PortRole::Endpoint, "E");
+        assert_eq!(n.role(2), PortRole::RootComplex, "W");
+    }
+
+    #[test]
+    fn reconfig_cycle_updates_role_and_log() {
+        let mut n = Nios::default();
+        n.link_up(3, SimTime::ZERO);
+        n.begin_reconfig(3, PortRole::Endpoint, SimTime::from_ps(100));
+        assert!(n.is_reconfiguring(3));
+        n.finish_reconfig(SimTime::from_ps(200));
+        assert_eq!(n.role(3), PortRole::Endpoint);
+        assert_eq!(n.health(3), LinkHealth::Up);
+        assert_eq!(n.log().len(), 3);
+        assert_eq!(n.log()[2].1, MgmtEvent::ReconfigDone(3, PortRole::Endpoint));
+    }
+
+    #[test]
+    #[should_panic(expected = "only port S")]
+    fn east_port_role_is_fixed() {
+        let mut n = Nios::default();
+        n.begin_reconfig(1, PortRole::RootComplex, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "already in progress")]
+    fn concurrent_reconfig_rejected() {
+        let mut n = Nios::default();
+        n.begin_reconfig(3, PortRole::Endpoint, SimTime::ZERO);
+        n.begin_reconfig(3, PortRole::RootComplex, SimTime::ZERO);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut n = Nios::default();
+        n.count_ingress(0);
+        n.count_ingress(0);
+        n.count_egress(1);
+        assert_eq!(n.counters(0).ingress, 2);
+        assert_eq!(n.counters(1).egress, 1);
+        let s = n.to_string();
+        assert!(s.contains("port N") && s.contains("in=2"));
+    }
+}

@@ -1,0 +1,251 @@
+//! PEACH2 control register file and the address-range router.
+//!
+//! The register block occupies the first 4 KiB of the node's *Internal*
+//! block in the TCA window; the internal SRAM/DDR3 staging memory starts at
+//! [`SRAM_OFFSET`]. Registers are written by the host driver with ordinary
+//! PIO stores (remote access to registers would also work — they are just
+//! addresses — but the drivers never do it).
+//!
+//! Routing (§III-E / Fig. 5): "the control registers for the address mask,
+//! the lower bound, and the upper bound are prepared, and the destination
+//! port is statically decided by checking the result from the AND operation
+//! with the address mask". We keep a small table of such register rows
+//! (`mask`, `lower`, `upper`, `port`), first match wins — a ring needs at
+//! most two rows per direction (a shortest-path set can wrap around the
+//! address space once).
+
+use tca_pcie::PortIdx;
+
+/// Offset of the node-id register.
+pub const REG_NODE_ID: u64 = 0x000;
+/// Offset of the DMA descriptor-table address register (u64).
+pub const REG_DMA_DESC_ADDR: u64 = 0x008;
+/// Offset of the DMA descriptor-count register (u32).
+pub const REG_DMA_DESC_COUNT: u64 = 0x010;
+/// Offset of the DMA engine-select register (u32, [`crate::EngineKind`]).
+pub const REG_DMA_ENGINE: u64 = 0x018;
+/// Offset of the DMA status-writeback address register (u64, host DRAM).
+pub const REG_DMA_STATUS_ADDR: u64 = 0x020;
+/// Offset of the DMA doorbell (any write starts the chain).
+pub const REG_DMA_DOORBELL: u64 = 0x028;
+/// Base of the routing-rule rows.
+pub const REG_ROUTE_BASE: u64 = 0x040;
+/// Stride between routing-rule rows.
+pub const REG_ROUTE_STRIDE: u64 = 0x20;
+/// Number of routing-rule rows.
+pub const ROUTE_RULES: usize = 8;
+/// Start of the internal SRAM/DDR3 window within the Internal block.
+pub const SRAM_OFFSET: u64 = 0x1000;
+
+/// One routing register row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RouteRule {
+    /// AND-mask applied to the destination address.
+    pub mask: u64,
+    /// Lower bound (inclusive) compared against `addr & mask`.
+    pub lower: u64,
+    /// Upper bound (inclusive).
+    pub upper: u64,
+    /// Output port (E/W/S), `None` when the row is disabled.
+    pub port: Option<PortIdx>,
+}
+
+impl RouteRule {
+    /// A disabled row.
+    pub const DISABLED: RouteRule = RouteRule {
+        mask: 0,
+        lower: 1,
+        upper: 0,
+        port: None,
+    };
+
+    /// Whether `addr` matches this row.
+    #[inline]
+    pub fn matches(&self, addr: u64) -> bool {
+        let masked = addr & self.mask;
+        self.port.is_some() && masked >= self.lower && masked <= self.upper
+    }
+}
+
+/// The register file of one chip.
+#[derive(Clone, Debug)]
+pub struct RegFile {
+    /// This chip's node id within the sub-cluster.
+    pub node_id: u32,
+    /// Host address of the DMA descriptor table.
+    pub dma_desc_addr: u64,
+    /// Number of descriptors in the table.
+    pub dma_desc_count: u32,
+    /// Selected DMA engine.
+    pub dma_engine: u32,
+    /// Host address receiving the DMA completion status writeback.
+    pub dma_status_addr: u64,
+    /// Routing table rows.
+    pub routes: [RouteRule; ROUTE_RULES],
+}
+
+impl Default for RegFile {
+    fn default() -> Self {
+        RegFile {
+            node_id: 0,
+            dma_desc_addr: 0,
+            dma_desc_count: 0,
+            dma_engine: 0,
+            dma_status_addr: 0,
+            routes: [RouteRule::DISABLED; ROUTE_RULES],
+        }
+    }
+}
+
+/// Effect of a register write that the chip must act on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RegEffect {
+    /// Plain state update.
+    None,
+    /// The doorbell was written: start the DMA chain.
+    Doorbell,
+}
+
+impl RegFile {
+    /// Applies a PIO write of `data` at register-block offset `off`.
+    /// Registers are written with naturally aligned 4- or 8-byte stores.
+    #[track_caller]
+    pub fn write(&mut self, off: u64, data: &[u8]) -> RegEffect {
+        let v64 = |d: &[u8]| {
+            let mut b = [0u8; 8];
+            b[..d.len().min(8)].copy_from_slice(&d[..d.len().min(8)]);
+            u64::from_le_bytes(b)
+        };
+        let v = v64(data);
+        match off {
+            REG_NODE_ID => self.node_id = v as u32,
+            REG_DMA_DESC_ADDR => self.dma_desc_addr = v,
+            REG_DMA_DESC_COUNT => self.dma_desc_count = v as u32,
+            REG_DMA_ENGINE => self.dma_engine = v as u32,
+            REG_DMA_STATUS_ADDR => self.dma_status_addr = v,
+            REG_DMA_DOORBELL => return RegEffect::Doorbell,
+            o if (REG_ROUTE_BASE..REG_ROUTE_BASE + (ROUTE_RULES as u64) * REG_ROUTE_STRIDE)
+                .contains(&o) =>
+            {
+                let idx = ((o - REG_ROUTE_BASE) / REG_ROUTE_STRIDE) as usize;
+                let field = (o - REG_ROUTE_BASE) % REG_ROUTE_STRIDE;
+                let r = &mut self.routes[idx];
+                match field {
+                    0x00 => r.mask = v,
+                    0x08 => r.lower = v,
+                    0x10 => r.upper = v,
+                    0x18 => {
+                        r.port = if v == u64::from(u8::MAX) {
+                            None
+                        } else {
+                            Some(PortIdx(v as u8))
+                        }
+                    }
+                    _ => panic!("unaligned routing register write at {off:#x}"),
+                }
+            }
+            _ => panic!("write to unknown register offset {off:#x}"),
+        }
+        RegEffect::None
+    }
+
+    /// Routing decision: output port for a destination address, or `None`
+    /// when no rule matches (the packet is undeliverable).
+    pub fn route(&self, addr: u64) -> Option<PortIdx> {
+        self.routes
+            .iter()
+            .find(|r| r.matches(addr))
+            .and_then(|r| r.port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_register_writes() {
+        let mut r = RegFile::default();
+        assert_eq!(r.write(REG_NODE_ID, &3u32.to_le_bytes()), RegEffect::None);
+        assert_eq!(r.node_id, 3);
+        r.write(REG_DMA_DESC_ADDR, &0x10_0000u64.to_le_bytes());
+        r.write(REG_DMA_DESC_COUNT, &255u32.to_le_bytes());
+        r.write(REG_DMA_ENGINE, &1u32.to_le_bytes());
+        assert_eq!(r.dma_desc_addr, 0x10_0000);
+        assert_eq!(r.dma_desc_count, 255);
+        assert_eq!(r.dma_engine, 1);
+    }
+
+    #[test]
+    fn doorbell_reports_effect() {
+        let mut r = RegFile::default();
+        assert_eq!(
+            r.write(REG_DMA_DOORBELL, &1u32.to_le_bytes()),
+            RegEffect::Doorbell
+        );
+    }
+
+    #[test]
+    fn route_rule_programming_and_matching() {
+        let mut r = RegFile::default();
+        let base = REG_ROUTE_BASE;
+        // Rule 0: addresses with bits [39:35] in 2..=3 go out port 1 (E).
+        let mask = !((32u64 << 30) - 1); // 32 GiB slices
+        r.write(base, &mask.to_le_bytes());
+        r.write(
+            base + 0x08,
+            &(0x80_0000_0000u64 + 2 * (32 << 30)).to_le_bytes(),
+        );
+        r.write(
+            base + 0x10,
+            &(0x80_0000_0000u64 + 3 * (32 << 30)).to_le_bytes(),
+        );
+        r.write(base + 0x18, &1u64.to_le_bytes());
+        let in_slice2 = 0x80_0000_0000u64 + 2 * (32 << 30) + 12345;
+        let in_slice4 = 0x80_0000_0000u64 + 4 * (32 << 30);
+        assert_eq!(r.route(in_slice2), Some(PortIdx(1)));
+        assert_eq!(r.route(in_slice4), None);
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let mut r = RegFile::default();
+        r.routes[0] = RouteRule {
+            mask: !0xfff,
+            lower: 0x1000,
+            upper: 0x1000,
+            port: Some(PortIdx(1)),
+        };
+        r.routes[1] = RouteRule {
+            mask: 0,
+            lower: 0,
+            upper: 0,
+            port: Some(PortIdx(2)), // catch-all
+        };
+        assert_eq!(r.route(0x1234), Some(PortIdx(1)));
+        assert_eq!(r.route(0x9999), Some(PortIdx(2)));
+    }
+
+    #[test]
+    fn disabled_rule_never_matches() {
+        let r = RouteRule::DISABLED;
+        for a in [0u64, 1, u64::MAX] {
+            assert!(!r.matches(a));
+        }
+        assert_eq!(RegFile::default().route(0x80_0000_0000), None);
+    }
+
+    #[test]
+    fn port_disable_via_ff() {
+        let mut r = RegFile::default();
+        r.write(REG_ROUTE_BASE + 0x18, &0xffu64.to_le_bytes());
+        assert_eq!(r.routes[0].port, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown register")]
+    fn unknown_offset_panics() {
+        let mut r = RegFile::default();
+        r.write(0x800, &[0; 4]);
+    }
+}

@@ -1,0 +1,600 @@
+//! Sub-cluster assembly: attaching PEACH2 boards to nodes and cabling the
+//! ring / dual-ring / loopback configurations of the paper.
+
+use crate::chip::{ring_routing, Peach2, PORT_E, PORT_N, PORT_S, PORT_W};
+use crate::params::Peach2Params;
+use crate::regs::RouteRule;
+use tca_device::map::{tca_window, TcaMap};
+use tca_device::node::{build_node, Node, NodeConfig};
+use tca_device::HostBridge;
+use tca_pcie::{DeviceId, Fabric};
+
+/// Attaches a PEACH2 board to `node` as TCA node `node_id`:
+/// * port N ↔ a free host-bridge port, Gen2 x8;
+/// * the whole TCA window routed from the host to the board;
+/// * completion routing for the board's DMA reads.
+pub fn attach_peach2(
+    fabric: &mut Fabric,
+    node: &mut Node,
+    node_id: u32,
+    map: TcaMap,
+    params: Peach2Params,
+) -> DeviceId {
+    let name = format!("peach2.n{node_id}");
+    let chip = fabric.add_device(|id| Peach2::new(id, name, node_id, map, params));
+    let host_port = node.claim_port();
+    fabric.connect((node.host, host_port), (chip, PORT_N), params.host_link);
+    let hb = fabric.device_mut::<HostBridge>(node.host);
+    hb.core_mut().add_window(tca_window(), host_port);
+    hb.core_mut().add_id_route(chip, host_port);
+    let now = fabric.now();
+    fabric
+        .device_mut::<Peach2>(chip)
+        .nios_mut()
+        .link_up(PORT_N.0, now);
+    chip
+}
+
+/// One TCA sub-cluster: nodes, their PEACH2 boards, and the shared map.
+pub struct SubCluster {
+    /// The commodity node halves.
+    pub nodes: Vec<Node>,
+    /// PEACH2 board of each node.
+    pub chips: Vec<DeviceId>,
+    /// The shared address map.
+    pub map: TcaMap,
+}
+
+/// Builds an `n`-node TCA sub-cluster cabled as a ring (Fig. 5): each
+/// node's port E connects to the next node's port W, and shortest-path
+/// routing rules are programmed into every chip.
+pub fn build_ring(
+    fabric: &mut Fabric,
+    n: u32,
+    cfg: &NodeConfig,
+    params: Peach2Params,
+) -> SubCluster {
+    let map = TcaMap::new(n);
+    let mut nodes = Vec::with_capacity(n as usize);
+    let mut chips = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        let mut node = build_node(fabric, &format!("n{i}"), cfg);
+        let chip = attach_peach2(fabric, &mut node, i, map, params);
+        nodes.push(node);
+        chips.push(chip);
+    }
+    if n > 1 {
+        for i in 0..n {
+            let next = (i + 1) % n;
+            fabric.connect(
+                (chips[i as usize], PORT_E),
+                (chips[next as usize], PORT_W),
+                params.cable_link,
+            );
+            let now = fabric.now();
+            fabric
+                .device_mut::<Peach2>(chips[i as usize])
+                .nios_mut()
+                .link_up(PORT_E.0, now);
+            fabric
+                .device_mut::<Peach2>(chips[next as usize])
+                .nios_mut()
+                .link_up(PORT_W.0, now);
+        }
+        for i in 0..n {
+            let rules = ring_routing(map, i, n);
+            let chip = fabric.device_mut::<Peach2>(chips[i as usize]);
+            for (slot, rule) in rules.into_iter().enumerate() {
+                chip.regs_mut().routes[slot] = rule;
+            }
+        }
+    }
+    SubCluster { nodes, chips, map }
+}
+
+/// Builds a dual-ring sub-cluster: two rings of `n/2` nodes coupled
+/// pairwise through port S (§III-D: "Port S … is used to combine two rings
+/// by connecting to Port S on the peer node"). Node ids: ring A is
+/// `0..n/2`, ring B is `n/2..n`; node `i` pairs with `i + n/2`.
+pub fn build_dual_ring(
+    fabric: &mut Fabric,
+    n: u32,
+    cfg: &NodeConfig,
+    params: Peach2Params,
+) -> SubCluster {
+    assert!(
+        n >= 4 && n.is_multiple_of(2),
+        "dual ring needs an even node count ≥ 4"
+    );
+    let half = n / 2;
+    let map = TcaMap::new(n);
+    let mut nodes = Vec::with_capacity(n as usize);
+    let mut chips = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        let mut node = build_node(fabric, &format!("n{i}"), cfg);
+        let chip = attach_peach2(fabric, &mut node, i, map, params);
+        nodes.push(node);
+        chips.push(chip);
+    }
+    // Cables: each ring E→W, plus S↔S pairs.
+    for ring in 0..2u32 {
+        let base = ring * half;
+        for i in 0..half {
+            let a = base + i;
+            let b = base + (i + 1) % half;
+            fabric.connect(
+                (chips[a as usize], PORT_E),
+                (chips[b as usize], PORT_W),
+                params.cable_link,
+            );
+        }
+    }
+    for i in 0..half {
+        fabric.connect(
+            (chips[i as usize], PORT_S),
+            (chips[(i + half) as usize], PORT_S),
+            params.cable_link,
+        );
+        let now = fabric.now();
+        fabric
+            .device_mut::<Peach2>(chips[i as usize])
+            .nios_mut()
+            .link_up(PORT_S.0, now);
+        fabric
+            .device_mut::<Peach2>(chips[(i + half) as usize])
+            .nios_mut()
+            .link_up(PORT_S.0, now);
+    }
+    // Routing: within my ring → shortest-path E/W rules over the ring's
+    // global node ids; the other ring's half of the window → port S.
+    for i in 0..n {
+        let my_ring = i / half;
+        let ring_base = my_ring * half;
+        let local_idx = i - ring_base;
+        let mut east = Vec::new();
+        let mut west = Vec::new();
+        for dl in 0..half {
+            if dl == local_idx {
+                continue;
+            }
+            let fwd = (dl + half - local_idx) % half;
+            if fwd <= half - fwd {
+                east.push(ring_base + dl);
+            } else {
+                west.push(ring_base + dl);
+            }
+        }
+        let other_base = (1 - my_ring) * half;
+        let other: Vec<u32> = (other_base..other_base + half).collect();
+        let rules =
+            crate::chip::routing_rules(map, &[(PORT_E, east), (PORT_W, west), (PORT_S, other)]);
+        let chip = fabric.device_mut::<Peach2>(chips[i as usize]);
+        for (slot, rule) in rules.into_iter().enumerate() {
+            chip.regs_mut().routes[slot] = rule;
+        }
+    }
+    SubCluster { nodes, chips, map }
+}
+
+/// The Fig. 10 loopback rig: **two** PEACH2 boards in a **single** node,
+/// connected E→W by one cable, used for the strict latency measurement of
+/// §IV-B1. Board A is node 0, board B node 1 of a 2-node map; the host
+/// routes node 1's slice to board A (so a CPU store to "PEACH2-B's region"
+/// enters board A and crosses the cable), and board B's port N delivers
+/// into host DRAM.
+pub struct LoopbackRig {
+    /// The single host node.
+    pub node: Node,
+    /// Board A (receives the CPU store).
+    pub board_a: DeviceId,
+    /// Board B (writes back to host memory).
+    pub board_b: DeviceId,
+    /// The 2-node map shared by both boards.
+    pub map: TcaMap,
+}
+
+/// Builds the loopback rig.
+pub fn build_loopback(fabric: &mut Fabric, cfg: &NodeConfig, params: Peach2Params) -> LoopbackRig {
+    let map = TcaMap::new(2);
+    let mut node = build_node(fabric, "lo", cfg);
+
+    let board_a = fabric.add_device(|id| Peach2::new(id, "peach2.A", 0, map, params));
+    let port_a = node.claim_port();
+    fabric.connect((node.host, port_a), (board_a, PORT_N), params.host_link);
+
+    let board_b = fabric.add_device(|id| Peach2::new(id, "peach2.B", 1, map, params));
+    let port_b = node.claim_port();
+    fabric.connect((node.host, port_b), (board_b, PORT_N), params.host_link);
+
+    fabric.connect((board_a, PORT_E), (board_b, PORT_W), params.cable_link);
+
+    {
+        let hb = fabric.device_mut::<HostBridge>(node.host);
+        // Stores addressed to node 1 (board B's identity) enter board A.
+        hb.core_mut().add_window(map.node_slice(1), port_a);
+        // Stores addressed to node 0 would enter board B (reverse path).
+        hb.core_mut().add_window(map.node_slice(0), port_b);
+        hb.core_mut().add_id_route(board_a, port_a);
+        hb.core_mut().add_id_route(board_b, port_b);
+    }
+    // Board A routes node-1 addresses out its E cable.
+    {
+        let slice = map.slice_size();
+        let chip = fabric.device_mut::<Peach2>(board_a);
+        chip.regs_mut().routes[0] = RouteRule {
+            mask: !(slice - 1),
+            lower: map.node_slice(1).base(),
+            upper: map.node_slice(1).base(),
+            port: Some(PORT_E),
+        };
+    }
+    // Board B routes node-0 addresses out its W cable (for the return leg).
+    {
+        let slice = map.slice_size();
+        let chip = fabric.device_mut::<Peach2>(board_b);
+        chip.regs_mut().routes[0] = RouteRule {
+            mask: !(slice - 1),
+            lower: map.node_slice(0).base(),
+            upper: map.node_slice(0).base(),
+            port: Some(PORT_W),
+        };
+    }
+    LoopbackRig {
+        node,
+        board_a,
+        board_b,
+        map,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tca_device::map::TcaBlock;
+
+    #[test]
+    fn ring_pio_reaches_adjacent_node_dram() {
+        let mut f = Fabric::new();
+        let sc = build_ring(&mut f, 4, &NodeConfig::default(), Peach2Params::default());
+        // Node 0 CPU stores 4 bytes into node 1's Host block at offset 0x40.
+        let dst = sc.map.global_addr(1, TcaBlock::Host, 0x40);
+        f.drive::<HostBridge, _>(sc.nodes[0].host, |h, ctx| {
+            h.core_mut()
+                .cpu_store(dst, &0xdead_beefu32.to_le_bytes(), ctx);
+        });
+        f.run_until_idle();
+        assert_eq!(
+            f.device::<HostBridge>(sc.nodes[1].host)
+                .core()
+                .mem_ref()
+                .read_u32(0x40),
+            0xdead_beef
+        );
+    }
+
+    #[test]
+    fn ring_multi_hop_relays() {
+        let mut f = Fabric::new();
+        let sc = build_ring(&mut f, 8, &NodeConfig::default(), Peach2Params::default());
+        // 0 → 3 must relay through chips 1 and 2 (eastward, 3 hops).
+        let dst = sc.map.global_addr(3, TcaBlock::Host, 0);
+        f.drive::<HostBridge, _>(sc.nodes[0].host, |h, ctx| {
+            h.core_mut().cpu_store(dst, b"hop3", ctx);
+        });
+        f.run_until_idle();
+        assert_eq!(
+            f.device::<HostBridge>(sc.nodes[3].host)
+                .core()
+                .mem_ref()
+                .read(0, 4),
+            b"hop3"
+        );
+        assert_eq!(f.device::<Peach2>(sc.chips[1]).relayed.get(), 1);
+        assert_eq!(f.device::<Peach2>(sc.chips[2]).relayed.get(), 1);
+        assert_eq!(f.device::<Peach2>(sc.chips[4]).relayed.get(), 0);
+    }
+
+    #[test]
+    fn ring_westward_shortest_path() {
+        let mut f = Fabric::new();
+        let sc = build_ring(&mut f, 8, &NodeConfig::default(), Peach2Params::default());
+        // 0 → 7 is one hop west; chip 1 must see nothing.
+        let dst = sc.map.global_addr(7, TcaBlock::Host, 0x10);
+        f.drive::<HostBridge, _>(sc.nodes[0].host, |h, ctx| {
+            h.core_mut().cpu_store(dst, b"west", ctx);
+        });
+        f.run_until_idle();
+        assert_eq!(
+            f.device::<HostBridge>(sc.nodes[7].host)
+                .core()
+                .mem_ref()
+                .read(0x10, 4),
+            b"west"
+        );
+        for c in 1..7 {
+            assert_eq!(f.device::<Peach2>(sc.chips[c]).relayed.get(), 0, "chip {c}");
+        }
+    }
+
+    #[test]
+    fn two_node_ring_round_trip() {
+        let mut f = Fabric::new();
+        let sc = build_ring(&mut f, 2, &NodeConfig::default(), Peach2Params::default());
+        let to1 = sc.map.global_addr(1, TcaBlock::Host, 0);
+        let to0 = sc.map.global_addr(0, TcaBlock::Host, 0);
+        f.drive::<HostBridge, _>(sc.nodes[0].host, |h, ctx| {
+            h.core_mut().cpu_store(to1, b"ab", ctx);
+        });
+        f.drive::<HostBridge, _>(sc.nodes[1].host, |h, ctx| {
+            h.core_mut().cpu_store(to0, b"cd", ctx);
+        });
+        f.run_until_idle();
+        assert_eq!(
+            f.device::<HostBridge>(sc.nodes[1].host)
+                .core()
+                .mem_ref()
+                .read(0, 2),
+            b"ab"
+        );
+        assert_eq!(
+            f.device::<HostBridge>(sc.nodes[0].host)
+                .core()
+                .mem_ref()
+                .read(0, 2),
+            b"cd"
+        );
+    }
+
+    #[test]
+    fn dual_ring_crosses_s_port() {
+        let mut f = Fabric::new();
+        let sc = build_dual_ring(&mut f, 8, &NodeConfig::default(), Peach2Params::default());
+        // Node 1 (ring A) → node 6 (ring B): S at node 1 → node 5, then
+        // ring B eastward to 6 (or the symmetric route; either way it must
+        // arrive).
+        let dst = sc.map.global_addr(6, TcaBlock::Host, 0x80);
+        f.drive::<HostBridge, _>(sc.nodes[1].host, |h, ctx| {
+            h.core_mut().cpu_store(dst, b"ring", ctx);
+        });
+        f.run_until_idle();
+        assert_eq!(
+            f.device::<HostBridge>(sc.nodes[6].host)
+                .core()
+                .mem_ref()
+                .read(0x80, 4),
+            b"ring"
+        );
+    }
+
+    #[test]
+    fn dual_ring_all_pairs_deliver() {
+        let mut f = Fabric::new();
+        let sc = build_dual_ring(&mut f, 8, &NodeConfig::default(), Peach2Params::default());
+        for src in 0..8u32 {
+            for dst in 0..8u32 {
+                if src == dst {
+                    continue;
+                }
+                let marker = (src * 16 + dst) as u8;
+                let addr = sc
+                    .map
+                    .global_addr(dst, TcaBlock::Host, 0x1000 + src as u64 * 8);
+                f.drive::<HostBridge, _>(sc.nodes[src as usize].host, |h, ctx| {
+                    h.core_mut().cpu_store(addr, &[marker], ctx);
+                });
+            }
+        }
+        f.run_until_idle();
+        for src in 0..8u32 {
+            for dst in 0..8u32 {
+                if src == dst {
+                    continue;
+                }
+                let marker = (src * 16 + dst) as u8;
+                assert_eq!(
+                    f.device::<HostBridge>(sc.nodes[dst as usize].host)
+                        .core()
+                        .mem_ref()
+                        .read(0x1000 + src as u64 * 8, 1),
+                    vec![marker],
+                    "{src}->{dst}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn loopback_rig_one_way_latency_near_782ns() {
+        let mut f = Fabric::new();
+        let rig = build_loopback(&mut f, &NodeConfig::default(), Peach2Params::default());
+        // §IV-B1 methodology: store 4 bytes into board B's host block via
+        // board A; B writes it into host DRAM; measure store → DRAM write.
+        let poll_addr = 0x6000u64;
+        let watch = f
+            .device_mut::<HostBridge>(rig.node.host)
+            .core_mut()
+            .add_watch(tca_pcie::AddrRange::new(poll_addr, 4));
+        let dst = rig.map.global_addr(1, TcaBlock::Host, poll_addr);
+        let t0 = f.now();
+        f.drive::<HostBridge, _>(rig.node.host, |h, ctx| {
+            h.core_mut().cpu_store(dst, &1u32.to_le_bytes(), ctx);
+        });
+        f.run_until_idle();
+        let core = f.device::<HostBridge>(rig.node.host).core();
+        let hits = core.watch_hits(watch);
+        assert_eq!(hits.len(), 1);
+        let oneway = hits[0].since(t0);
+        // The paper measures 782 ns; the model should land in the same
+        // regime (±25%).
+        let ns = oneway.as_ns_f64();
+        assert!((580.0..980.0).contains(&ns), "one-way latency {ns} ns");
+        assert_eq!(core.mem_ref().read_u32(poll_addr), 1);
+    }
+
+    #[test]
+    fn loopback_reverse_path_through_board_b() {
+        // The rig also works backwards: a store addressed to node 0 enters
+        // board B, crosses the cable westward, and board A delivers it.
+        let mut f = Fabric::new();
+        let rig = build_loopback(&mut f, &NodeConfig::default(), Peach2Params::default());
+        let dst = rig.map.global_addr(0, TcaBlock::Host, 0x7000);
+        f.drive::<HostBridge, _>(rig.node.host, |h, ctx| {
+            h.core_mut().cpu_store(dst, b"rev", ctx);
+        });
+        f.run_until_idle();
+        assert_eq!(
+            f.device::<HostBridge>(rig.node.host)
+                .core()
+                .mem_ref()
+                .read(0x7000, 3),
+            b"rev"
+        );
+        // Board B relayed it out its W port.
+        assert_eq!(
+            f.device::<Peach2>(rig.board_b)
+                .nios()
+                .counters(PORT_W.0)
+                .egress,
+            1
+        );
+    }
+
+    #[test]
+    fn own_slice_store_hairpins_to_local_memory() {
+        // A CPU store to the node's *own* Host block goes down to the chip
+        // and hairpins back into local DRAM through the port-N translation.
+        let mut f = Fabric::new();
+        let sc = build_ring(&mut f, 4, &NodeConfig::default(), Peach2Params::default());
+        let dst = sc.map.global_addr(0, TcaBlock::Host, 0x123);
+        f.drive::<HostBridge, _>(sc.nodes[0].host, |h, ctx| {
+            h.core_mut().cpu_store(dst, &[0x77], ctx);
+        });
+        f.run_until_idle();
+        assert_eq!(
+            f.device::<HostBridge>(sc.nodes[0].host)
+                .core()
+                .mem_ref()
+                .read(0x123, 1),
+            vec![0x77]
+        );
+    }
+
+    #[test]
+    fn remote_write_to_gpu_block_lands_in_pinned_gddr() {
+        use tca_device::Gpu;
+        let mut f = Fabric::new();
+        let sc = build_ring(&mut f, 2, &NodeConfig::default(), Peach2Params::default());
+        // Pin 4 KiB of node 1's GPU0 and write into it from node 0.
+        {
+            let g = f.device_mut::<Gpu>(sc.nodes[1].gpus[0]);
+            let a = g.alloc(4096);
+            let t = g.p2p_token(a, 4096);
+            g.pin(a, 4096, t);
+        }
+        let dst = sc.map.global_addr(1, TcaBlock::Gpu0, 0x100);
+        f.drive::<HostBridge, _>(sc.nodes[0].host, |h, ctx| {
+            h.core_mut().cpu_store(dst, b"gpudirect", ctx);
+        });
+        f.run_until_idle();
+        let g = f.device::<Gpu>(sc.nodes[1].gpus[0]);
+        assert_eq!(g.gddr_ref().read(0x100, 9), b"gpudirect");
+        assert_eq!(g.faults.get(), 0);
+    }
+
+    #[test]
+    fn port_s_dynamic_reconfiguration() {
+        use crate::nios::{LinkHealth, PortRole};
+        let mut f = Fabric::new();
+        let sc = build_dual_ring(&mut f, 8, &NodeConfig::default(), Peach2Params::default());
+        // Flip node 0's port S role (future-work feature, §III-D).
+        f.drive::<Peach2, _>(sc.chips[0], |chip, ctx| {
+            assert_eq!(chip.nios().role(PORT_S.0), PortRole::RootComplex);
+            chip.reconfigure_port_s(PortRole::Endpoint, ctx);
+            assert_eq!(chip.nios().health(PORT_S.0), LinkHealth::Reconfiguring);
+        });
+        f.run_until_idle(); // the partial reconfiguration completes
+        let chip = f.device::<Peach2>(sc.chips[0]);
+        assert_eq!(chip.nios().role(PORT_S.0), PortRole::Endpoint);
+        assert_eq!(chip.nios().health(PORT_S.0), LinkHealth::Up);
+        // Traffic across the reconfigured S port still flows afterwards.
+        let dst = sc.map.global_addr(4, TcaBlock::Host, 0x40);
+        f.drive::<HostBridge, _>(sc.nodes[0].host, |h, ctx| {
+            h.core_mut().cpu_store(dst, b"postcfg", ctx);
+        });
+        f.run_until_idle();
+        assert_eq!(
+            f.device::<HostBridge>(sc.nodes[4].host)
+                .core()
+                .mem_ref()
+                .read(0x40, 7),
+            b"postcfg"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "during")]
+    fn traffic_through_reconfiguring_port_panics() {
+        use crate::nios::PortRole;
+        let mut f = Fabric::new();
+        let sc = build_dual_ring(&mut f, 8, &NodeConfig::default(), Peach2Params::default());
+        f.drive::<Peach2, _>(sc.chips[0], |chip, ctx| {
+            chip.reconfigure_port_s(PortRole::Endpoint, ctx);
+        });
+        // Route to the other ring while port S is down: operator error.
+        let dst = sc.map.global_addr(4, TcaBlock::Host, 0);
+        f.drive::<HostBridge, _>(sc.nodes[0].host, |h, ctx| {
+            h.core_mut().cpu_store(dst, &[1], ctx);
+        });
+        f.run_until_idle();
+    }
+
+    #[test]
+    fn nios_counters_observe_traffic() {
+        let mut f = Fabric::new();
+        let sc = build_ring(&mut f, 4, &NodeConfig::default(), Peach2Params::default());
+        let dst = sc.map.global_addr(2, TcaBlock::Host, 0);
+        f.drive::<HostBridge, _>(sc.nodes[0].host, |h, ctx| {
+            h.core_mut().cpu_store(dst, &[1, 2, 3, 4], ctx);
+        });
+        f.run_until_idle();
+        // Chip 0 took the packet in on N and out on E; chip 1 relayed.
+        let c0 = f.device::<Peach2>(sc.chips[0]);
+        assert_eq!(c0.nios().counters(PORT_N.0).ingress, 1);
+        assert_eq!(c0.nios().counters(PORT_E.0).egress, 1);
+        let c1 = f.device::<Peach2>(sc.chips[1]);
+        assert_eq!(c1.nios().counters(PORT_W.0).ingress, 1);
+        assert_eq!(c1.nios().counters(PORT_E.0).egress, 1);
+        assert_eq!(c1.relayed.get(), 1);
+    }
+
+    #[test]
+    fn latency_scales_with_hop_count() {
+        // A4 experiment shape: each extra ring hop adds cable + transit.
+        let mut f = Fabric::new();
+        let sc = build_ring(&mut f, 8, &NodeConfig::default(), Peach2Params::default());
+        let mut lat = Vec::new();
+        for (hop, dstn) in [(1u32, 1u32), (2, 2), (3, 3)] {
+            let poll = 0x7000 + hop as u64 * 0x100;
+            let watch = f
+                .device_mut::<HostBridge>(sc.nodes[dstn as usize].host)
+                .core_mut()
+                .add_watch(tca_pcie::AddrRange::new(poll, 4));
+            let dst = sc.map.global_addr(dstn, TcaBlock::Host, poll);
+            let t0 = f.now();
+            f.drive::<HostBridge, _>(sc.nodes[0].host, |h, ctx| {
+                h.core_mut().cpu_store(dst, &hop.to_le_bytes(), ctx);
+            });
+            f.run_until_idle();
+            let hits = f
+                .device::<HostBridge>(sc.nodes[dstn as usize].host)
+                .core()
+                .watch_hits(watch)
+                .to_vec();
+            lat.push(hits[0].since(t0));
+        }
+        assert!(lat[1] > lat[0] && lat[2] > lat[1]);
+        let d1 = lat[1] - lat[0];
+        let d2 = lat[2] - lat[1];
+        assert_eq!(d1, d2, "per-hop increment is constant");
+    }
+}

@@ -1,0 +1,196 @@
+//! DMA-engine edge cases: mixed read/write chains, the pipelined FIFO
+//! bound, unpinned remote GPU faults, and maximum-length chains.
+
+use tca_device::map::TcaBlock;
+use tca_device::node::NodeConfig;
+use tca_device::{Gpu, HostBridge};
+use tca_pcie::Fabric;
+use tca_peach2::{
+    build_ring, Descriptor, EngineKind, Peach2, Peach2Driver, Peach2Params, SubCluster,
+};
+
+fn rig(n: u32) -> (Fabric, SubCluster, Vec<Peach2Driver>) {
+    let mut f = Fabric::new();
+    let sc = build_ring(&mut f, n, &NodeConfig::default(), Peach2Params::default());
+    let drivers: Vec<_> = (0..n as usize)
+        .map(|i| Peach2Driver::new(sc.map, i as u32, sc.nodes[i].host, sc.chips[i]))
+        .collect();
+    for d in &drivers {
+        d.init(&mut f);
+    }
+    (f, sc, drivers)
+}
+
+#[test]
+fn mixed_read_write_chain_executes_in_order() {
+    // One activation: (1) read host A into SRAM, (2) write SRAM to host B,
+    // (3) write SRAM to remote host. A single doorbell, a single MSI.
+    let (mut f, sc, drv) = rig(2);
+    let d = &drv[0];
+    f.device_mut::<HostBridge>(sc.nodes[0].host)
+        .core_mut()
+        .mem()
+        .fill_pattern(d.dma_buf, 2048, 0x21);
+    let remote = sc.map.global_addr(1, TcaBlock::Host, 0x4100_0000);
+    let chain = [
+        Descriptor::new(d.dma_buf, d.sram_addr(0), 2048),
+        Descriptor::new(d.sram_addr(0), d.dma_buf + 0x10_0000, 2048),
+        Descriptor::new(d.sram_addr(0), remote, 2048),
+    ];
+    let m = d.run_dma(&mut f, &chain, EngineKind::Legacy);
+    assert_eq!(m.bytes, 3 * 2048);
+    let host0 = f.device::<HostBridge>(sc.nodes[0].host).core();
+    let mut chk = tca_pcie::PageMemory::new();
+    chk.write(
+        d.dma_buf,
+        &host0.mem_ref().read(d.dma_buf + 0x10_0000, 2048),
+    );
+    assert!(
+        chk.verify_pattern(d.dma_buf, 2048, 0x21).is_ok(),
+        "local copy"
+    );
+    let host1 = f.device::<HostBridge>(sc.nodes[1].host).core();
+    let mut chk = tca_pcie::PageMemory::new();
+    chk.write(d.dma_buf, &host1.mem_ref().read(0x4100_0000, 2048));
+    assert!(
+        chk.verify_pattern(d.dma_buf, 2048, 0x21).is_ok(),
+        "remote copy"
+    );
+    assert_eq!(host0.interrupt_count(1), 1, "single completion interrupt");
+}
+
+#[test]
+fn max_length_chain_255_descriptors() {
+    let (mut f, sc, drv) = rig(2);
+    let d = &drv[0];
+    f.device_mut::<Peach2>(sc.chips[0])
+        .sram_mut()
+        .fill_pattern(0, 255 * 64, 0x44);
+    let descs: Vec<_> = (0..255u64)
+        .map(|i| Descriptor::new(d.sram_addr(i * 64), d.dma_buf + i * 64, 64))
+        .collect();
+    let m = d.run_dma(&mut f, &descs, EngineKind::Legacy);
+    assert_eq!(m.bytes, 255 * 64);
+    let host = f.device::<HostBridge>(sc.nodes[0].host).core();
+    let mut chk = tca_pcie::PageMemory::new();
+    chk.write(0, &host.mem_ref().read(d.dma_buf, 255 * 64));
+    assert!(chk.verify_pattern(0, 255 * 64, 0x44).is_ok());
+}
+
+#[test]
+#[should_panic(expected = "1..=255")]
+fn oversized_chain_rejected_by_driver() {
+    let (mut f, _sc, drv) = rig(2);
+    let d = &drv[0];
+    let descs: Vec<_> = (0..256u64)
+        .map(|i| Descriptor::new(d.sram_addr(i * 64), d.dma_buf + i * 64, 64))
+        .collect();
+    d.write_descriptors(&mut f, &descs);
+}
+
+#[test]
+fn pipelined_put_to_unpinned_remote_gpu_faults_but_completes() {
+    // The DMA still completes (posted writes are fire-and-forget); the
+    // remote GPU counts protection faults and drops the data — the exact
+    // failure mode of skipping the GPUDirect pin step.
+    let (mut f, sc, drv) = rig(2);
+    let d = &drv[0];
+    f.device_mut::<HostBridge>(sc.nodes[0].host)
+        .core_mut()
+        .mem()
+        .fill_pattern(d.dma_buf, 1024, 1);
+    let dst = sc.map.global_addr(1, TcaBlock::Gpu0, 0x8000);
+    let m = d.pipelined_remote_put(&mut f, d.dma_buf, dst, 1024);
+    assert_eq!(m.bytes, 1024);
+    let gpu = f.device::<Gpu>(sc.nodes[1].gpus[0]);
+    assert!(gpu.faults.get() >= 1, "faults counted");
+    assert_eq!(gpu.gddr_ref().read(0x8000, 4), vec![0; 4], "data dropped");
+}
+
+#[test]
+fn pipelined_fifo_bounds_read_ahead() {
+    // With a tiny pipeline FIFO the engine must still complete correctly —
+    // the bound throttles read-ahead, it must never deadlock.
+    let mut f = Fabric::new();
+    let params = Peach2Params {
+        pipeline_fifo: 1024, // 2 read chunks
+        ..Peach2Params::default()
+    };
+    let sc = build_ring(&mut f, 2, &NodeConfig::default(), params);
+    let d = Peach2Driver::new(sc.map, 0, sc.nodes[0].host, sc.chips[0]);
+    d.init(&mut f);
+    f.device_mut::<HostBridge>(sc.nodes[0].host)
+        .core_mut()
+        .mem()
+        .fill_pattern(d.dma_buf, 64 * 1024, 0x55);
+    let dst = sc.map.global_addr(1, TcaBlock::Host, 0x4200_0000);
+    let tight = d.pipelined_remote_put(&mut f, d.dma_buf, dst, 64 * 1024);
+    let host1 = f.device::<HostBridge>(sc.nodes[1].host).core();
+    let mut chk = tca_pcie::PageMemory::new();
+    chk.write(d.dma_buf, &host1.mem_ref().read(0x4200_0000, 64 * 1024));
+    assert!(chk.verify_pattern(d.dma_buf, 64 * 1024, 0x55).is_ok());
+
+    // A deep FIFO is at least as fast.
+    let mut f2 = Fabric::new();
+    let sc2 = build_ring(&mut f2, 2, &NodeConfig::default(), Peach2Params::default());
+    let d2 = Peach2Driver::new(sc2.map, 0, sc2.nodes[0].host, sc2.chips[0]);
+    d2.init(&mut f2);
+    f2.device_mut::<HostBridge>(sc2.nodes[0].host)
+        .core_mut()
+        .mem()
+        .fill_pattern(d2.dma_buf, 64 * 1024, 0x55);
+    let dst2 = sc2.map.global_addr(1, TcaBlock::Host, 0x4200_0000);
+    let deep = d2.pipelined_remote_put(&mut f2, d2.dma_buf, dst2, 64 * 1024);
+    assert!(
+        deep.window <= tight.window,
+        "deep={:?} tight={:?}",
+        deep,
+        tight
+    );
+}
+
+#[test]
+fn back_to_back_engines_alternate() {
+    // Alternate legacy and pipelined runs on the same board; the engine
+    // select register is honoured per activation.
+    let (mut f, sc, drv) = rig(2);
+    let d = &drv[0];
+    f.device_mut::<Peach2>(sc.chips[0])
+        .sram_mut()
+        .fill_pattern(0, 512, 7);
+    f.device_mut::<HostBridge>(sc.nodes[0].host)
+        .core_mut()
+        .mem()
+        .fill_pattern(d.dma_buf, 512, 8);
+    let remote = sc.map.global_addr(1, TcaBlock::Host, 0x4300_0000);
+    for round in 0..4u64 {
+        if round % 2 == 0 {
+            d.run_dma(
+                &mut f,
+                &[Descriptor::new(
+                    d.sram_addr(0),
+                    remote + round * 0x1000,
+                    512,
+                )],
+                EngineKind::Legacy,
+            );
+        } else {
+            d.run_dma(
+                &mut f,
+                &[Descriptor::new(d.dma_buf, remote + round * 0x1000, 512)],
+                EngineKind::Pipelined,
+            );
+        }
+    }
+    let host1 = f.device::<HostBridge>(sc.nodes[1].host).core();
+    for round in 0..4u64 {
+        let seed = if round % 2 == 0 { 7 } else { 8 };
+        let base = if round % 2 == 0 { 0 } else { d.dma_buf };
+        let mut chk = tca_pcie::PageMemory::new();
+        chk.write(
+            base,
+            &host1.mem_ref().read(0x4300_0000 + round * 0x1000, 512),
+        );
+        assert!(chk.verify_pattern(base, 512, seed).is_ok(), "round {round}");
+    }
+}

@@ -1,0 +1,157 @@
+//! An interrupt-driven driver agent: re-arms the next DMA chain from
+//! inside the completion interrupt handler, the way a production driver
+//! pipelines work without any polling. Exercises the HostAgent hook
+//! end-to-end through the MSI path.
+
+use tca_device::map::{TcaBlock, TcaMap};
+use tca_device::node::NodeConfig;
+use tca_device::{HostAgent, HostApi, HostBridge};
+use tca_pcie::Fabric;
+use tca_peach2::regs::{REG_DMA_DESC_ADDR, REG_DMA_DESC_COUNT, REG_DMA_DOORBELL, REG_DMA_ENGINE};
+use tca_peach2::{build_ring, Descriptor, Peach2, Peach2Params, SRAM_OFFSET};
+
+/// Driver software: on each DMA-complete interrupt, writes the next
+/// descriptor table and rings the doorbell again, `remaining` times.
+struct RearmingDriver {
+    map: TcaMap,
+    node: u32,
+    desc_table: u64,
+    dma_buf: u64,
+    remaining: u32,
+    completed: u32,
+    chunk: u64,
+}
+
+impl RearmingDriver {
+    fn regs_base(&self) -> u64 {
+        self.map.global_addr(self.node, TcaBlock::Internal, 0)
+    }
+
+    fn sram_addr(&self, off: u64) -> u64 {
+        self.map
+            .global_addr(self.node, TcaBlock::Internal, SRAM_OFFSET + off)
+    }
+
+    fn arm_next(&mut self, h: &mut HostApi<'_, '_>) {
+        let round = self.completed as u64;
+        let d = Descriptor::new(
+            self.sram_addr(0),
+            self.dma_buf + round * self.chunk,
+            self.chunk,
+        );
+        h.host.mem().write(self.desc_table, &d.encode());
+        let base = self.regs_base();
+        let table = self.desc_table;
+        h.store(base + REG_DMA_DESC_ADDR, &table.to_le_bytes());
+        h.store(base + REG_DMA_DESC_COUNT, &1u32.to_le_bytes());
+        h.store(base + REG_DMA_ENGINE, &0u32.to_le_bytes());
+        h.store(base + REG_DMA_DOORBELL, &1u32.to_le_bytes());
+        self.remaining -= 1;
+    }
+}
+
+impl HostAgent for RearmingDriver {
+    fn on_interrupt(&mut self, vector: u32, h: &mut HostApi<'_, '_>) {
+        assert_eq!(vector, 1, "DMA completion vector");
+        self.completed += 1;
+        if self.remaining > 0 {
+            self.arm_next(h);
+        }
+    }
+
+    fn on_timer(&mut self, _tag: u64, h: &mut HostApi<'_, '_>) {
+        // Kick-off timer: arm the first chain.
+        self.arm_next(h);
+    }
+}
+
+#[test]
+fn interrupt_driven_rearming_runs_k_chains_without_host_polling() {
+    const ROUNDS: u32 = 6;
+    const CHUNK: u64 = 4096;
+
+    let mut f = Fabric::new();
+    let sc = build_ring(&mut f, 2, &NodeConfig::default(), Peach2Params::default());
+    f.device_mut::<Peach2>(sc.chips[0])
+        .sram_mut()
+        .fill_pattern(0, CHUNK, 0x5c);
+
+    let driver = RearmingDriver {
+        map: sc.map,
+        node: 0,
+        desc_table: 0x0100_0000,
+        dma_buf: 0x0400_0000,
+        remaining: ROUNDS,
+        completed: 0,
+        chunk: CHUNK,
+    };
+    let dma_buf = driver.dma_buf;
+    f.device_mut::<HostBridge>(sc.nodes[0].host)
+        .set_agent(Box::new(driver));
+
+    // One kick-off timer; everything after is interrupt-driven.
+    f.schedule_timer(sc.nodes[0].host, tca_sim::Dur::from_ns(10), 0);
+    f.run_until_idle();
+
+    let core = f.device::<HostBridge>(sc.nodes[0].host).core();
+    assert_eq!(
+        core.interrupt_count(1),
+        ROUNDS as usize,
+        "one MSI per chain"
+    );
+    // Every round landed its chunk at a distinct offset.
+    for round in 0..ROUNDS as u64 {
+        let mut chk = tca_pcie::PageMemory::new();
+        chk.write(
+            0,
+            &core.mem_ref().read(dma_buf + round * CHUNK, CHUNK as usize),
+        );
+        assert!(
+            chk.verify_pattern(0, CHUNK, 0x5c).is_ok(),
+            "round {round} data"
+        );
+    }
+    // The chip agrees: six completed runs.
+    let chip = f.device::<Peach2>(sc.chips[0]);
+    assert_eq!(chip.runs.len(), ROUNDS as usize);
+    assert!(chip.runs.iter().all(|r| r.complete.is_some()));
+}
+
+#[test]
+fn rearming_driver_back_to_back_windows_are_uniform() {
+    // The interrupt→doorbell turnaround is constant, so the gaps between
+    // successive chip-side completion times must be identical — a strong
+    // determinism + timing-model check.
+    const ROUNDS: u32 = 5;
+    let mut f = Fabric::new();
+    let sc = build_ring(&mut f, 2, &NodeConfig::default(), Peach2Params::default());
+    f.device_mut::<Peach2>(sc.chips[0])
+        .sram_mut()
+        .fill_pattern(0, 4096, 1);
+    let driver = RearmingDriver {
+        map: sc.map,
+        node: 0,
+        desc_table: 0x0100_0000,
+        dma_buf: 0x0400_0000,
+        remaining: ROUNDS,
+        completed: 0,
+        chunk: 4096,
+    };
+    f.device_mut::<HostBridge>(sc.nodes[0].host)
+        .set_agent(Box::new(driver));
+    f.schedule_timer(sc.nodes[0].host, tca_sim::Dur::from_ns(10), 0);
+    f.run_until_idle();
+
+    let chip = f.device::<Peach2>(sc.chips[0]);
+    let completes: Vec<_> = chip
+        .runs
+        .iter()
+        .map(|r| r.complete.expect("complete").as_ps())
+        .collect();
+    assert_eq!(completes.len(), ROUNDS as usize);
+    let gaps: Vec<u64> = completes.windows(2).map(|w| w[1] - w[0]).collect();
+    assert!(
+        gaps.windows(2).all(|g| g[0] == g[1]),
+        "steady-state gaps must be uniform: {gaps:?}"
+    );
+}

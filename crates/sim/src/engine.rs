@@ -1,0 +1,253 @@
+//! Generic discrete-event engine.
+//!
+//! [`EventQueue`] is a priority queue of `(SimTime, E)` pairs with a strict
+//! deterministic tie-break: events scheduled at the same instant pop in the
+//! order they were scheduled. The engine is deliberately payload-agnostic;
+//! the PCIe fabric layer defines the payload type and the dispatch loop.
+
+use crate::time::{Dur, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Identifier of a scheduled event, usable for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId(u64);
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+// BinaryHeap is a max-heap; invert the ordering to pop the earliest event.
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+/// A deterministic discrete-event queue.
+///
+/// Invariants:
+/// * time never moves backwards: popping advances `now` monotonically;
+/// * scheduling in the past (before `now`) is a model bug and panics;
+/// * same-instant events pop in scheduling order (FIFO tie-break).
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    cancelled: std::collections::HashSet<u64>,
+    now: SimTime,
+    next_seq: u64,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at t = 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: std::collections::HashSet::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// Current simulation time (the timestamp of the last popped event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    #[inline]
+    pub fn events_executed(&self) -> u64 {
+        self.popped
+    }
+
+    /// Number of events still pending (including cancelled tombstones).
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedules `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is before the current time.
+    #[track_caller]
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "scheduling into the past: at={at:?} now={:?}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, payload });
+        EventId(seq)
+    }
+
+    /// Schedules `payload` after a delay relative to now.
+    #[track_caller]
+    pub fn schedule_in(&mut self, delay: Dur, payload: E) -> EventId {
+        self.schedule_at(self.now + delay, payload)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event
+    /// had not yet fired (cancellation is lazy; the tombstone is dropped
+    /// when the event would have popped).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(id.0)
+    }
+
+    /// Pops the next live event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(ev) = self.heap.pop() {
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            debug_assert!(ev.at >= self.now, "event queue went backwards");
+            self.now = ev.at;
+            self.popped += 1;
+            return Some((ev.at, ev.payload));
+        }
+        None
+    }
+
+    /// Timestamp of the next live event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drop leading tombstones so peek is accurate.
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.contains(&top.seq) {
+                let seq = self.heap.pop().expect("peeked").seq;
+                self.cancelled.remove(&seq);
+            } else {
+                return Some(top.at);
+            }
+        }
+        None
+    }
+
+    /// True when no live events remain.
+    pub fn is_idle(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_ps(30), "c");
+        q.schedule_at(SimTime::from_ps(10), "a");
+        q.schedule_at(SimTime::from_ps(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+        assert_eq!(q.now(), SimTime::from_ps(30));
+    }
+
+    #[test]
+    fn fifo_tie_break_at_same_instant() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule_at(SimTime::from_ps(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_ps(100), 1);
+        q.pop();
+        q.schedule_in(Dur::from_ps(50), 2);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_ps(150));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn cannot_schedule_into_past() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_ps(100), 1);
+        q.pop();
+        q.schedule_at(SimTime::from_ps(50), 2);
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_ps(10), "a");
+        q.schedule_at(SimTime::from_ps(20), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(EventId(999)), "unknown id");
+        let (t, e) = q.pop().unwrap();
+        assert_eq!((t, e), (SimTime::from_ps(20), "b"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_skips_tombstones() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_ps(10), "a");
+        q.schedule_at(SimTime::from_ps(20), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_ps(20)));
+        assert!(!q.is_idle());
+        q.pop();
+        assert!(q.is_idle());
+    }
+
+    #[test]
+    fn counts_executed_events() {
+        let mut q = EventQueue::new();
+        for i in 0..10u64 {
+            q.schedule_at(SimTime::from_ps(i), i);
+        }
+        while q.pop().is_some() {}
+        assert_eq!(q.events_executed(), 10);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_deterministic() {
+        // A chain of events each scheduling a successor must execute exactly.
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_ps(1), 0u64);
+        let mut seen = vec![];
+        while let Some((_, n)) = q.pop() {
+            seen.push(n);
+            if n < 5 {
+                q.schedule_in(Dur::from_ps(2), n + 1);
+            }
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(q.now(), SimTime::from_ps(11));
+    }
+}

@@ -1,0 +1,332 @@
+//! Measurement collectors used by device models and the bench harness.
+
+use crate::time::{Dur, SimTime};
+use std::fmt;
+
+/// Incrementing event counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// New zeroed counter.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+    /// Adds one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Accumulates transferred bytes over a time window and reports throughput.
+#[derive(Clone, Copy, Debug)]
+pub struct BandwidthMeter {
+    bytes: u64,
+    first: Option<SimTime>,
+    last: SimTime,
+}
+
+impl Default for BandwidthMeter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BandwidthMeter {
+    /// New meter with no samples.
+    pub const fn new() -> Self {
+        BandwidthMeter {
+            bytes: 0,
+            first: None,
+            last: SimTime::ZERO,
+        }
+    }
+
+    /// Records `bytes` delivered at instant `at`.
+    pub fn record(&mut self, at: SimTime, bytes: u64) {
+        if self.first.is_none() {
+            self.first = Some(at);
+        }
+        self.bytes += bytes;
+        self.last = self.last.max(at);
+    }
+
+    /// Total bytes recorded.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Throughput between `start` and `end` instants chosen by the caller
+    /// (e.g. doorbell time → completion time), in bytes/second.
+    pub fn throughput_over(&self, start: SimTime, end: SimTime) -> f64 {
+        let dur = end.since(start);
+        if dur == Dur::ZERO {
+            return 0.0;
+        }
+        self.bytes as f64 / dur.as_s_f64()
+    }
+
+    /// Throughput over the observed window (first to last record).
+    pub fn throughput(&self) -> f64 {
+        match self.first {
+            Some(first) if self.last > first => self.throughput_over(first, self.last),
+            _ => 0.0,
+        }
+    }
+}
+
+/// Streaming mean/variance via Welford's algorithm, plus min/max.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// New empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Sample count.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+    /// Population variance (0 with < 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+    /// Standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+    /// Smallest sample (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+    /// Largest sample (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+}
+
+/// Fixed-layout log₂ latency histogram: bucket *i* counts samples with
+/// `floor(log2(ns)) == i`, saturating at the top bucket. Cheap enough to
+/// leave enabled in all device models.
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    buckets: [u64; 64],
+    stats: OnlineStats,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// New empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: [0; 64],
+            stats: OnlineStats::new(),
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, d: Dur) {
+        let ns = d.as_ps() / 1_000;
+        let idx = if ns == 0 {
+            0
+        } else {
+            (63 - ns.leading_zeros() as usize).min(63)
+        };
+        self.buckets[idx] += 1;
+        self.stats.add(d.as_ns_f64());
+    }
+
+    /// Sample count.
+    pub fn count(&self) -> u64 {
+        self.stats.count()
+    }
+
+    /// Mean latency in nanoseconds.
+    pub fn mean_ns(&self) -> f64 {
+        self.stats.mean()
+    }
+
+    /// Approximate percentile (bucket upper bound), `q` in `[0, 1]`.
+    pub fn percentile_ns(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return (1u64 << (i + 1)) as f64; // bucket upper bound in ns
+            }
+        }
+        f64::MAX
+    }
+
+    /// Underlying scalar statistics.
+    pub fn stats(&self) -> &OnlineStats {
+        &self.stats
+    }
+}
+
+impl fmt::Display for LatencyHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1}ns p50≤{:.0}ns p99≤{:.0}ns max={:.1}ns",
+            self.count(),
+            self.mean_ns(),
+            self.percentile_ns(0.50),
+            self.percentile_ns(0.99),
+            self.stats.max().unwrap_or(0.0),
+        )
+    }
+}
+
+/// Formats a throughput in the unit convention the paper uses (Gbytes/sec,
+/// decimal giga).
+pub fn fmt_gbps(bytes_per_sec: f64) -> String {
+    format!("{:.3} GB/s", bytes_per_sec / 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn bandwidth_meter_window() {
+        let mut m = BandwidthMeter::new();
+        m.record(SimTime::from_ps(0), 500);
+        m.record(SimTime::from_ps(1_000_000), 500); // 1 µs window
+                                                    // 1000 bytes over 1 µs = 1 GB/s.
+        assert!((m.throughput() - 1e9).abs() < 1.0);
+        assert_eq!(m.bytes(), 1000);
+    }
+
+    #[test]
+    fn bandwidth_meter_explicit_window() {
+        let mut m = BandwidthMeter::new();
+        m.record(SimTime::from_ps(500), 4096);
+        let bw = m.throughput_over(SimTime::ZERO, SimTime::from_ps(1_000_000));
+        assert!((bw - 4.096e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn bandwidth_meter_empty_or_instantaneous() {
+        let m = BandwidthMeter::new();
+        assert_eq!(m.throughput(), 0.0);
+        let mut m = BandwidthMeter::new();
+        m.record(SimTime::from_ps(10), 100);
+        assert_eq!(m.throughput(), 0.0, "single instant has no window");
+    }
+
+    #[test]
+    fn online_stats_mean_var() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.add(x);
+        }
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert_eq!(s.count(), 8);
+    }
+
+    #[test]
+    fn online_stats_empty() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record(Dur::from_ns(100)); // bucket 6 (64..128)
+        }
+        for _ in 0..10 {
+            h.record(Dur::from_ns(10_000)); // bucket 13 (8192..16384)
+        }
+        assert_eq!(h.count(), 100);
+        assert!((h.mean_ns() - 1090.0).abs() < 1e-9);
+        assert_eq!(h.percentile_ns(0.5), 128.0);
+        assert_eq!(h.percentile_ns(0.99), 16384.0);
+    }
+
+    #[test]
+    fn histogram_sub_ns_sample() {
+        let mut h = LatencyHistogram::new();
+        h.record(Dur::from_ps(500)); // < 1 ns lands in bucket 0
+        assert_eq!(h.count(), 1);
+        assert!(h.percentile_ns(1.0) >= 2.0);
+    }
+
+    #[test]
+    fn fmt_gbps_matches_paper_convention() {
+        assert_eq!(fmt_gbps(3.66e9), "3.660 GB/s");
+    }
+}

@@ -1,0 +1,139 @@
+//! Lightweight simulation tracing.
+//!
+//! Device models call [`Tracer::emit`] with a closure producing the line, so
+//! a disabled tracer costs one branch. Traces are kept in a bounded ring and
+//! can be dumped when a test fails, which is the main debugging tool for a
+//! packet-level model.
+
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+/// Trace verbosity.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Default)]
+pub enum TraceLevel {
+    /// No tracing (default).
+    #[default]
+    Off,
+    /// Transaction-level: DMA starts/completions, interrupts.
+    Txn,
+    /// Packet-level: every TLP hop. Very verbose.
+    Packet,
+}
+
+/// A bounded in-memory trace ring.
+#[derive(Debug)]
+pub struct Tracer {
+    level: TraceLevel,
+    capacity: usize,
+    ring: VecDeque<(SimTime, String)>,
+    dropped: u64,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new(TraceLevel::Off, 4096)
+    }
+}
+
+impl Tracer {
+    /// Creates a tracer keeping at most `capacity` most-recent lines.
+    pub fn new(level: TraceLevel, capacity: usize) -> Self {
+        Tracer {
+            level,
+            capacity: capacity.max(1),
+            ring: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Current verbosity.
+    pub fn level(&self) -> TraceLevel {
+        self.level
+    }
+
+    /// Changes verbosity at runtime.
+    pub fn set_level(&mut self, level: TraceLevel) {
+        self.level = level;
+    }
+
+    /// Records a line if `level` is enabled. The closure runs only when the
+    /// line will actually be stored.
+    #[inline]
+    pub fn emit(&mut self, level: TraceLevel, at: SimTime, line: impl FnOnce() -> String) {
+        if level <= self.level && level != TraceLevel::Off {
+            if self.ring.len() == self.capacity {
+                self.ring.pop_front();
+                self.dropped += 1;
+            }
+            self.ring.push_back((at, line()));
+        }
+    }
+
+    /// Number of lines evicted from the ring.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates retained lines oldest-first.
+    pub fn lines(&self) -> impl Iterator<Item = &(SimTime, String)> {
+        self.ring.iter()
+    }
+
+    /// Renders the retained trace as a multi-line string.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        if self.dropped > 0 {
+            out.push_str(&format!("... {} earlier lines dropped ...\n", self.dropped));
+        }
+        for (t, l) in &self.ring {
+            out.push_str(&format!("[{t}] {l}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_by_default_and_lazy() {
+        let mut t = Tracer::default();
+        let mut evaluated = false;
+        t.emit(TraceLevel::Txn, SimTime::ZERO, || {
+            evaluated = true;
+            "x".into()
+        });
+        assert!(!evaluated, "closure must not run when disabled");
+        assert_eq!(t.lines().count(), 0);
+    }
+
+    #[test]
+    fn level_filtering() {
+        let mut t = Tracer::new(TraceLevel::Txn, 16);
+        t.emit(TraceLevel::Txn, SimTime::ZERO, || "txn".into());
+        t.emit(TraceLevel::Packet, SimTime::ZERO, || "pkt".into());
+        let lines: Vec<_> = t.lines().map(|(_, l)| l.as_str()).collect();
+        assert_eq!(lines, ["txn"]);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut t = Tracer::new(TraceLevel::Packet, 3);
+        for i in 0..5 {
+            t.emit(TraceLevel::Packet, SimTime::from_ps(i), || format!("l{i}"));
+        }
+        let lines: Vec<_> = t.lines().map(|(_, l)| l.as_str()).collect();
+        assert_eq!(lines, ["l2", "l3", "l4"]);
+        assert_eq!(t.dropped(), 2);
+        assert!(t.dump().contains("2 earlier lines dropped"));
+    }
+
+    #[test]
+    fn dump_contains_timestamps() {
+        let mut t = Tracer::new(TraceLevel::Txn, 8);
+        t.emit(TraceLevel::Txn, SimTime::from_ps(1_500), || "hello".into());
+        let d = t.dump();
+        assert!(d.contains("1.500ns") && d.contains("hello"), "{d}");
+    }
+}

@@ -1,0 +1,28 @@
+//! Distributed Conjugate Gradient on the TCA sub-cluster — the lattice-
+//! QCD-shaped workload HA-PACS exists for: halo cells travel as 8-byte
+//! PIO puts, dot products as sub-microsecond ring allreduces, and no MPI
+//! is anywhere in the stack.
+//!
+//! Run with: `cargo run --release --example cg_solver`
+
+use tca::apps::cg_solve;
+use tca::prelude::*;
+
+fn main() {
+    for nodes in [2u32, 4, 8] {
+        let mut cluster = TcaClusterBuilder::new(nodes).build();
+        let rep = cg_solve(&mut cluster, 64, 1e-10, 1000);
+        println!(
+            "{nodes} nodes x 64 unknowns: converged in {} iterations, \
+             residual {:.2e}, error vs direct solve {:.2e}",
+            rep.iterations, rep.residual, rep.max_error
+        );
+        println!(
+            "  simulated comm time {} ({} per iteration)",
+            rep.comm_time,
+            rep.comm_time / rep.iterations.max(1) as u64
+        );
+        assert!(rep.max_error < 1e-6);
+    }
+    println!("\nall solves verified against the Thomas-algorithm reference");
+}

@@ -1,0 +1,140 @@
+//! Domain-decomposed Jacobi stencil with TCA halo exchange — the workload
+//! class (particle physics, astrophysics, QCD-style stencils) that
+//! HA-PACS/TCA was built for, and the reason the chaining DMAC supports
+//! stride access (§III-D: "the stride access caused by multidimensional
+//! array data").
+//!
+//! A 2-D grid is split row-wise across the GPUs of a 4-node ring. Each
+//! iteration the boundary rows travel GPU-to-GPU through PEACH2 — no MPI,
+//! no staging through host memory — then every node smooths its slab.
+//! The result is verified against a single-domain reference.
+//!
+//! Run with: `cargo run --release --example halo_exchange`
+#![allow(clippy::needless_range_loop)] // parallel-array numeric kernel
+
+use tca::prelude::*;
+
+const NODES: u32 = 4;
+const COLS: usize = 128;
+const ROWS_PER_NODE: usize = 32;
+const ITERS: usize = 8;
+
+type Grid = Vec<Vec<f64>>;
+
+fn pack(row: &[f64]) -> Vec<u8> {
+    row.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+fn unpack(bytes: &[u8]) -> Vec<f64> {
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect()
+}
+
+/// Row `r` of a node's slab in its GPU allocation (r = 0 is the top halo,
+/// rows 1..=ROWS_PER_NODE are owned, ROWS_PER_NODE+1 is the bottom halo).
+fn row_off(r: usize) -> u64 {
+    (r * COLS * 8) as u64
+}
+
+fn main() {
+    let total_rows = NODES as usize * ROWS_PER_NODE;
+    // Reference grid with fixed boundary values.
+    let mut reference: Grid = (0..total_rows + 2)
+        .map(|r| (0..COLS).map(|c| ((r * 7 + c * 13) % 100) as f64).collect())
+        .collect();
+
+    let mut cluster = TcaClusterBuilder::new(NODES).build();
+    let slabs: Vec<GpuAlloc> = (0..NODES)
+        .map(|n| cluster.alloc_gpu(n, 0, ((ROWS_PER_NODE + 2) * COLS * 8) as u64))
+        .collect();
+
+    // Scatter: node n owns global rows [n*RPN, (n+1)*RPN), stored with a
+    // halo row above and below.
+    for n in 0..NODES as usize {
+        for r in 0..ROWS_PER_NODE + 2 {
+            let global = n * ROWS_PER_NODE + r; // reference row index
+            cluster.write(&slabs[n].at(row_off(r)), &pack(&reference[global]));
+        }
+    }
+
+    let row_bytes = (COLS * 8) as u64;
+    let mut comm_time = Dur::ZERO;
+    for _iter in 0..ITERS {
+        // --- Halo exchange in two concurrent waves (each board runs one
+        // DMA at a time, so upward puts fly together, then downward puts).
+        let t0 = cluster.now();
+        let up_wave: Vec<TcaEvent> = (1..NODES as usize)
+            .map(|n| {
+                // My first owned row becomes the upper neighbour's bottom halo.
+                cluster.memcpy_peer_async(
+                    &slabs[n - 1].at(row_off(ROWS_PER_NODE + 1)),
+                    &slabs[n].at(row_off(1)),
+                    row_bytes,
+                )
+            })
+            .collect();
+        for ev in up_wave {
+            cluster.wait(ev);
+        }
+        let down_wave: Vec<TcaEvent> = (0..NODES as usize - 1)
+            .map(|n| {
+                // My last owned row becomes the lower neighbour's top halo.
+                cluster.memcpy_peer_async(
+                    &slabs[n + 1].at(row_off(0)),
+                    &slabs[n].at(row_off(ROWS_PER_NODE)),
+                    row_bytes,
+                )
+            })
+            .collect();
+        for ev in down_wave {
+            cluster.wait(ev);
+        }
+        cluster.synchronize();
+        comm_time += cluster.now().since(t0);
+
+        // --- Local Jacobi smoothing (kernel stand-in).
+        for n in 0..NODES as usize {
+            let slab = unpack(&cluster.read(&slabs[n].at(0), (ROWS_PER_NODE + 2) * COLS * 8));
+            let mut next = slab.clone();
+            for r in 1..=ROWS_PER_NODE {
+                for c in 1..COLS - 1 {
+                    let i = r * COLS + c;
+                    next[i] = 0.25 * (slab[i - COLS] + slab[i + COLS] + slab[i - 1] + slab[i + 1]);
+                }
+            }
+            for r in 1..=ROWS_PER_NODE {
+                cluster.write(
+                    &slabs[n].at(row_off(r)),
+                    &pack(&next[r * COLS..(r + 1) * COLS]),
+                );
+            }
+        }
+
+        // --- Reference smoothing over the whole grid.
+        let prev = reference.clone();
+        for (r, row) in reference.iter_mut().enumerate().skip(1).take(total_rows) {
+            for c in 1..COLS - 1 {
+                row[c] = 0.25 * (prev[r - 1][c] + prev[r + 1][c] + prev[r][c - 1] + prev[r][c + 1]);
+            }
+        }
+    }
+
+    // Gather and compare.
+    let mut max_err = 0.0f64;
+    for n in 0..NODES as usize {
+        for r in 1..=ROWS_PER_NODE {
+            let got = unpack(&cluster.read(&slabs[n].at(row_off(r)), COLS * 8));
+            let global = n * ROWS_PER_NODE + r;
+            for c in 1..COLS - 1 {
+                max_err = max_err.max((got[c] - reference[global][c]).abs());
+            }
+        }
+    }
+    println!("{ITERS} Jacobi iterations on a {total_rows}x{COLS} grid across {NODES} GPUs");
+    println!("halo-exchange time total: {comm_time}");
+    println!("max error vs single-domain reference: {max_err:.3e}");
+    assert!(max_err < 1e-12, "distributed result diverged");
+    println!("distributed == reference: OK");
+}

@@ -1,0 +1,72 @@
+//! The management plane: PEACH2's NIOS microcontroller (§III-D) watching
+//! a live sub-cluster, plus the dynamic port-S role switch the paper
+//! lists as future work.
+//!
+//! Run with: `cargo run --release --example management`
+
+use tca::peach2::{Peach2, PortRole, PORT_S};
+use tca::prelude::*;
+
+fn main() {
+    // A dual-ring of 8 nodes: two 4-rings coupled through port S.
+    let mut cluster = TcaClusterBuilder::new(8)
+        .topology(Topology::DualRing)
+        .build();
+
+    // Generate some cross-ring traffic (ring A node 1 → ring B node 6).
+    for i in 0..8u64 {
+        cluster.pio_put(1, &MemRef::host(6, 0x4000_0000 + i * 64), &[i as u8; 64]);
+    }
+    cluster.write(&MemRef::host(0, 0x4800_0000), &vec![3u8; 64 * 1024]);
+    cluster.memcpy_peer(
+        &MemRef::host(5, 0x5000_0000),
+        &MemRef::host(0, 0x4800_0000),
+        64 * 1024,
+    );
+
+    // Read the management status of every board.
+    println!("== NIOS status across the sub-cluster ==");
+    for (i, &chip) in cluster.sub.chips.iter().enumerate() {
+        let c = cluster.fabric.device::<Peach2>(chip);
+        let n = c.nios();
+        println!(
+            "node {i}: N in/out {}/{}  E {}/{}  W {}/{}  S {}/{}  relayed={} log={}",
+            n.counters(0).ingress,
+            n.counters(0).egress,
+            n.counters(1).ingress,
+            n.counters(1).egress,
+            n.counters(2).ingress,
+            n.counters(2).egress,
+            n.counters(3).ingress,
+            n.counters(3).egress,
+            c.relayed.get(),
+            n.log().len(),
+        );
+    }
+
+    // Dynamic port-S reconfiguration on node 0 (partial FPGA reconfig:
+    // the port is down for tens of milliseconds of simulated time).
+    println!("\n== reconfiguring node 0 port S: RC -> EP ==");
+    let chip0 = cluster.sub.chips[0];
+    let t0 = cluster.now();
+    cluster.fabric.drive::<Peach2, _>(chip0, |chip, ctx| {
+        println!("  before: role={:?}", chip.nios().role(PORT_S.0));
+        chip.reconfigure_port_s(PortRole::Endpoint, ctx);
+    });
+    cluster.fabric.run_until_idle();
+    let took = cluster.now().since(t0);
+    let c = cluster.fabric.device::<Peach2>(chip0);
+    println!(
+        "  after:  role={:?}  health={:?}  (took {took})",
+        c.nios().role(PORT_S.0),
+        c.nios().health(PORT_S.0)
+    );
+
+    // The cross-ring path through the reconfigured port works again.
+    cluster.pio_put(0, &MemRef::host(4, 0x4200_0000), b"back online");
+    assert_eq!(
+        cluster.read(&MemRef::host(4, 0x4200_0000), 11),
+        b"back online"
+    );
+    println!("\ncross-ring traffic through the reconfigured port: OK");
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper plus the ablations,
+# saving text outputs to results/ alongside the JSON export.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out=${1:-results}
+mkdir -p "$out"
+
+bins=(tables fig7 fig8 fig9 fig12 latency ablation_qpi ablation_dmac \
+      ablation_pearl ring_hops comparison contention hierarchy scaling apps)
+for b in "${bins[@]}"; do
+    echo "== $b =="
+    cargo run -q --release -p tca-bench --bin "$b" | tee "$out/$b.txt"
+    echo
+done
+cargo run -q --release -p tca-bench --bin export "$out/json"
+echo "all outputs under $out/"

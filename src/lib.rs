@@ -1,0 +1,19 @@
+//! `tca` — facade crate for the TCA / PEACH2 reproduction.
+//!
+//! Re-exports every workspace crate under one roof so that examples and
+//! integration tests can `use tca::...`.
+
+#![forbid(unsafe_code)]
+
+pub use tca_apps as apps;
+pub use tca_core as core;
+pub use tca_device as device;
+pub use tca_net as net;
+pub use tca_pcie as pcie;
+pub use tca_peach2 as peach2;
+pub use tca_sim as sim;
+
+/// Re-export of the most commonly used items.
+pub mod prelude {
+    pub use tca_core::prelude::*;
+}

@@ -1,0 +1,58 @@
+//! The determinism contract: identical configurations replay with
+//! bit-identical timing and event counts — the property every measurement
+//! in `EXPERIMENTS.md` relies on.
+
+use tca::prelude::*;
+
+fn run_workload() -> (u64, Vec<u64>) {
+    let mut c = TcaClusterBuilder::new(4).build();
+    let mut times = Vec::new();
+    let a = c.alloc_gpu(0, 0, 64 * 1024);
+    let b = c.alloc_gpu(2, 1, 64 * 1024);
+    c.write(&a.at(0), &vec![7u8; 64 * 1024]);
+    for len in [64u64, 4096, 65536] {
+        let d = c.memcpy_peer(&b.at(0), &a.at(0), len);
+        times.push(d.as_ps());
+    }
+    let p = c.pio_put(1, &MemRef::host(3, 0x4000_0000), &[1, 2, 3, 4]);
+    times.push(p.as_ps());
+    times.push(c.now().as_ps());
+    (c.fabric.events_executed(), times)
+}
+
+#[test]
+fn identical_runs_replay_bit_identically() {
+    let (ev1, t1) = run_workload();
+    let (ev2, t2) = run_workload();
+    assert_eq!(ev1, ev2, "event counts diverged");
+    assert_eq!(t1, t2, "timings diverged");
+}
+
+#[test]
+fn figure_sweeps_are_reproducible() {
+    let a = tca_bench::fig9(&[1, 4, 255]);
+    let b = tca_bench::fig9(&[1, 4, 255]);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.cpu_write.to_bits(), y.cpu_write.to_bits());
+        assert_eq!(x.cpu_read.to_bits(), y.cpu_read.to_bits());
+        assert_eq!(x.gpu_write.to_bits(), y.gpu_write.to_bits());
+    }
+}
+
+#[test]
+fn latency_report_is_reproducible() {
+    let a = tca_bench::latency_report();
+    let b = tca_bench::latency_report();
+    assert_eq!(a.pio_oneway_ns.to_bits(), b.pio_oneway_ns.to_bits());
+    assert_eq!(a.ib_qdr_oneway_ns.to_bits(), b.ib_qdr_oneway_ns.to_bits());
+    assert_eq!(a.mpi_halfrtt_ns.to_bits(), b.mpi_halfrtt_ns.to_bits());
+}
+
+#[test]
+fn rng_streams_are_seed_stable() {
+    let mut a = tca::sim::SimRng::seed_from_u64(1234);
+    let expected: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+    let mut b = tca::sim::SimRng::seed_from_u64(1234);
+    let got: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
+    assert_eq!(expected, got);
+}

@@ -1,0 +1,176 @@
+//! Cross-crate integration: whole-cluster transfers exercising every layer
+//! (API → driver → chip → router → cables → remote chip → host/GPU).
+
+use tca::prelude::*;
+
+fn pattern(len: usize, seed: u8) -> Vec<u8> {
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(7) ^ seed.wrapping_mul(31))
+        .collect()
+}
+
+#[test]
+fn every_pair_every_space_on_an_8_node_ring() {
+    let mut c = TcaClusterBuilder::new(8).build();
+    let mut gpu_allocs = Vec::new();
+    for n in 0..8 {
+        gpu_allocs.push(c.alloc_gpu(n, 0, 1 << 16));
+    }
+    // Host→host, host→GPU, GPU→host, GPU→GPU for a spread of node pairs.
+    let pairs = [(0u32, 1u32), (1, 5), (7, 0), (3, 3), (6, 2)];
+    for (k, &(s, d)) in pairs.iter().enumerate() {
+        let data = pattern(4096, k as u8);
+        let hs = MemRef::host(s, 0x4000_0000 + k as u64 * 0x1_0000);
+        let hd = MemRef::host(d, 0x5000_0000 + k as u64 * 0x1_0000);
+        c.write(&hs, &data);
+        c.memcpy_peer(&hd, &hs, 4096);
+        assert_eq!(c.read(&hd, 4096), data, "host→host {s}->{d}");
+
+        let gd = gpu_allocs[d as usize].at((k * 4096) as u64);
+        c.memcpy_peer(&gd, &hs, 4096);
+        assert_eq!(c.read(&gd, 4096), data, "host→gpu {s}->{d}");
+
+        let gs = gpu_allocs[s as usize].at((k * 4096) as u64);
+        c.write(&gs, &data);
+        let hd2 = MemRef::host(d, 0x6000_0000 + k as u64 * 0x1_0000);
+        c.memcpy_peer(&hd2, &gs, 4096);
+        assert_eq!(c.read(&hd2, 4096), data, "gpu→host {s}->{d}");
+    }
+}
+
+#[test]
+fn dual_ring_transfers_cross_the_s_ports() {
+    let mut c = TcaClusterBuilder::new(8)
+        .topology(Topology::DualRing)
+        .build();
+    // Ring A nodes: 0..4, ring B: 4..8; crossing pairs must work.
+    for (s, d) in [(0u32, 4u32), (1, 7), (6, 2), (3, 5)] {
+        let data = pattern(2048, (s * 8 + d) as u8);
+        let src = MemRef::host(s, 0x4000_0000);
+        let dst = MemRef::host(d, 0x5000_0000 + s as u64 * 0x1_0000);
+        c.write(&src, &data);
+        c.memcpy_peer(&dst, &src, 2048);
+        assert_eq!(c.read(&dst, 2048), data, "{s}->{d}");
+    }
+}
+
+#[test]
+fn pio_and_dma_interleave_without_interference() {
+    let mut c = TcaClusterBuilder::new(4).build();
+    let dma_data = pattern(64 * 1024, 1);
+    c.write(&MemRef::host(0, 0x4000_0000), &dma_data);
+    let ev = c.memcpy_peer_async(
+        &MemRef::host(2, 0x5000_0000),
+        &MemRef::host(0, 0x4000_0000),
+        64 * 1024,
+    );
+    // While the DMA streams, fire PIO flags from another node.
+    for i in 0..16u32 {
+        c.pio_put(
+            1,
+            &MemRef::host(3, 0x4800_0000 + i as u64 * 4),
+            &i.to_le_bytes(),
+        );
+    }
+    c.wait(ev);
+    c.synchronize();
+    assert_eq!(c.read(&MemRef::host(2, 0x5000_0000), 64 * 1024), dma_data);
+    for i in 0..16u32 {
+        assert_eq!(
+            c.read(&MemRef::host(3, 0x4800_0000 + i as u64 * 4), 4),
+            i.to_le_bytes()
+        );
+    }
+}
+
+#[test]
+fn back_to_back_chains_reuse_the_board() {
+    let mut c = TcaClusterBuilder::new(2).build();
+    for round in 0..10u8 {
+        let data = pattern(8192, round);
+        let src = MemRef::host(0, 0x4000_0000);
+        let dst = MemRef::host(1, 0x5000_0000 + round as u64 * 0x1_0000);
+        c.write(&src, &data);
+        c.memcpy_peer(&dst, &src, 8192);
+        assert_eq!(c.read(&dst, 8192), data, "round {round}");
+    }
+}
+
+#[test]
+fn sixteen_node_ring_longest_path() {
+    let mut c = TcaClusterBuilder::new(16).build();
+    // 8 hops is the ring diameter for 16 nodes.
+    let data = pattern(1024, 0xaa);
+    c.write(&MemRef::host(0, 0x4000_0000), &data);
+    let d = c.memcpy_peer(
+        &MemRef::host(8, 0x5000_0000),
+        &MemRef::host(0, 0x4000_0000),
+        1024,
+    );
+    assert_eq!(c.read(&MemRef::host(8, 0x5000_0000), 1024), data);
+    // Latency grows with hops but stays far below MPI territory.
+    assert!(d < Dur::from_us(20), "diameter transfer took {d}");
+}
+
+#[test]
+fn strided_gpu_tile_transfer() {
+    // A 2-D tile: 32 rows × 512 B out of a 2 KiB-pitch GPU image, shipped
+    // to a remote GPU with one chained activation.
+    let mut c = TcaClusterBuilder::new(2).build();
+    let src = c.alloc_gpu(0, 0, 32 * 2048);
+    let dst = c.alloc_gpu(1, 0, 32 * 512);
+    for r in 0..32u64 {
+        c.write(&src.at(r * 2048), &pattern(512, r as u8));
+    }
+    c.memcpy_peer_strided(&dst.at(0), 512, &src.at(0), 2048, 512, 32);
+    for r in 0..32u64 {
+        assert_eq!(
+            c.read(&dst.at(r * 512), 512),
+            pattern(512, r as u8),
+            "row {r}"
+        );
+    }
+}
+
+#[test]
+fn hybrid_tca_plus_infiniband_share_nodes() {
+    // §II-B: hierarchical network — TCA for the sub-cluster, IB globally.
+    let mut c = TcaClusterBuilder::new(2)
+        .with_infiniband(IbParams::default())
+        .build();
+    // TCA transfer.
+    let data = pattern(4096, 3);
+    c.write(&MemRef::host(0, 0x4000_0000), &data);
+    c.memcpy_peer(
+        &MemRef::host(1, 0x5000_0000),
+        &MemRef::host(0, 0x4000_0000),
+        4096,
+    );
+    assert_eq!(c.read(&MemRef::host(1, 0x5000_0000), 4096), data);
+    // MPI transfer over IB between the *same* nodes.
+    let mut mpi = c.mpi.take().expect("IB attached");
+    let d2 = pattern(4096, 4);
+    c.write(&MemRef::host(0, 0x4100_0000), &d2);
+    mpi.send(
+        &mut c.fabric,
+        0,
+        1,
+        0x4100_0000,
+        0x5100_0000,
+        4096,
+        Protocol::Auto,
+    );
+    assert_eq!(c.read(&MemRef::host(1, 0x5100_0000), 4096), d2);
+}
+
+#[test]
+fn single_node_cluster_still_works() {
+    // Degenerate sub-cluster: the DMA engine and GPU paths with no cables.
+    let mut c = TcaClusterBuilder::new(1).build();
+    let a = c.alloc_gpu(0, 0, 4096);
+    let b = c.alloc_gpu(0, 1, 4096);
+    let data = pattern(4096, 9);
+    c.write(&a.at(0), &data);
+    c.memcpy_peer(&b.at(0), &a.at(0), 4096);
+    assert_eq!(c.read(&b.at(0), 4096), data);
+}

@@ -1,0 +1,127 @@
+//! Negative-path behaviour: the restrictions the paper states must be
+//! *enforced*, not merely absent from the happy path.
+
+use tca::prelude::*;
+use tca_device::Gpu;
+use tca_peach2::{EngineKind, Peach2};
+
+#[test]
+#[should_panic(expected = "RDMA get")]
+fn remote_read_is_rejected() {
+    // §III-F: "PEACH2 supports only RDMA put protocol". A descriptor whose
+    // source is on another node must be refused by the engine.
+    let mut c = TcaClusterBuilder::new(2).build();
+    let remote_src = c.sub.map.global_addr(1, tca_device::map::TcaBlock::Host, 0);
+    let drv = c.drivers[0];
+    drv.run_dma(
+        &mut c.fabric,
+        &[Descriptor::new(remote_src, drv.sram_addr(0), 4096)],
+        EngineKind::Legacy,
+    );
+}
+
+#[test]
+#[should_panic(expected = "internal memory")]
+fn legacy_dmac_requires_staging() {
+    // §IV-B2: the current DMAC needs the internal memory as write source /
+    // read destination — a direct host→remote descriptor must be refused.
+    let mut c = TcaClusterBuilder::new(2).build();
+    let dst = c
+        .sub
+        .map
+        .global_addr(1, tca_device::map::TcaBlock::Host, 0x4000_0000);
+    let drv = c.drivers[0];
+    drv.run_dma(
+        &mut c.fabric,
+        &[Descriptor::new(drv.dma_buf, dst, 4096)],
+        EngineKind::Legacy,
+    );
+}
+
+#[test]
+#[should_panic(expected = "not TCA-reachable")]
+fn gpu_beyond_gpu1_is_unreachable() {
+    // §III-C: PEACH2 only accesses GPU0 and GPU1 (QPI crossing prohibited).
+    let c = TcaClusterBuilder::new(2).build();
+    let _ = c.global_addr(&MemRef::gpu(1, 3, 0));
+}
+
+#[test]
+fn unpinned_gpu_writes_fault_and_drop() {
+    let mut c = TcaClusterBuilder::new(2).build();
+    // Write into GPU1's block on node 1 without pinning anything.
+    let dst = MemRef::gpu(1, 1, 0x2000);
+    c.pio_put(0, &dst, &[0xff; 8]);
+    let gpu = c.fabric.device::<Gpu>(c.sub.nodes[1].gpus[1]);
+    assert_eq!(gpu.faults.get(), 1, "protection fault counted");
+    assert_eq!(c.read(&dst, 8), vec![0u8; 8], "write dropped");
+}
+
+#[test]
+fn unpin_revokes_remote_access() {
+    let mut c = TcaClusterBuilder::new(2).build();
+    let a = c.alloc_gpu(1, 0, 4096);
+    c.pio_put(0, &a.at(0), &[1, 2, 3, 4]);
+    assert_eq!(c.read(&a.at(0), 4), vec![1, 2, 3, 4]);
+    c.fabric
+        .device_mut::<Gpu>(c.sub.nodes[1].gpus[0])
+        .unpin(a.dev_addr, a.len);
+    c.pio_put(0, &a.at(0), &[9, 9, 9, 9]);
+    // The stale data remains; the new write faulted.
+    assert_eq!(c.read(&a.at(0), 4), vec![1, 2, 3, 4]);
+    assert!(c.fabric.device::<Gpu>(c.sub.nodes[1].gpus[0]).faults.get() >= 1);
+}
+
+#[test]
+#[should_panic(expected = "doorbell while DMA busy")]
+fn double_doorbell_is_a_driver_bug() {
+    let mut c = TcaClusterBuilder::new(2).build();
+    let drv = c.drivers[0];
+    drv.write_descriptors(
+        &mut c.fabric,
+        &[Descriptor::new(drv.sram_addr(0), drv.dma_buf, 1 << 20)],
+    );
+    drv.program_dma(&mut c.fabric, 1, EngineKind::Legacy);
+    drv.ring_doorbell(&mut c.fabric);
+    // Ring again immediately, without waiting for completion.
+    drv.ring_doorbell(&mut c.fabric);
+    c.fabric.run_until_idle();
+}
+
+#[test]
+#[should_panic(expected = "no route")]
+fn unrouted_slice_is_detected() {
+    // Erase the routing registers of node 0's chip, then try to send.
+    let mut c = TcaClusterBuilder::new(4).build();
+    {
+        let chip = c.fabric.device_mut::<Peach2>(c.sub.chips[0]);
+        chip.regs_mut().routes = [tca_peach2::RouteRule::DISABLED; 8];
+    }
+    c.pio_put(0, &MemRef::host(2, 0x4000_0000), &[1]);
+}
+
+#[test]
+#[should_panic(expected = "outside allocation")]
+fn gpu_alloc_bounds_are_checked() {
+    let mut c = TcaClusterBuilder::new(2).build();
+    let a = c.alloc_gpu(0, 0, 4096);
+    let _ = a.at(4096);
+}
+
+#[test]
+fn interrupt_counts_track_every_completion() {
+    let mut c = TcaClusterBuilder::new(2).build();
+    c.write(&MemRef::host(0, 0x4000_0000), &[1u8; 1024]);
+    for _ in 0..5 {
+        c.memcpy_peer(
+            &MemRef::host(1, 0x5000_0000),
+            &MemRef::host(0, 0x4000_0000),
+            1024,
+        );
+    }
+    let host = c
+        .fabric
+        .device::<tca_device::HostBridge>(c.sub.nodes[0].host)
+        .core();
+    assert_eq!(host.interrupt_count(1), 5, "one MSI per DMA chain");
+}
