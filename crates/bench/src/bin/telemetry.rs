@@ -1,0 +1,30 @@
+//! Runs the representative telemetry rig and writes both artifacts to
+//! `results/`: a metrics-snapshot JSON of a Fig. 7-style DMA sweep and a
+//! Chrome trace-event JSON of the Fig. 10 loopback PIO store (load the
+//! latter in `chrome://tracing` or Perfetto).
+
+use tca_bench::telemetry_report;
+
+fn main() -> std::io::Result<()> {
+    let sizes = [256u64, 4096, 65536];
+    let rep = telemetry_report(&sizes);
+
+    std::fs::create_dir_all("results")?;
+    std::fs::write("results/metrics.json", &rep.metrics_json)?;
+    std::fs::write("results/trace.json", &rep.trace_json)?;
+
+    let events = tca_sim::JsonValue::parse(&rep.trace_json)
+        .ok()
+        .and_then(|v| v.as_array().map(<[_]>::len))
+        .unwrap_or(0);
+    let metrics = tca_sim::JsonValue::parse(&rep.metrics_json)
+        .ok()
+        .and_then(|v| v.as_object().map(<[_]>::len))
+        .unwrap_or(0);
+
+    println!("telemetry rig: DMA sweep sizes {sizes:?} + Fig. 10 loopback PIO");
+    println!("  results/metrics.json  {metrics} metrics");
+    println!("  results/trace.json    {events} trace events");
+    println!("  loopback PIO one-way  {:7.1} ns", rep.pio_latency_ns);
+    Ok(())
+}

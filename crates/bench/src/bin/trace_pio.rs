@@ -5,7 +5,7 @@
 use tca_device::map::TcaBlock;
 use tca_device::node::NodeConfig;
 use tca_device::HostBridge;
-use tca_pcie::Fabric;
+use tca_pcie::{Dir, Fabric, LinkId};
 use tca_peach2::{build_loopback, Peach2Params};
 use tca_sim::TraceLevel;
 
@@ -22,4 +22,40 @@ fn main() {
     f.run_until_idle();
     print!("{}", f.dump_trace());
     println!("\ntotal simulated time: {}", f.now());
+
+    // Per-link accounting of where that time went: wire serialization vs.
+    // credit stalls; whatever remains is device logic and cable latency.
+    println!("\nper-link metrics (active directions only):");
+    println!(
+        "  {:<10} {:>8} {:>12} {:>14} {:>14} {:>8}",
+        "link/dir", "packets", "wire bytes", "wire busy", "credit stall", "replays"
+    );
+    let mut wire = tca_sim::Dur::ZERO;
+    let mut stall = tca_sim::Dur::ZERO;
+    for link in 0..f.link_count() {
+        for dir in Dir::ALL {
+            let s = f.link_stats(LinkId(link as u32), dir);
+            if s.packets == 0 {
+                continue;
+            }
+            println!(
+                "  link{link}/{dir:<5} {:>8} {:>12} {:>14} {:>14} {:>8}",
+                s.packets,
+                s.wire_bytes,
+                format!("{}", s.wire_busy),
+                format!("{}", s.credit_stall),
+                s.replays
+            );
+            wire += s.wire_busy;
+            stall += s.credit_stall;
+        }
+    }
+    let total = f.now().since(tca_sim::SimTime::ZERO);
+    println!(
+        "\nattribution: wire {} + credit stall {} + logic/latency {} = {}",
+        wire,
+        stall,
+        total - (wire + stall),
+        total
+    );
 }

@@ -19,9 +19,10 @@ use tca_device::{Gpu, HostBridge, QpiParams};
 use tca_net::{attach_ib, IbParams, MpiWorld, Protocol};
 use tca_pcie::{AddrRange, Fabric, LinkParams};
 use tca_peach2::{
-    build_loopback, build_ring, Descriptor, EngineKind, Peach2, Peach2Driver, Peach2Params,
-    SubCluster,
+    build_loopback, build_ring, sync_nios_link_stats, Descriptor, EngineKind, Peach2, Peach2Driver,
+    Peach2Params, SubCluster,
 };
+use tca_sim::TraceLevel;
 
 /// Default data-size sweep of Figs. 7/8/12 (64 B – 1 MiB, doubling).
 pub fn default_sizes() -> Vec<u64> {
@@ -632,8 +633,12 @@ pub fn reliability_ablation(ppms: &[u32]) -> Vec<ReliabilityRow> {
             assert!(chk.verify_pattern(0, 4096, 0x42).is_ok(), "data corrupted");
             let replays = (0..fabric.link_count() as u32)
                 .map(|l| {
-                    fabric.link_stats(tca_pcie::LinkId(l), 0).replays
-                        + fabric.link_stats(tca_pcie::LinkId(l), 1).replays
+                    fabric
+                        .link_stats(tca_pcie::LinkId(l), tca_pcie::Dir::Fwd)
+                        .replays
+                        + fabric
+                            .link_stats(tca_pcie::LinkId(l), tca_pcie::Dir::Rev)
+                            .replays
                 })
                 .sum();
             ReliabilityRow {
@@ -793,6 +798,66 @@ pub fn theoretical_peaks() -> Vec<PeakRow> {
     ]
 }
 
+/// The artifacts of the telemetry rig: a metrics snapshot of a Fig. 7-style
+/// DMA sweep plus a Chrome trace of the Fig. 10 PIO loopback.
+#[derive(Clone, Debug)]
+pub struct TelemetryReport {
+    /// Metrics-snapshot JSON after the DMA sweep (link, DMA-engine, NIOS
+    /// port, and driver-side metrics all populated).
+    pub metrics_json: String,
+    /// Chrome trace-event JSON (an array of `ph`/`ts`/`name` objects) for
+    /// the loopback PIO store, loadable in `chrome://tracing` / Perfetto.
+    pub trace_json: String,
+    /// The loopback PIO one-way latency the trace covers, ns.
+    pub pio_latency_ns: f64,
+}
+
+/// Runs the representative telemetry rig: a local + remote DMA sweep on a
+/// two-node ring (metrics accumulate across the whole sweep on one shared
+/// fabric), then the Fig. 10 loopback PIO store under packet-level tracing.
+pub fn telemetry_report(sizes: &[u64]) -> TelemetryReport {
+    // --- Metrics: Fig. 7-style sweep on one shared two-node ring.
+    let mut r = rig(2);
+    for &size in sizes {
+        dma_bandwidth(&mut r, Target::LocalCpu, Direction::Write, 16, size);
+        dma_bandwidth(&mut r, Target::LocalGpu, Direction::Write, 16, size);
+        dma_bandwidth(&mut r, Target::RemoteCpu, Direction::Write, 16, size);
+    }
+    let chips = r.sc.chips.clone();
+    for chip in chips {
+        sync_nios_link_stats(&mut r.fabric, chip);
+    }
+    let metrics_json = r.fabric.metrics_snapshot().to_json();
+
+    // --- Trace: the Fig. 10 loopback PIO store, packet-level.
+    let mut f = Fabric::new();
+    let rigl = build_loopback(&mut f, &NodeConfig::default(), Peach2Params::default());
+    f.set_trace(TraceLevel::Packet, 4096);
+    let poll = 0x6000u64;
+    let watch = f
+        .device_mut::<HostBridge>(rigl.node.host)
+        .core_mut()
+        .add_watch(AddrRange::new(poll, 4));
+    let dst = rigl.map.global_addr(1, TcaBlock::Host, poll);
+    let t0 = f.now();
+    f.drive::<HostBridge, _>(rigl.node.host, |h, ctx| {
+        h.core_mut().cpu_store(dst, &1u32.to_le_bytes(), ctx);
+    });
+    f.run_until_idle();
+    let hits = f
+        .device::<HostBridge>(rigl.node.host)
+        .core()
+        .watch_hits(watch);
+    let pio_latency_ns = hits[0].since(t0).as_ns_f64();
+    let trace_json = f.chrome_trace_json();
+
+    TelemetryReport {
+        metrics_json,
+        trace_json,
+        pio_latency_ns,
+    }
+}
+
 /// Formats a bandwidth column in the paper's GB/s convention.
 pub fn gbps(x: f64) -> String {
     format!("{:8.3}", x / 1e9)
@@ -930,6 +995,38 @@ mod tests {
             rows[1].remote_write > 0.5 * rows[0].remote_write,
             "but not collapsed: {rows:?}"
         );
+    }
+
+    #[test]
+    fn telemetry_artifacts_parse_back() {
+        let rep = telemetry_report(&[256, 4096]);
+
+        // The Chrome trace is an array of events, each with ph/ts/name.
+        let trace = tca_sim::JsonValue::parse(&rep.trace_json).expect("trace parses");
+        let events = trace.as_array().expect("array of events");
+        assert!(!events.is_empty(), "trace has events");
+        for ev in events {
+            assert!(ev.get("ph").and_then(|v| v.as_str()).is_some(), "{ev:?}");
+            assert!(ev.get("ts").and_then(|v| v.as_f64()).is_some(), "{ev:?}");
+            assert!(ev.get("name").and_then(|v| v.as_str()).is_some(), "{ev:?}");
+        }
+
+        // The metrics snapshot is an object carrying the sweep's counters.
+        let metrics = tca_sim::JsonValue::parse(&rep.metrics_json).expect("metrics parse");
+        let entries = metrics.as_object().expect("metrics object");
+        assert!(
+            entries.iter().any(|(k, _)| k == "link.0.fwd.tlps"),
+            "link counters present"
+        );
+        assert!(
+            entries.iter().any(|(k, _)| k.ends_with(".dma.runs")),
+            "DMA counters present"
+        );
+        assert!(
+            entries.iter().any(|(k, _)| k.contains(".port.")),
+            "NIOS port counters present"
+        );
+        assert!((580.0..980.0).contains(&rep.pio_latency_ns), "{rep:?}");
     }
 
     #[test]

@@ -135,6 +135,23 @@ impl TcaCluster {
         }
         out
     }
+
+    /// Captures a deterministic snapshot of every metric in the cluster,
+    /// first syncing each board's NIOS management registers with its live
+    /// link statistics so the `peach2.*.port.*` values are current.
+    pub fn metrics_snapshot(&mut self) -> tca_sim::MetricsSnapshot {
+        let chips = self.sub.chips.clone();
+        for chip in chips {
+            tca_peach2::sync_nios_link_stats(&mut self.fabric, chip);
+        }
+        self.fabric.metrics_snapshot()
+    }
+
+    /// Chrome trace-event JSON for whatever the tracer captured; enable
+    /// capture with `self.fabric.set_trace(..)` before running work.
+    pub fn chrome_trace_json(&self) -> String {
+        self.fabric.chrome_trace_json()
+    }
 }
 
 #[cfg(test)]
@@ -173,6 +190,25 @@ mod tests {
         assert!(r.contains("2 nodes"), "{r}");
         assert!(r.contains("node 0: 1 DMA runs (1024 B)"), "{r}");
         assert!(r.contains("node 1: 0 DMA runs"), "{r}");
+    }
+
+    #[test]
+    fn cluster_snapshot_carries_synced_nios_counters() {
+        use crate::api::MemRef;
+        let mut c = TcaClusterBuilder::new(2).build();
+        c.write(&MemRef::host(0, 0x4000_0000), &[1u8; 1024]);
+        c.memcpy_peer(
+            &MemRef::host(1, 0x5000_0000),
+            &MemRef::host(0, 0x4000_0000),
+            1024,
+        );
+        let snap = c.metrics_snapshot();
+        assert!(
+            snap.counter("peach2.n0.port.e.egress").unwrap_or(0) > 0
+                || snap.counter("peach2.n0.port.w.egress").unwrap_or(0) > 0,
+            "ring port traffic visible after sync"
+        );
+        assert_eq!(snap.counter("peach2.n0.dma.runs"), Some(1));
     }
 
     #[test]

@@ -22,7 +22,7 @@
 use crate::params::GpuParams;
 use std::collections::VecDeque;
 use tca_pcie::{AddrRange, Ctx, Device, DeviceId, PageMemory, PortIdx, Tlp, TlpKind, PAGE_SIZE};
-use tca_sim::{BandwidthMeter, Counter, Dur, TraceLevel};
+use tca_sim::{BandwidthMeter, Counter, Dur, LatencyHistogram, MetricsHub, SimTime, TraceLevel};
 
 /// Opaque pin token, as returned by the `cuPointerGetAttribute` step.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -37,6 +37,8 @@ struct PendingGpuRead {
     /// Receive credits held while the request sits in the translation
     /// unit's queue — real BAR backpressure toward the link.
     credits: tca_pcie::CreditHold,
+    /// Arrival instant, for the queue-wait histogram.
+    queued_at: SimTime,
 }
 
 /// One GPU attached to a host bridge.
@@ -54,6 +56,15 @@ pub struct Gpu {
     pinned: Vec<AddrRange>,
     read_q: VecDeque<PendingGpuRead>,
     read_busy: bool,
+    /// Deepest the translation queue has ever been.
+    read_q_peak: usize,
+    /// Reads served through the BAR1 translation unit.
+    pub reads_served: Counter,
+    /// Accumulated translation-unit service time (the serial bottleneck
+    /// behind the 830 MB/s read ceiling, §IV-A2).
+    translate_busy: Dur,
+    /// Time read requests spent queued behind the translation unit.
+    pub read_q_wait_hist: LatencyHistogram,
     /// Protection faults (unpinned accesses).
     pub faults: Counter,
     /// Inbound write throughput at the GDDR sink.
@@ -81,6 +92,10 @@ impl Gpu {
             pinned: Vec::new(),
             read_q: VecDeque::new(),
             read_busy: false,
+            read_q_peak: 0,
+            reads_served: Counter::new(),
+            translate_busy: Dur::ZERO,
+            read_q_wait_hist: LatencyHistogram::new(),
             faults: Counter::new(),
             write_meter: BandwidthMeter::new(),
             completion_chunk: 256,
@@ -163,9 +178,12 @@ impl Gpu {
         }
         if let Some(front) = self.read_q.front() {
             self.read_busy = true;
+            self.read_q_wait_hist
+                .record(ctx.now().since(front.queued_at));
             // Serial translation unit: fixed latency + len/rate service.
             let service =
                 self.params.read_latency + Dur::for_bytes(front.len as u64, self.params.read_rate);
+            self.translate_busy += service;
             ctx.timer_in(service, TAG_READ_DONE);
         }
     }
@@ -209,7 +227,9 @@ impl Device for Gpu {
                     tag,
                     requester,
                     credits,
+                    queued_at: ctx.now(),
                 });
+                self.read_q_peak = self.read_q_peak.max(self.read_q.len());
                 self.start_next_read(ctx);
             }
             TlpKind::Completion { .. } => {
@@ -249,11 +269,30 @@ impl Device for Gpu {
             off += n;
         }
         self.read_busy = false;
+        self.reads_served.inc();
         self.start_next_read(ctx);
     }
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn publish_metrics(&self, hub: &mut MetricsHub) {
+        let p = &self.name;
+        // Current depth second so the monotonic peak lands in the watermark.
+        let g = hub.gauge(format!("{p}.bar1.read_q_depth"));
+        hub.gauge_set(g, self.read_q_peak as i64);
+        hub.gauge_set(g, self.read_q.len() as i64);
+        let c = hub.counter(format!("{p}.bar1.reads"));
+        hub.counter_sync(c, self.reads_served.get());
+        let c = hub.counter(format!("{p}.bar1.translate_busy_ns"));
+        hub.counter_sync(c, self.translate_busy.as_ps() / 1_000);
+        let h = hub.histogram(format!("{p}.bar1.read_q_wait_ns"));
+        hub.histogram_sync(h, &self.read_q_wait_hist);
+        let c = hub.counter(format!("{p}.faults"));
+        hub.counter_sync(c, self.faults.get());
+        let m = hub.meter(format!("{p}.write_bytes"));
+        hub.meter_sync(m, self.write_meter);
     }
 }
 
@@ -423,6 +462,46 @@ mod tests {
         // → ≈ 503 MB/s effective including latency, well under 830 MB/s.
         assert!(bw < 830_000_000.0, "bw={bw}");
         assert!(bw > 300_000_000.0, "bw={bw}");
+    }
+
+    #[test]
+    fn bar1_translation_queue_metrics_publish() {
+        use tca_sim::MetricValue;
+        let (mut f, probe, gpu) = rig();
+        let pcie = {
+            let g = f.device_mut::<Gpu>(gpu);
+            let a = g.alloc(64 * 1024);
+            let t = g.p2p_token(a, 64 * 1024);
+            g.pin(a, 64 * 1024, t)
+        };
+        f.drive::<Probe, _>(probe, |p, ctx| {
+            for i in 0..16u64 {
+                ctx.send(
+                    PortIdx(0),
+                    Tlp::read(pcie + i * 512, 512, Tag(i as u16), p.id),
+                );
+            }
+        });
+        f.run_until_idle();
+        let s1 = f.metrics_snapshot();
+        let s2 = f.metrics_snapshot();
+        assert_eq!(s1.to_json(), s2.to_json(), "publication must be idempotent");
+        assert_eq!(s1.counter("gpu0.bar1.reads"), Some(16));
+        assert!(s1.counter("gpu0.bar1.translate_busy_ns").unwrap() > 0);
+        match s1.get("gpu0.bar1.read_q_depth") {
+            Some(MetricValue::Gauge { current, peak }) => {
+                assert_eq!(*current, 0, "queue drained");
+                assert!(*peak > 1, "reads stacked behind the serial unit");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match s1.get("gpu0.bar1.read_q_wait_ns") {
+            Some(MetricValue::Histogram { count, max_ns, .. }) => {
+                assert_eq!(*count, 16);
+                assert!(*max_ns > 0.0, "later reads waited in the queue");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -149,6 +149,17 @@ impl MpiWorld {
             Protocol::Auto => len <= self.mpi.eager_threshold,
         };
         let t0 = f.now();
+        // Protocol accounting: which path carried each message, and the
+        // payload volume (the overhead TCA eliminates, §I).
+        let hub = f.metrics_mut();
+        let c = hub.counter(if eager {
+            "mpi.eager_sends"
+        } else {
+            "mpi.rndv_sends"
+        });
+        hub.inc(c);
+        let m = hub.meter("mpi.payload_bytes");
+        hub.record_bytes(m, t0, len);
         self.advance(f, src_rank, self.mpi.sw_overhead);
         if eager {
             // Sender copy into the registered bounce buffer.
@@ -372,6 +383,35 @@ mod tests {
         let auto_l = w.send(&mut f, 0, 1, 0x300_0000, 0x400_0000, len, Protocol::Auto);
         let eager_l = w.send(&mut f, 0, 1, 0x300_0000, 0x500_0000, len, Protocol::Eager);
         assert!(auto_l < eager_l, "auto={auto_l} eager={eager_l}");
+    }
+
+    #[test]
+    fn protocol_counters_track_each_path() {
+        let (mut f, mut w) = world(2);
+        f.device_mut::<HostBridge>(w.nodes[0].host)
+            .core_mut()
+            .mem()
+            .fill_pattern(0x100_0000, 4096, 3);
+        w.send(&mut f, 0, 1, 0x100_0000, 0x200_0000, 64, Protocol::Auto);
+        w.send(&mut f, 0, 1, 0x100_0000, 0x210_0000, 64, Protocol::Eager);
+        w.send(
+            &mut f,
+            0,
+            1,
+            0x100_0000,
+            0x220_0000,
+            4096,
+            Protocol::Rendezvous,
+        );
+        let snap = f.metrics_snapshot();
+        assert_eq!(snap.counter("mpi.eager_sends"), Some(2));
+        assert_eq!(snap.counter("mpi.rndv_sends"), Some(1));
+        match snap.get("mpi.payload_bytes") {
+            Some(tca_sim::MetricValue::Bandwidth { bytes, .. }) => {
+                assert_eq!(*bytes, 64 + 64 + 4096);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

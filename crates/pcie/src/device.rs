@@ -8,9 +8,9 @@
 //! releases) that the fabric applies after the handler returns — this keeps
 //! borrows simple and execution order explicit.
 
-use crate::tlp::{DeviceId, FcClass, PortIdx, Tlp};
+use crate::tlp::{DeviceId, Dir, FcClass, PortIdx, Tlp};
 use std::any::Any;
-use tca_sim::{Dur, SimTime, TraceLevel};
+use tca_sim::{Dur, MetricsHub, SimTime, TraceLevel};
 
 /// A held receive-buffer credit. Devices that apply backpressure (PEACH2's
 /// finite internal packet buffer) call [`Ctx::hold_credits`] inside
@@ -21,8 +21,8 @@ use tca_sim::{Dur, SimTime, TraceLevel};
 #[must_use = "a credit hold must eventually be released back to the link"]
 pub struct CreditHold {
     pub(crate) link: u32,
-    /// Direction index the packet travelled (0 or 1).
-    pub(crate) dir: u8,
+    /// Direction the packet travelled.
+    pub(crate) dir: Dir,
     pub(crate) class: FcClass,
     pub(crate) hdr: u32,
     pub(crate) data: u32,
@@ -112,6 +112,12 @@ pub trait Device: Any {
     fn name(&self) -> &str {
         "device"
     }
+
+    /// Publishes this device's internal collectors into the fabric-wide
+    /// registry. Called by `Fabric::metrics_snapshot` before every snapshot;
+    /// implementations must only *read* device state and *write* metrics —
+    /// never schedule events — so snapshots stay time-neutral.
+    fn publish_metrics(&self, _hub: &mut MetricsHub) {}
 }
 
 #[cfg(test)]

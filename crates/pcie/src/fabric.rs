@@ -19,10 +19,11 @@
 use crate::device::{Action, CreditHold, Ctx, Device};
 use crate::flow::CreditState;
 use crate::link::{LinkParams, WireState};
-use crate::tlp::{DeviceId, FcClass, PortIdx, Tlp, TlpKind};
+use crate::tlp::{DeviceId, Dir, FcClass, PortIdx, Tlp, TlpKind};
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
-use tca_sim::{Dur, EventQueue, SimRng, SimTime, TraceLevel, Tracer};
+use tca_sim::metrics::{CounterId, GaugeId, MeterId};
+use tca_sim::{Dur, EventQueue, MetricsHub, MetricsSnapshot, SimRng, SimTime, TraceLevel, Tracer};
 
 /// Identifier of a link within the fabric.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -31,7 +32,7 @@ pub struct LinkId(pub u32);
 enum Ev {
     Deliver {
         link: u32,
-        dir: u8,
+        dir: Dir,
         tlp: Tlp,
     },
     Timer {
@@ -40,20 +41,36 @@ enum Ev {
     },
     CreditReturn {
         link: u32,
-        dir: u8,
+        dir: Dir,
         class: FcClass,
         hdr: u32,
         data: u32,
     },
 }
 
+/// Metric handles of one link direction, registered at [`Fabric::connect`]
+/// under `link.{id}.{fwd|rev}.*`.
+#[derive(Clone, Copy)]
+struct DirMetrics {
+    tlps: CounterId,
+    wire_bytes: MeterId,
+    wire_busy_ns: CounterId,
+    credit_stall_ns: CounterId,
+    replays: CounterId,
+    queue_depth: GaugeId,
+}
+
 struct LinkDir {
     wire: WireState,
     credits: CreditState,
-    /// Posted + non-posted requests blocked on credits, in order.
-    reqq: VecDeque<Tlp>,
+    /// Posted + non-posted requests blocked on credits, in order, each with
+    /// its enqueue instant (so dequeue can attribute the credit stall).
+    reqq: VecDeque<(SimTime, Tlp)>,
     /// Completions blocked on credits; may bypass blocked requests.
-    cplq: VecDeque<Tlp>,
+    cplq: VecDeque<(SimTime, Tlp)>,
+    /// Total time packets spent queued waiting for credits.
+    credit_stall: Dur,
+    m: DirMetrics,
 }
 
 struct LinkState {
@@ -75,15 +92,20 @@ pub struct LinkDirStats {
     pub queued: usize,
     /// Link-level replays (corrupted TLPs retransmitted by the DLL).
     pub replays: u64,
+    /// Accumulated wire occupancy (serialization time, replays included).
+    pub wire_busy: Dur,
+    /// Accumulated time packets spent queued waiting for receiver credits.
+    pub credit_stall: Dur,
 }
 
 /// The simulated PCIe fabric.
 pub struct Fabric {
     queue: EventQueue<Ev>,
     devices: Vec<Box<dyn Device>>,
-    ports: HashMap<(DeviceId, PortIdx), (u32, u8)>,
+    ports: HashMap<(DeviceId, PortIdx), (u32, Dir)>,
     links: Vec<LinkState>,
     tracer: Tracer,
+    metrics: MetricsHub,
     /// Drives link-error injection (PEARL replays); deterministic.
     rng: SimRng,
 }
@@ -103,6 +125,7 @@ impl Fabric {
             ports: HashMap::new(),
             links: Vec::new(),
             tracer: Tracer::default(),
+            metrics: MetricsHub::new(),
             rng: SimRng::seed_from_u64(0x7ca_2013),
         }
     }
@@ -120,6 +143,37 @@ impl Fabric {
     /// Renders the retained trace.
     pub fn dump_trace(&self) -> String {
         self.tracer.dump()
+    }
+
+    /// Renders the retained trace as Chrome trace-event JSON (`ph`/`ts`/
+    /// `name` fields, timestamps in microseconds), loadable in Perfetto or
+    /// `chrome://tracing`.
+    pub fn chrome_trace_json(&self) -> String {
+        self.tracer.chrome_trace_json()
+    }
+
+    /// Read access to the always-on metrics registry.
+    pub fn metrics(&self) -> &MetricsHub {
+        &self.metrics
+    }
+
+    /// Write access to the metrics registry, for host-side code (drivers,
+    /// harnesses) that records fabric-scoped metrics such as interrupt
+    /// latency. Recording metrics never schedules events, so instrumented
+    /// and uninstrumented runs execute identically.
+    pub fn metrics_mut(&mut self) -> &mut MetricsHub {
+        &mut self.metrics
+    }
+
+    /// Takes a deterministic, name-sorted snapshot of every metric. Devices
+    /// first publish their internal collectors via
+    /// [`Device::publish_metrics`]; the snapshot is a pure read of simulated
+    /// state and never advances time.
+    pub fn metrics_snapshot(&mut self) -> MetricsSnapshot {
+        for dev in &self.devices {
+            dev.publish_metrics(&mut self.metrics);
+        }
+        self.metrics.snapshot()
     }
 
     /// Current simulation time.
@@ -151,7 +205,7 @@ impl Fabric {
     ) -> LinkId {
         assert!(a != b, "cannot connect a port to itself");
         let id = self.links.len() as u32;
-        for (end, pt) in [(0u8, a), (1u8, b)] {
+        for (end, pt) in [(Dir::Fwd, a), (Dir::Rev, b)] {
             assert!(
                 (pt.0 .0 as usize) < self.devices.len(),
                 "unknown device {:?}",
@@ -160,16 +214,29 @@ impl Fabric {
             let prev = self.ports.insert(pt, (id, end));
             assert!(prev.is_none(), "port {pt:?} already connected");
         }
-        let mk_dir = || LinkDir {
-            wire: WireState::default(),
-            credits: CreditState::from_params(&params),
-            reqq: VecDeque::new(),
-            cplq: VecDeque::new(),
+        let metrics = &mut self.metrics;
+        let mut mk_dir = |dir: Dir| {
+            let p = format!("link.{id}.{dir}");
+            LinkDir {
+                wire: WireState::default(),
+                credits: CreditState::from_params(&params),
+                reqq: VecDeque::new(),
+                cplq: VecDeque::new(),
+                credit_stall: Dur::ZERO,
+                m: DirMetrics {
+                    tlps: metrics.counter(format!("{p}.tlps")),
+                    wire_bytes: metrics.meter(format!("{p}.wire_bytes")),
+                    wire_busy_ns: metrics.counter(format!("{p}.wire_busy_ns")),
+                    credit_stall_ns: metrics.counter(format!("{p}.credit_stall_ns")),
+                    replays: metrics.counter(format!("{p}.replays")),
+                    queue_depth: metrics.gauge(format!("{p}.queue_depth")),
+                },
+            }
         };
         self.links.push(LinkState {
             params,
             ends: [a, b],
-            dirs: [mk_dir(), mk_dir()],
+            dirs: [mk_dir(Dir::Fwd), mk_dir(Dir::Rev)],
         });
         LinkId(id)
     }
@@ -219,16 +286,27 @@ impl Fabric {
         self.links.len()
     }
 
-    /// Per-direction link statistics; direction 0 flows from the first
+    /// Per-direction link statistics; [`Dir::Fwd`] flows from the first
     /// endpoint passed to [`Fabric::connect`] to the second.
-    pub fn link_stats(&self, link: LinkId, dir: u8) -> LinkDirStats {
-        let d = &self.links[link.0 as usize].dirs[dir as usize];
+    pub fn link_stats(&self, link: LinkId, dir: Dir) -> LinkDirStats {
+        let d = &self.links[link.0 as usize].dirs[dir.index()];
         LinkDirStats {
             wire_bytes: d.wire.wire_bytes,
             packets: d.wire.packets,
             queued: d.reqq.len() + d.cplq.len(),
             replays: d.wire.replays,
+            wire_busy: d.wire.busy_time,
+            credit_stall: d.credit_stall,
         }
+    }
+
+    /// The link and transmit direction a device port is attached to, if
+    /// connected. Lets upper layers (the PEACH2 firmware's register file)
+    /// map their local port numbering onto fabric link statistics.
+    pub fn port_link(&self, dev: DeviceId, port: PortIdx) -> Option<(LinkId, Dir)> {
+        self.ports
+            .get(&(dev, port))
+            .map(|&(link, dir)| (LinkId(link), dir))
     }
 
     /// Executes events until the queue drains; returns the final time.
@@ -262,7 +340,7 @@ impl Fabric {
                 hdr,
                 data,
             } => {
-                self.links[link as usize].dirs[dir as usize]
+                self.links[link as usize].dirs[dir.index()]
                     .credits
                     .replenish(class, hdr, data);
                 self.pump_link(link, dir);
@@ -271,9 +349,9 @@ impl Fabric {
         true
     }
 
-    fn deliver(&mut self, link: u32, dir: u8, tlp: Tlp) {
+    fn deliver(&mut self, link: u32, dir: Dir, tlp: Tlp) {
         let l = &self.links[link as usize];
-        let (dst, port) = l.ends[1 - dir as usize];
+        let (dst, port) = l.ends[dir.flip().index()];
         let class = tlp.fc_class();
         let data = tlp.data_credits();
         let credit_delay = l.params.credit_return_delay;
@@ -376,7 +454,7 @@ impl Fabric {
             }
             TlpKind::Msi { .. } => {}
         }
-        let d = &mut self.links[link as usize].dirs[end as usize];
+        let d = &mut self.links[link as usize].dirs[end.index()];
         let is_cpl = tlp.fc_class() == FcClass::Completion;
         let queue_empty = if is_cpl {
             d.cplq.is_empty()
@@ -387,6 +465,7 @@ impl Fabric {
             Self::transmit(
                 &mut self.queue,
                 &mut self.tracer,
+                &mut self.metrics,
                 &mut self.rng,
                 link,
                 end,
@@ -394,10 +473,15 @@ impl Fabric {
                 d,
                 tlp,
             );
-        } else if is_cpl {
-            d.cplq.push_back(tlp);
         } else {
-            d.reqq.push_back(tlp);
+            let now = self.queue.now();
+            if is_cpl {
+                d.cplq.push_back((now, tlp));
+            } else {
+                d.reqq.push_back((now, tlp));
+            }
+            self.metrics
+                .gauge_set(d.m.queue_depth, (d.reqq.len() + d.cplq.len()) as i64);
         }
     }
 
@@ -409,27 +493,36 @@ impl Fabric {
     fn transmit(
         queue: &mut EventQueue<Ev>,
         tracer: &mut Tracer,
+        metrics: &mut MetricsHub,
         rng: &mut SimRng,
         link: u32,
-        dir: u8,
+        dir: Dir,
         params: LinkParams,
         d: &mut LinkDir,
         tlp: Tlp,
     ) {
         let corrupt_p = params.error_rate_ppm as f64 / 1e6;
         loop {
-            let (departure, arrival) = d.wire.reserve(queue.now(), &params, tlp.wire_bytes());
+            let wire_bytes = tlp.wire_bytes();
+            let (departure, arrival) = d.wire.reserve(queue.now(), &params, wire_bytes);
+            metrics.add(
+                d.m.wire_busy_ns,
+                params.serialize(wire_bytes).as_ps() / 1_000,
+            );
+            metrics.record_bytes(d.m.wire_bytes, departure, wire_bytes);
             if corrupt_p > 0.0 && rng.gen_bool(corrupt_p) {
                 // LCRC failure at the receiver: discard, NAK, replay. The
                 // wire time was spent; the replay waits for the NAK round
                 // trip and retransmits (possibly corrupting again).
                 d.wire.replays += 1;
                 d.wire.busy_until = d.wire.busy_until.max(arrival) + params.replay_penalty();
+                metrics.inc(d.m.replays);
                 tracer.emit(TraceLevel::Packet, queue.now(), || {
                     format!("tx link{link}/{dir} {tlp:?} CORRUPT -> replay")
                 });
                 continue;
             }
+            metrics.inc(d.m.tlps);
             tracer.emit(TraceLevel::Packet, queue.now(), || {
                 format!("tx link{link}/{dir} {tlp:?} depart={departure} arrive={arrival}")
             });
@@ -439,27 +532,35 @@ impl Fabric {
     }
 
     /// After credits return, pushes out as many queued packets as now fit.
-    fn pump_link(&mut self, link: u32, dir: u8) {
+    fn pump_link(&mut self, link: u32, dir: Dir) {
         let params = self.links[link as usize].params;
-        let d = &mut self.links[link as usize].dirs[dir as usize];
+        let d = &mut self.links[link as usize].dirs[dir.index()];
         loop {
             // Completions first: they must be able to bypass stalled
             // requests or read traffic deadlocks behind write bursts.
             let from_cpl = match (d.cplq.front(), d.reqq.front()) {
-                (Some(c), _) if d.credits.available(FcClass::Completion, c.data_credits()) => true,
-                (_, Some(r)) if d.credits.available(r.fc_class(), r.data_credits()) => false,
+                (Some((_, c)), _) if d.credits.available(FcClass::Completion, c.data_credits()) => {
+                    true
+                }
+                (_, Some((_, r))) if d.credits.available(r.fc_class(), r.data_credits()) => false,
                 _ => break,
             };
-            let tlp = if from_cpl {
+            let (queued_at, tlp) = if from_cpl {
                 d.cplq.pop_front().expect("checked front")
             } else {
                 d.reqq.pop_front().expect("checked front")
             };
+            let stall = self.queue.now().since(queued_at);
+            d.credit_stall += stall;
+            self.metrics.add(d.m.credit_stall_ns, stall.as_ps() / 1_000);
+            self.metrics
+                .gauge_set(d.m.queue_depth, (d.reqq.len() + d.cplq.len()) as i64);
             let ok = d.credits.consume(tlp.fc_class(), tlp.data_credits());
             debug_assert!(ok);
             Self::transmit(
                 &mut self.queue,
                 &mut self.tracer,
+                &mut self.metrics,
                 &mut self.rng,
                 link,
                 dir,
@@ -665,11 +766,11 @@ mod tests {
             ctx.send(PortIdx(0), Tlp::write(0, vec![0u8; 100]));
         });
         f.run_until_idle();
-        let s = f.link_stats(LinkId(0), 0);
+        let s = f.link_stats(LinkId(0), Dir::Fwd);
         assert_eq!(s.packets, 1);
         assert_eq!(s.wire_bytes, 124);
         assert_eq!(s.queued, 0);
-        let rev = f.link_stats(LinkId(0), 1);
+        let rev = f.link_stats(LinkId(0), Dir::Rev);
         assert_eq!(rev.packets, 0);
     }
 
@@ -729,7 +830,7 @@ mod tests {
         });
         // Run a short window: far less than the 50 µs credit stall.
         f.run_until(SimTime::from_ps(5_000_000)); // 5 µs
-        let s = f.link_stats(LinkId(0), 0);
+        let s = f.link_stats(LinkId(0), Dir::Fwd);
         // 1 write went out (first credit), the completion bypassed the
         // other 3 blocked writes.
         assert_eq!(s.packets, 2, "write + bypassing completion");
@@ -767,7 +868,7 @@ mod tests {
         });
         f.run_until_idle();
         let dump = f.dump_trace();
-        assert!(dump.contains("tx link0/0"), "{dump}");
+        assert!(dump.contains("tx link0/fwd"), "{dump}");
         assert!(dump.contains("deliver"), "{dump}");
         assert!(dump.contains("0xabc0"), "{dump}");
     }
@@ -798,7 +899,7 @@ mod tests {
         let mut sorted = addrs.clone();
         sorted.sort_unstable();
         assert_eq!(addrs, sorted, "order preserved through replays");
-        let s = f.link_stats(LinkId(0), 0);
+        let s = f.link_stats(LinkId(0), Dir::Fwd);
         assert!(s.replays > 0, "some replays must have occurred");
         for i in 0..200u64 {
             assert_eq!(m.mem.read(i * 256, 1), vec![i as u8], "payload {i}");
@@ -848,7 +949,7 @@ mod tests {
                 }
             });
             f.run_until_idle();
-            (f.now().as_ps(), f.link_stats(LinkId(0), 0).replays)
+            (f.now().as_ps(), f.link_stats(LinkId(0), Dir::Fwd).replays)
         };
         assert_eq!(run(42), run(42), "same seed, same replay schedule");
         assert_ne!(run(42).1, run(43).1, "different seeds diverge");
@@ -871,5 +972,66 @@ mod tests {
         let bw = bytes as f64 / end.since(SimTime::ZERO).as_s_f64();
         let peak = LinkParams::gen2_x8().theoretical_peak_bytes_per_sec();
         assert!(bw / peak > 0.99, "bw={bw:.3e} peak={peak:.3e}");
+    }
+
+    #[test]
+    fn port_link_maps_ports_to_directions() {
+        let (f, req, mem) = pair();
+        assert_eq!(f.port_link(req, PortIdx(0)), Some((LinkId(0), Dir::Fwd)));
+        assert_eq!(f.port_link(mem, PortIdx(0)), Some((LinkId(0), Dir::Rev)));
+        assert_eq!(f.port_link(req, PortIdx(7)), None);
+    }
+
+    #[test]
+    fn metrics_track_wire_time_and_tlps() {
+        let (mut f, req, _mem) = pair();
+        f.drive::<Requester, _>(req, |_, ctx| {
+            for i in 0..10u64 {
+                ctx.send(PortIdx(0), Tlp::write(i * 256, vec![0u8; 256]));
+            }
+        });
+        f.run_until_idle();
+        let snap = f.metrics_snapshot();
+        assert_eq!(snap.counter("link.0.fwd.tlps"), Some(10));
+        // 280 wire bytes at 4 GB/s = 70 ns per packet.
+        assert_eq!(snap.counter("link.0.fwd.wire_busy_ns"), Some(700));
+        assert_eq!(snap.counter("link.0.fwd.credit_stall_ns"), Some(0));
+        assert_eq!(snap.counter("link.0.rev.tlps"), Some(0));
+        match snap.get("link.0.fwd.wire_bytes") {
+            Some(tca_sim::MetricValue::Bandwidth { bytes, .. }) => assert_eq!(*bytes, 2800),
+            other => panic!("unexpected {other:?}"),
+        }
+        let stats = f.link_stats(LinkId(0), Dir::Fwd);
+        assert_eq!(stats.wire_busy, Dur::from_ns(700));
+        assert_eq!(stats.credit_stall, Dur::ZERO);
+    }
+
+    #[test]
+    fn metrics_attribute_credit_stall_and_queue_depth() {
+        let mut f = Fabric::new();
+        let req = f.add_device(|id| Requester { id, got: vec![] });
+        let mem = f.add_device(TestMem::new);
+        let mut p = LinkParams::gen2_x8().with_latency(Dur::from_ns(10));
+        p.posted_hdr_credits = 2;
+        p.posted_data_credits = 32;
+        f.connect((req, PortIdx(0)), (mem, PortIdx(0)), p);
+        f.drive::<Requester, _>(req, |_, ctx| {
+            for i in 0..20u64 {
+                ctx.send(PortIdx(0), Tlp::write(i * 256, vec![1u8; 256]));
+            }
+        });
+        f.run_until_idle();
+        let snap = f.metrics_snapshot();
+        let stall = snap.counter("link.0.fwd.credit_stall_ns").unwrap();
+        assert!(stall > 0, "credit-starved run must accumulate stall time");
+        let stats = f.link_stats(LinkId(0), Dir::Fwd);
+        assert_eq!(stats.credit_stall.as_ps() / 1_000, stall);
+        match snap.get("link.0.fwd.queue_depth") {
+            Some(tca_sim::MetricValue::Gauge { current, peak }) => {
+                assert_eq!(*current, 0, "queue drained");
+                assert_eq!(*peak, 18, "18 writes were blocked behind 2 credits");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 }

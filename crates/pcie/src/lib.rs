@@ -52,4 +52,4 @@ pub use fabric::{Fabric, LinkDirStats, LinkId};
 pub use link::{LinkParams, PcieGen, WireState};
 pub use memory::{PageMemory, PAGE_SIZE};
 pub use tagpool::{ReadReassembly, TagPool};
-pub use tlp::{DeviceId, FcClass, PortIdx, Tag, Tlp, TlpKind, TLP_OVERHEAD_BYTES};
+pub use tlp::{DeviceId, Dir, FcClass, PortIdx, Tag, Tlp, TlpKind, TLP_OVERHEAD_BYTES};

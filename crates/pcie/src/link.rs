@@ -187,6 +187,9 @@ pub struct WireState {
     pub packets: u64,
     /// Link-level replays performed (corrupted TLPs retransmitted).
     pub replays: u64,
+    /// Accumulated serialization time: how long the wire has been occupied
+    /// pushing symbols (replayed transmissions included).
+    pub busy_time: Dur,
 }
 
 impl WireState {
@@ -204,6 +207,7 @@ impl WireState {
         self.busy_until = departure + tx;
         self.wire_bytes += wire_bytes;
         self.packets += 1;
+        self.busy_time += tx;
         // Store-and-forward: the packet is available at the receiver when the
         // last symbol has arrived.
         (departure, self.busy_until + params.latency)

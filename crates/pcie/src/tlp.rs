@@ -30,6 +30,47 @@ impl fmt::Debug for PortIdx {
     }
 }
 
+/// Direction of travel on a link. [`Dir::Fwd`] flows from the first endpoint
+/// passed to `Fabric::connect` toward the second; [`Dir::Rev`] is the
+/// opposite lane. The two directions have independent wires, credits, and
+/// statistics.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Dir {
+    /// First connect endpoint → second.
+    Fwd = 0,
+    /// Second connect endpoint → first.
+    Rev = 1,
+}
+
+impl Dir {
+    /// Both directions, forward first — for iterating a link's lanes.
+    pub const ALL: [Dir; 2] = [Dir::Fwd, Dir::Rev];
+
+    /// Array index of this direction (0 or 1).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The opposite direction.
+    #[inline]
+    pub const fn flip(self) -> Dir {
+        match self {
+            Dir::Fwd => Dir::Rev,
+            Dir::Rev => Dir::Fwd,
+        }
+    }
+}
+
+impl fmt::Display for Dir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Dir::Fwd => "fwd",
+            Dir::Rev => "rev",
+        })
+    }
+}
+
 /// Transaction tag pairing a non-posted request with its completions.
 /// Tags are scoped to the requester device, as on real PCIe.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]

@@ -14,13 +14,15 @@
 //! `port_n_translate`.
 
 use crate::dma::{Descriptor, EngineKind, DESC_SIZE};
-use crate::nios::{Nios, PortRole};
+use crate::nios::{Nios, PortLinkStats, PortRole};
 use crate::params::Peach2Params;
 use crate::regs::{RegEffect, RegFile, RouteRule, SRAM_OFFSET};
 use std::collections::{HashMap, VecDeque};
 use tca_device::map::{gpu_bar, TcaBlock, TcaMap};
-use tca_pcie::{Ctx, Device, DeviceId, PageMemory, PortIdx, ReadReassembly, TagPool, Tlp, TlpKind};
-use tca_sim::{Counter, LatencyHistogram, SimTime, TraceLevel};
+use tca_pcie::{
+    Ctx, Device, DeviceId, Fabric, PageMemory, PortIdx, ReadReassembly, TagPool, Tlp, TlpKind,
+};
+use tca_sim::{Counter, Dur, LatencyHistogram, MetricsHub, SimTime, TraceLevel};
 
 /// Port N: host connection (always, §III-D).
 pub const PORT_N: PortIdx = PortIdx(0);
@@ -86,7 +88,9 @@ struct DmaState {
     descs: Vec<Option<Descriptor>>,
     /// Next descriptor index to fetch.
     fetch_next: u32,
-    fetch_reasm: HashMap<u16, (u32, ReadReassembly)>,
+    /// In-flight descriptor-table reads: tag → (index, issue time,
+    /// reassembly). The issue time feeds the fetch-latency histogram.
+    fetch_reasm: HashMap<u16, (u32, SimTime, ReadReassembly)>,
     issue_idx: u32,
     waiting_for_desc: bool,
     /// Current write-descriptor progress.
@@ -154,6 +158,9 @@ pub struct Peach2 {
     pub runs: Vec<DmaRunRecord>,
     /// Distribution of doorbell→completion windows across runs.
     pub dma_window_hist: LatencyHistogram,
+    /// Distribution of descriptor-table fetch latencies (read issued on
+    /// port N → descriptor fully reassembled) — the Fig. 8/9 overhead.
+    pub desc_fetch_hist: LatencyHistogram,
     /// The NIOS management microcontroller (§III-D).
     nios: Nios,
 }
@@ -185,6 +192,7 @@ impl Peach2 {
             relayed: Counter::new(),
             runs: Vec::new(),
             dma_window_hist: LatencyHistogram::new(),
+            desc_fetch_hist: LatencyHistogram::new(),
             nios: Nios::default(),
         }
     }
@@ -384,9 +392,10 @@ impl Peach2 {
         let idx = self.dma.fetch_next;
         self.dma.fetch_next += 1;
         let addr = self.regs.dma_desc_addr + idx as u64 * DESC_SIZE;
-        self.dma
-            .fetch_reasm
-            .insert(tag.0, (idx, ReadReassembly::new(DESC_SIZE as usize)));
+        self.dma.fetch_reasm.insert(
+            tag.0,
+            (idx, ctx.now(), ReadReassembly::new(DESC_SIZE as usize)),
+        );
         ctx.send(PORT_N, Tlp::read(addr, DESC_SIZE as u32, tag, self.id));
     }
 
@@ -586,14 +595,15 @@ impl Peach2 {
             unreachable!()
         };
         assert_eq!(requester, self.id, "{}: foreign completion", self.name);
-        if let Some((idx, mut reasm)) = self.dma.fetch_reasm.remove(&tag.0) {
+        if let Some((idx, issued, mut reasm)) = self.dma.fetch_reasm.remove(&tag.0) {
             // Descriptor-table fetch.
             let done = reasm.add(offset, &data);
             if !done {
-                self.dma.fetch_reasm.insert(tag.0, (idx, reasm));
+                self.dma.fetch_reasm.insert(tag.0, (idx, issued, reasm));
                 return;
             }
             self.dma.tags.release(tag);
+            self.desc_fetch_hist.record(ctx.now().since(issued));
             let desc = Descriptor::decode(&reasm.into_data());
             self.dma.descs[idx as usize] = Some(desc);
             if self.dma.waiting_for_desc && idx == self.dma.issue_idx {
@@ -759,6 +769,69 @@ impl Device for Peach2 {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn publish_metrics(&self, hub: &mut MetricsHub) {
+        let p = &self.name;
+        let c = hub.counter(format!("{p}.relayed"));
+        hub.counter_sync(c, self.relayed.get());
+        let done: Vec<&DmaRunRecord> = self.runs.iter().filter(|r| r.complete.is_some()).collect();
+        let c = hub.counter(format!("{p}.dma.runs"));
+        hub.counter_sync(c, done.len() as u64);
+        let c = hub.counter(format!("{p}.dma.bytes"));
+        hub.counter_sync(c, done.iter().map(|r| r.bytes).sum());
+        let c = hub.counter(format!("{p}.dma.descriptors"));
+        hub.counter_sync(c, done.iter().map(|r| r.descriptors as u64).sum());
+        // Engine-busy time: the sum of doorbell→completion windows.
+        let busy = done.iter().fold(Dur::ZERO, |acc, r| {
+            acc + r.complete.unwrap().since(r.doorbell)
+        });
+        let c = hub.counter(format!("{p}.dma.engine_busy_ns"));
+        hub.counter_sync(c, busy.as_ps() / 1_000);
+        // Chain length: current = last completed run, peak = longest ever.
+        // Setting the (monotonic) maximum first makes the peak watermark
+        // exact even though the gauge is only written at snapshot time.
+        let g = hub.gauge(format!("{p}.dma.chain_len"));
+        hub.gauge_set(
+            g,
+            done.iter().map(|r| r.descriptors).max().unwrap_or(0) as i64,
+        );
+        hub.gauge_set(g, done.last().map(|r| r.descriptors).unwrap_or(0) as i64);
+        let h = hub.histogram(format!("{p}.dma.window_ns"));
+        hub.histogram_sync(h, &self.dma_window_hist);
+        let h = hub.histogram(format!("{p}.dma.desc_fetch_ns"));
+        hub.histogram_sync(h, &self.desc_fetch_hist);
+        for (i, port) in ["n", "e", "w", "s"].iter().enumerate() {
+            let pc = self.nios.counters(i as u8);
+            let c = hub.counter(format!("{p}.port.{port}.ingress"));
+            hub.counter_sync(c, pc.ingress);
+            let c = hub.counter(format!("{p}.port.{port}.egress"));
+            hub.counter_sync(c, pc.egress);
+        }
+    }
+}
+
+/// Copies the fabric's per-port link statistics into a chip's NIOS
+/// management registers. The NIOS never touches the data path (§III-D), so
+/// its firmware learns about the wire from status registers the link layer
+/// maintains; this helper models the harness-side poll that refreshes them.
+/// Call it whenever fresh management data is wanted — typically right
+/// before reading [`Nios::read_reg`].
+pub fn sync_nios_link_stats(fabric: &mut Fabric, chip: DeviceId) {
+    for port in 0..4u8 {
+        let Some((link, dir)) = fabric.port_link(chip, PortIdx(port)) else {
+            continue;
+        };
+        let tx = fabric.link_stats(link, dir);
+        let stats = PortLinkStats {
+            tlps_forwarded: tx.packets,
+            replays: tx.replays,
+            credit_stall_ns: tx.credit_stall.as_ps() / 1_000,
+        };
+        fabric
+            .device_mut::<Peach2>(chip)
+            .nios_mut()
+            .set_link_stats(port, stats);
     }
 }
 

@@ -37,10 +37,12 @@ pub mod params;
 pub mod regs;
 pub mod topology;
 
-pub use chip::{ring_routing, DmaRunRecord, Peach2, PORT_E, PORT_N, PORT_S, PORT_W};
+pub use chip::{
+    ring_routing, sync_nios_link_stats, DmaRunRecord, Peach2, PORT_E, PORT_N, PORT_S, PORT_W,
+};
 pub use dma::{Descriptor, EngineKind, DESC_SIZE};
 pub use driver::{DmaMeasurement, Peach2Driver};
-pub use nios::{LinkHealth, MgmtEvent, Nios, PortCounters, PortRole};
+pub use nios::{LinkHealth, MgmtEvent, Nios, PortCounters, PortLinkStats, PortRole};
 pub use params::Peach2Params;
 pub use regs::{RegFile, RouteRule, SRAM_OFFSET};
 pub use topology::{

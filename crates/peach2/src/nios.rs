@@ -48,6 +48,34 @@ pub struct PortCounters {
     pub egress: u64,
 }
 
+/// Link-layer statistics for one port, mirrored from the fabric by
+/// [`crate::chip::sync_nios_link_stats`]. The NIOS cannot observe the wire
+/// directly (it "works only to monitor and manage PEARL", §III-D), so the
+/// harness periodically copies the link counters into the controller — the
+/// model of the hardware's status registers the firmware polls.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PortLinkStats {
+    /// TLPs this port pushed onto its link (transmit direction).
+    pub tlps_forwarded: u64,
+    /// Link-level replays on the transmit direction (NAKed + resent).
+    pub replays: u64,
+    /// Nanoseconds transmit packets spent stalled waiting for credits.
+    pub credit_stall_ns: u64,
+}
+
+/// Stride between consecutive ports in the management register map.
+pub const MGMT_PORT_STRIDE: u64 = 0x40;
+/// Register offset (within a port's window): TLPs received by the chip.
+pub const MGMT_INGRESS: u64 = 0x00;
+/// Register offset: TLPs emitted by the chip.
+pub const MGMT_EGRESS: u64 = 0x08;
+/// Register offset: TLPs forwarded onto the link (from the link layer).
+pub const MGMT_TLPS_FWD: u64 = 0x10;
+/// Register offset: link-level replays.
+pub const MGMT_REPLAYS: u64 = 0x18;
+/// Register offset: credit-stall nanoseconds.
+pub const MGMT_CREDIT_STALL_NS: u64 = 0x20;
+
 /// One management event in the NIOS log.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum MgmtEvent {
@@ -66,6 +94,7 @@ pub struct Nios {
     port_health: [LinkHealth; 4],
     port_role: [PortRole; 4],
     counters: [PortCounters; 4],
+    link_stats: [PortLinkStats; 4],
     log: Vec<(SimTime, MgmtEvent)>,
     /// Time partial reconfiguration keeps a port down. Partial
     /// reconfiguration of a PCIe hard-IP region on a Stratix IV is in the
@@ -88,6 +117,7 @@ impl Default for Nios {
                 PortRole::RootComplex,
             ],
             counters: [PortCounters::default(); 4],
+            link_stats: [PortLinkStats::default(); 4],
             log: Vec::new(),
             reconfig_time: Dur::from_ms(40),
             reconfig_pending: None,
@@ -115,6 +145,37 @@ impl Nios {
     /// Counters of a port.
     pub fn counters(&self, port: u8) -> PortCounters {
         self.counters[port as usize]
+    }
+
+    /// Link-layer statistics of a port (last synced from the fabric).
+    pub fn link_stats(&self, port: u8) -> PortLinkStats {
+        self.link_stats[port as usize]
+    }
+
+    /// Installs fresh link-layer statistics for a port. Called by
+    /// [`crate::chip::sync_nios_link_stats`]; overwrites the previous
+    /// sample (the counters are cumulative on the fabric side).
+    pub fn set_link_stats(&mut self, port: u8, stats: PortLinkStats) {
+        self.link_stats[port as usize] = stats;
+    }
+
+    /// Reads one 64-bit management register. The map is four per-port
+    /// windows of [`MGMT_PORT_STRIDE`] bytes (ports N, E, W, S in order),
+    /// each exposing the `MGMT_*` offsets. Unmapped offsets read as zero,
+    /// as the firmware's status bus does.
+    pub fn read_reg(&self, off: u64) -> u64 {
+        let port = (off / MGMT_PORT_STRIDE) as usize;
+        if port >= 4 {
+            return 0;
+        }
+        match off % MGMT_PORT_STRIDE {
+            MGMT_INGRESS => self.counters[port].ingress,
+            MGMT_EGRESS => self.counters[port].egress,
+            MGMT_TLPS_FWD => self.link_stats[port].tlps_forwarded,
+            MGMT_REPLAYS => self.link_stats[port].replays,
+            MGMT_CREDIT_STALL_NS => self.link_stats[port].credit_stall_ns,
+            _ => 0,
+        }
     }
 
     /// The management event log (oldest first).
@@ -219,6 +280,31 @@ mod tests {
         let mut n = Nios::default();
         n.begin_reconfig(3, PortRole::Endpoint, SimTime::ZERO);
         n.begin_reconfig(3, PortRole::RootComplex, SimTime::ZERO);
+    }
+
+    #[test]
+    fn mgmt_registers_expose_port_and_link_counters() {
+        let mut n = Nios::default();
+        n.count_ingress(1);
+        n.count_egress(1);
+        n.count_egress(1);
+        n.set_link_stats(
+            1,
+            PortLinkStats {
+                tlps_forwarded: 7,
+                replays: 2,
+                credit_stall_ns: 350,
+            },
+        );
+        let base = MGMT_PORT_STRIDE; // port E window
+        assert_eq!(n.read_reg(base + MGMT_INGRESS), 1);
+        assert_eq!(n.read_reg(base + MGMT_EGRESS), 2);
+        assert_eq!(n.read_reg(base + MGMT_TLPS_FWD), 7);
+        assert_eq!(n.read_reg(base + MGMT_REPLAYS), 2);
+        assert_eq!(n.read_reg(base + MGMT_CREDIT_STALL_NS), 350);
+        // Unmapped offsets and out-of-range ports read as zero.
+        assert_eq!(n.read_reg(base + 0x38), 0);
+        assert_eq!(n.read_reg(4 * MGMT_PORT_STRIDE), 0);
     }
 
     #[test]

@@ -35,13 +35,19 @@
 #![warn(rust_2018_idioms)]
 
 pub mod engine;
+pub mod json;
+pub mod metrics;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use engine::{EventId, EventQueue};
+pub use json::JsonValue;
+pub use metrics::{
+    CounterId, GaugeId, HistogramId, MeterId, MetricValue, MetricsHub, MetricsSnapshot,
+};
 pub use rng::SimRng;
 pub use stats::{fmt_gbps, BandwidthMeter, Counter, LatencyHistogram, OnlineStats};
 pub use time::{Dur, SimTime};
-pub use trace::{TraceLevel, Tracer};
+pub use trace::{TraceEvent, TraceKind, TraceLevel, Tracer};

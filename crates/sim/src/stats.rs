@@ -53,11 +53,14 @@ impl BandwidthMeter {
         }
     }
 
-    /// Records `bytes` delivered at instant `at`.
+    /// Records `bytes` delivered at instant `at`. Samples may arrive out of
+    /// order, so the window start tracks the minimum timestamp seen, not the
+    /// first call.
     pub fn record(&mut self, at: SimTime, bytes: u64) {
-        if self.first.is_none() {
-            self.first = Some(at);
-        }
+        self.first = Some(match self.first {
+            Some(first) => first.min(at),
+            None => at,
+        });
         self.bytes += bytes;
         self.last = self.last.max(at);
     }
@@ -278,6 +281,20 @@ mod tests {
         let mut m = BandwidthMeter::new();
         m.record(SimTime::from_ps(10), 100);
         assert_eq!(m.throughput(), 0.0, "single instant has no window");
+    }
+
+    #[test]
+    fn bandwidth_meter_out_of_order_samples() {
+        // Regression: the window start must be the minimum timestamp seen,
+        // not whichever sample happened to arrive first.
+        let mut fwd = BandwidthMeter::new();
+        fwd.record(SimTime::from_ps(0), 500);
+        fwd.record(SimTime::from_ps(1_000_000), 500);
+        let mut rev = BandwidthMeter::new();
+        rev.record(SimTime::from_ps(1_000_000), 500);
+        rev.record(SimTime::from_ps(0), 500);
+        assert!((rev.throughput() - fwd.throughput()).abs() < 1e-9);
+        assert!((rev.throughput() - 1e9).abs() < 1.0);
     }
 
     #[test]

@@ -1,10 +1,24 @@
-//! Lightweight simulation tracing.
+//! Structured simulation tracing.
 //!
-//! Device models call [`Tracer::emit`] with a closure producing the line, so
-//! a disabled tracer costs one branch. Traces are kept in a bounded ring and
-//! can be dumped when a test fails, which is the main debugging tool for a
-//! packet-level model.
+//! Device models call [`Tracer::emit`] with a closure producing the event
+//! payload, so a disabled tracer costs one branch. Events are typed
+//! ([`TraceEvent`]: timestamp, originating device, and a [`TraceKind`] that
+//! distinguishes instant events from span begin/end pairs), kept in a
+//! bounded ring, and can be rendered two ways:
+//!
+//! * [`Tracer::dump`] — the classic text dump (`[{time}] {text}` lines),
+//!   the main debugging tool when a packet-level test fails;
+//! * [`Tracer::chrome_trace_json`] — the Chrome trace-event array form
+//!   (`ph`/`ts`/`name` fields, timestamps in microseconds), loadable in
+//!   Perfetto or `chrome://tracing`. Span begins/ends map to `"B"`/`"E"`
+//!   events and thread lanes are device ids, so DMA windows render as bars
+//!   per device.
+//!
+//! Closures may return anything `Into<TraceKind>`; plain `String` payloads
+//! become instant events, which keeps every pre-existing call site source
+//! compatible.
 
+use crate::json::JsonValue;
 use crate::time::SimTime;
 use std::collections::VecDeque;
 
@@ -20,12 +34,57 @@ pub enum TraceLevel {
     Packet,
 }
 
-/// A bounded in-memory trace ring.
+/// What a trace event describes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A point-in-time observation (the classic trace line).
+    Instant(String),
+    /// Opens a named span; pair with an [`TraceKind::End`] of the same name.
+    Begin(String),
+    /// Closes the most recent span of this name.
+    End(String),
+}
+
+impl From<String> for TraceKind {
+    fn from(s: String) -> TraceKind {
+        TraceKind::Instant(s)
+    }
+}
+
+impl From<&str> for TraceKind {
+    fn from(s: &str) -> TraceKind {
+        TraceKind::Instant(s.to_owned())
+    }
+}
+
+/// One recorded trace event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated instant the event was emitted at.
+    pub at: SimTime,
+    /// Originating device id, when the emitter knew it.
+    pub device: Option<u32>,
+    /// Payload.
+    pub kind: TraceKind,
+}
+
+impl TraceEvent {
+    /// Renders the payload as the text-dump line body.
+    pub fn text(&self) -> String {
+        match &self.kind {
+            TraceKind::Instant(s) => s.clone(),
+            TraceKind::Begin(s) => format!("begin {s}"),
+            TraceKind::End(s) => format!("end {s}"),
+        }
+    }
+}
+
+/// A bounded in-memory ring of structured trace events.
 #[derive(Debug)]
 pub struct Tracer {
     level: TraceLevel,
     capacity: usize,
-    ring: VecDeque<(SimTime, String)>,
+    ring: VecDeque<TraceEvent>,
     dropped: u64,
 }
 
@@ -36,7 +95,7 @@ impl Default for Tracer {
 }
 
 impl Tracer {
-    /// Creates a tracer keeping at most `capacity` most-recent lines.
+    /// Creates a tracer keeping at most `capacity` most-recent events.
     pub fn new(level: TraceLevel, capacity: usize) -> Self {
         Tracer {
             level,
@@ -56,26 +115,58 @@ impl Tracer {
         self.level = level;
     }
 
-    /// Records a line if `level` is enabled. The closure runs only when the
-    /// line will actually be stored.
+    /// Records an event with no device attribution if `level` is enabled.
+    /// The closure runs only when the event will actually be stored.
     #[inline]
-    pub fn emit(&mut self, level: TraceLevel, at: SimTime, line: impl FnOnce() -> String) {
+    pub fn emit<T: Into<TraceKind>>(
+        &mut self,
+        level: TraceLevel,
+        at: SimTime,
+        payload: impl FnOnce() -> T,
+    ) {
+        self.emit_inner(level, at, None, payload);
+    }
+
+    /// Records an event attributed to `device` if `level` is enabled.
+    #[inline]
+    pub fn emit_for<T: Into<TraceKind>>(
+        &mut self,
+        level: TraceLevel,
+        at: SimTime,
+        device: u32,
+        payload: impl FnOnce() -> T,
+    ) {
+        self.emit_inner(level, at, Some(device), payload);
+    }
+
+    #[inline]
+    fn emit_inner<T: Into<TraceKind>>(
+        &mut self,
+        level: TraceLevel,
+        at: SimTime,
+        device: Option<u32>,
+        payload: impl FnOnce() -> T,
+    ) {
         if level <= self.level && level != TraceLevel::Off {
             if self.ring.len() == self.capacity {
                 self.ring.pop_front();
                 self.dropped += 1;
             }
-            self.ring.push_back((at, line()));
+            self.ring.push_back(TraceEvent {
+                at,
+                device,
+                kind: payload().into(),
+            });
         }
     }
 
-    /// Number of lines evicted from the ring.
+    /// Number of events evicted from the ring.
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
 
-    /// Iterates retained lines oldest-first.
-    pub fn lines(&self) -> impl Iterator<Item = &(SimTime, String)> {
+    /// Iterates retained events oldest-first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
         self.ring.iter()
     }
 
@@ -85,10 +176,37 @@ impl Tracer {
         if self.dropped > 0 {
             out.push_str(&format!("... {} earlier lines dropped ...\n", self.dropped));
         }
-        for (t, l) in &self.ring {
-            out.push_str(&format!("[{t}] {l}\n"));
+        for ev in &self.ring {
+            out.push_str(&format!("[{}] {}\n", ev.at, ev.text()));
         }
         out
+    }
+
+    /// Renders the retained trace as a Chrome trace-event JSON array
+    /// (`ph`/`ts`/`name` fields, `ts` in microseconds), loadable in
+    /// Perfetto / `chrome://tracing`.
+    pub fn chrome_trace_json(&self) -> String {
+        let mut events = Vec::with_capacity(self.ring.len());
+        for ev in &self.ring {
+            let (ph, name) = match &ev.kind {
+                TraceKind::Instant(s) => ("i", s),
+                TraceKind::Begin(s) => ("B", s),
+                TraceKind::End(s) => ("E", s),
+            };
+            let mut obj = JsonValue::object();
+            obj.push("name", JsonValue::from(name.as_str()));
+            obj.push("cat", JsonValue::from("sim"));
+            obj.push("ph", JsonValue::from(ph));
+            obj.push("ts", JsonValue::from(ev.at.as_us_f64()));
+            obj.push("pid", JsonValue::from(0u64));
+            obj.push("tid", JsonValue::from(u64::from(ev.device.unwrap_or(0))));
+            if ph == "i" {
+                // Global-scope instant marks render as full-height lines.
+                obj.push("s", JsonValue::from("g"));
+            }
+            events.push(obj);
+        }
+        JsonValue::Array(events).to_json()
     }
 }
 
@@ -102,18 +220,18 @@ mod tests {
         let mut evaluated = false;
         t.emit(TraceLevel::Txn, SimTime::ZERO, || {
             evaluated = true;
-            "x".into()
+            String::from("x")
         });
         assert!(!evaluated, "closure must not run when disabled");
-        assert_eq!(t.lines().count(), 0);
+        assert_eq!(t.events().count(), 0);
     }
 
     #[test]
     fn level_filtering() {
         let mut t = Tracer::new(TraceLevel::Txn, 16);
-        t.emit(TraceLevel::Txn, SimTime::ZERO, || "txn".into());
-        t.emit(TraceLevel::Packet, SimTime::ZERO, || "pkt".into());
-        let lines: Vec<_> = t.lines().map(|(_, l)| l.as_str()).collect();
+        t.emit(TraceLevel::Txn, SimTime::ZERO, || String::from("txn"));
+        t.emit(TraceLevel::Packet, SimTime::ZERO, || String::from("pkt"));
+        let lines: Vec<_> = t.events().map(TraceEvent::text).collect();
         assert_eq!(lines, ["txn"]);
     }
 
@@ -123,7 +241,7 @@ mod tests {
         for i in 0..5 {
             t.emit(TraceLevel::Packet, SimTime::from_ps(i), || format!("l{i}"));
         }
-        let lines: Vec<_> = t.lines().map(|(_, l)| l.as_str()).collect();
+        let lines: Vec<_> = t.events().map(TraceEvent::text).collect();
         assert_eq!(lines, ["l2", "l3", "l4"]);
         assert_eq!(t.dropped(), 2);
         assert!(t.dump().contains("2 earlier lines dropped"));
@@ -132,8 +250,46 @@ mod tests {
     #[test]
     fn dump_contains_timestamps() {
         let mut t = Tracer::new(TraceLevel::Txn, 8);
-        t.emit(TraceLevel::Txn, SimTime::from_ps(1_500), || "hello".into());
+        t.emit(TraceLevel::Txn, SimTime::from_ps(1_500), || {
+            String::from("hello")
+        });
         let d = t.dump();
         assert!(d.contains("1.500ns") && d.contains("hello"), "{d}");
+    }
+
+    #[test]
+    fn spans_render_in_dump_and_chrome_json() {
+        let mut t = Tracer::new(TraceLevel::Txn, 8);
+        t.emit_for(TraceLevel::Txn, SimTime::from_ps(1_000_000), 3, || {
+            TraceKind::Begin("dma".into())
+        });
+        t.emit_for(TraceLevel::Txn, SimTime::from_ps(2_000_000), 3, || {
+            TraceKind::End("dma".into())
+        });
+        t.emit(TraceLevel::Txn, SimTime::from_ps(2_500_000), || {
+            String::from("irq")
+        });
+        let d = t.dump();
+        assert!(d.contains("begin dma") && d.contains("end dma"), "{d}");
+
+        let json = t.chrome_trace_json();
+        let parsed = crate::json::JsonValue::parse(&json).expect("valid chrome json");
+        let events = parsed.as_array().expect("array of events");
+        assert_eq!(events.len(), 3);
+        let phases: Vec<_> = events
+            .iter()
+            .map(|e| e.get("ph").and_then(JsonValue::as_str).unwrap())
+            .collect();
+        assert_eq!(phases, ["B", "E", "i"]);
+        assert_eq!(
+            events[0].get("ts").and_then(JsonValue::as_f64),
+            Some(1.0),
+            "ts is in microseconds"
+        );
+        assert_eq!(events[0].get("tid").and_then(JsonValue::as_u64), Some(3));
+        assert_eq!(
+            events[0].get("name").and_then(JsonValue::as_str),
+            Some("dma")
+        );
     }
 }

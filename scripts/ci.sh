@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: formatting, lints, release build, full test suite.
+# Everything runs --offline against the vendored stub crates.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets --offline -- -D warnings
+cargo build --release --offline
+cargo test -q --offline

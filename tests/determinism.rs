@@ -5,7 +5,18 @@
 use tca::prelude::*;
 
 fn run_workload() -> (u64, Vec<u64>) {
+    let (events, times, _) = run_workload_telemetry(false);
+    (events, times)
+}
+
+/// The same workload, optionally with full telemetry: packet-level tracing
+/// plus a metrics snapshot taken *between* operations (mid-run) and another
+/// at the end. Returns the final snapshot JSON when instrumented.
+fn run_workload_telemetry(instrument: bool) -> (u64, Vec<u64>, String) {
     let mut c = TcaClusterBuilder::new(4).build();
+    if instrument {
+        c.fabric.set_trace(tca::sim::TraceLevel::Packet, 65536);
+    }
     let mut times = Vec::new();
     let a = c.alloc_gpu(0, 0, 64 * 1024);
     let b = c.alloc_gpu(2, 1, 64 * 1024);
@@ -13,11 +24,20 @@ fn run_workload() -> (u64, Vec<u64>) {
     for len in [64u64, 4096, 65536] {
         let d = c.memcpy_peer(&b.at(0), &a.at(0), len);
         times.push(d.as_ps());
+        if instrument {
+            // Mid-run snapshot: publication must not perturb the sim.
+            let _ = c.metrics_snapshot();
+        }
     }
     let p = c.pio_put(1, &MemRef::host(3, 0x4000_0000), &[1, 2, 3, 4]);
     times.push(p.as_ps());
     times.push(c.now().as_ps());
-    (c.fabric.events_executed(), times)
+    let snapshot = if instrument {
+        c.metrics_snapshot().to_json()
+    } else {
+        String::new()
+    };
+    (c.fabric.events_executed(), times, snapshot)
 }
 
 #[test]
@@ -26,6 +46,23 @@ fn identical_runs_replay_bit_identically() {
     let (ev2, t2) = run_workload();
     assert_eq!(ev1, ev2, "event counts diverged");
     assert_eq!(t1, t2, "timings diverged");
+}
+
+#[test]
+fn telemetry_never_touches_simulated_time() {
+    let (ev_off, t_off, _) = run_workload_telemetry(false);
+    let (ev_on, t_on, snap) = run_workload_telemetry(true);
+    assert_eq!(ev_off, ev_on, "tracing/snapshots changed the event count");
+    assert_eq!(t_off, t_on, "tracing/snapshots changed the timing");
+    assert!(!snap.is_empty());
+}
+
+#[test]
+fn instrumented_runs_snapshot_bit_identically() {
+    let (_, _, a) = run_workload_telemetry(true);
+    let (_, _, b) = run_workload_telemetry(true);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "metrics snapshots diverged between identical runs");
 }
 
 #[test]

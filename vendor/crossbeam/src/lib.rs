@@ -1,0 +1,75 @@
+//! Minimal vendored stand-in for `crossbeam`'s scoped-thread API.
+//!
+//! Only [`scope`]/[`Scope::spawn`] are provided, and spawned closures run
+//! *sequentially* on the calling thread. The workspace uses scoped workers
+//! purely to batch independent simulation sweeps (each point is its own
+//! simulation), so sequential execution changes no result — and keeps the
+//! vendored crate free of unsafe code and transitive dependencies.
+
+use std::any::Any;
+use std::marker::PhantomData;
+
+/// Error type mirroring `crossbeam::thread`'s boxed panic payload.
+pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// A scope in which closures can be spawned.
+pub struct Scope<'env> {
+    _marker: PhantomData<&'env mut &'env ()>,
+}
+
+/// Handle to a completed spawn; [`join`](ScopedJoinHandle::join) returns
+/// its result.
+pub struct ScopedJoinHandle<T> {
+    result: T,
+}
+
+impl<T> ScopedJoinHandle<T> {
+    /// Returns the closure's result. Never fails in this sequential model:
+    /// a panicking closure propagates at `spawn` time instead.
+    pub fn join(self) -> Result<T, PanicPayload> {
+        Ok(self.result)
+    }
+}
+
+impl<'env> Scope<'env> {
+    /// Runs `f` immediately on the calling thread.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<T>
+    where
+        F: FnOnce(&Scope<'env>) -> T,
+    {
+        ScopedJoinHandle { result: f(self) }
+    }
+}
+
+/// Creates a scope and runs `f` inside it. All "spawned" work has already
+/// completed when this returns, matching crossbeam's join-on-exit contract.
+pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+where
+    F: FnOnce(&Scope<'env>) -> R,
+{
+    let scope = Scope {
+        _marker: PhantomData,
+    };
+    Ok(f(&scope))
+}
+
+/// Namespace alias matching `crossbeam::thread::scope` call sites.
+pub mod thread {
+    pub use super::{scope, PanicPayload, Scope, ScopedJoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn spawned_work_runs_and_joins() {
+        let mut seen = Vec::new();
+        let out = super::scope(|s| {
+            let h = s.spawn(|_| 41);
+            seen.push(h.join().unwrap());
+            s.spawn(|_| seen.push(1));
+            seen.len()
+        })
+        .unwrap();
+        assert_eq!(out, 2);
+    }
+}

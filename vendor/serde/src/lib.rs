@@ -1,0 +1,15 @@
+//! Minimal vendored stand-in for `serde`'s serialization half.
+//!
+//! Provides the exact trait surface the workspace implements and derives:
+//! [`Serialize`], [`Serializer`], the seven `Serialize*` compound traits,
+//! [`ser::Impossible`], and [`ser::Error`] — with `Serialize` impls for the
+//! primitives, strings, slices, `Vec`, `Option`, and references. There is no
+//! deserialization half and no data-model features beyond what the bench
+//! exporters use; the point is an offline, zero-dependency build.
+
+pub mod ser;
+
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;

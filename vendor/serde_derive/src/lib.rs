@@ -1,0 +1,135 @@
+//! Minimal vendored `#[derive(Serialize)]` for plain named-field structs.
+//!
+//! The workspace derives `Serialize` only on non-generic structs with named
+//! fields (bench result rows, telemetry snapshots), so this macro parses the
+//! token stream by hand — no `syn`/`quote` — and emits a straightforward
+//! `serialize_struct` + `serialize_field` implementation. Anything fancier
+//! (enums, generics, tuple structs, serde attributes) is rejected with a
+//! compile error naming this vendored limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a plain named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(ts) => ts,
+        Err(msg) => {
+            let escaped = msg.replace('\\', "\\\\").replace('"', "\\\"");
+            format!("compile_error!(\"{escaped}\");")
+                .parse()
+                .expect("compile_error tokens")
+        }
+    }
+}
+
+fn expand(input: TokenStream) -> Result<TokenStream, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => i += 1,
+        other => {
+            return Err(format!(
+                "vendored derive(Serialize) supports only structs, found {other:?}"
+            ))
+        }
+    }
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => {
+            i += 1;
+            id.to_string()
+        }
+        other => return Err(format!("expected struct name, found {other:?}")),
+    };
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => {
+            return Err(format!(
+                "vendored derive(Serialize) supports only named-field structs \
+                 without generics; `{name}` does not qualify"
+            ))
+        }
+    };
+
+    let fields = field_names(body)?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S)\n\
+         -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+         use ::serde::ser::SerializeStruct as _;\n\
+         let mut __st = __serializer.serialize_struct(\"{name}\", {})?;\n",
+        fields.len()
+    ));
+    for field in &fields {
+        out.push_str(&format!(
+            "__st.serialize_field(\"{field}\", &self.{field})?;\n"
+        ));
+    }
+    out.push_str("__st.end()\n}\n}\n");
+    out.parse()
+        .map_err(|e| format!("generated impl failed to lex: {e:?}"))
+}
+
+/// Extracts field identifiers from the brace body of a named-field struct:
+/// the first non-attribute, non-visibility identifier of each top-level
+/// comma-separated entry, where "top-level" tracks `<...>` nesting so
+/// commas inside generic types do not split fields.
+fn field_names(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut at_field_start = true;
+    let mut tokens = body.into_iter().peekable();
+
+    while let Some(tt) = tokens.next() {
+        match &tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => at_field_start = true,
+                '#' => {
+                    // Attribute on a field: skip the bracket group.
+                    tokens.next();
+                }
+                _ => {}
+            },
+            TokenTree::Ident(id) if at_field_start && angle_depth == 0 => {
+                let text = id.to_string();
+                if text == "pub" {
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                } else {
+                    fields.push(text);
+                    at_field_start = false;
+                }
+            }
+            _ => {}
+        }
+    }
+    if fields.is_empty() {
+        return Err("vendored derive(Serialize) found no named fields".into());
+    }
+    Ok(fields)
+}
