@@ -1,0 +1,54 @@
+//! Per-stage latency attribution from the causal span tracer: where every
+//! nanosecond of a PIO store and a 4 KiB pipelined DMA put goes, at ring
+//! distances 1–8 on a 16-node ring. Stage columns are extracted from each
+//! transfer's root span; per row they sum to the measured end-to-end
+//! latency *exactly* (the partition is computed in integer picoseconds).
+
+use tca_bench::{latency_attribution, AttribRow};
+
+fn print_kind(rows: &[AttribRow], kind: &str, title: &str) {
+    let rows: Vec<&AttribRow> = rows.iter().filter(|r| r.kind == kind).collect();
+    // Union of stage names across the rows, first-occurrence order.
+    let mut stages: Vec<&str> = Vec::new();
+    for r in &rows {
+        for (s, _) in &r.stages {
+            if !stages.contains(&s.as_str()) {
+                stages.push(s);
+            }
+        }
+    }
+    println!("{title}");
+    print!("{:>5} {:>10}", "hops", "total");
+    for s in &stages {
+        print!(" {s:>11}");
+    }
+    println!();
+    for r in &rows {
+        print!("{:>5} {:>9.1}ns", r.hops, r.total_ns);
+        for s in &stages {
+            let ns = r
+                .stages
+                .iter()
+                .find(|(name, _)| name == s)
+                .map_or(0.0, |(_, ns)| *ns);
+            print!(" {ns:>9.1}ns");
+        }
+        println!();
+    }
+    println!();
+}
+
+fn main() {
+    let rows = latency_attribution(8);
+    println!("Causal span attribution, 16-node ring (stage sums == measured latency)\n");
+    print_kind(
+        &rows,
+        "pio",
+        "PIO: 4 B CPU store, issue → remote DRAM commit",
+    );
+    print_kind(
+        &rows,
+        "dma",
+        "DMA: 4 KiB pipelined put, doorbell → completion interrupt",
+    );
+}

@@ -149,8 +149,74 @@ impl TcaCluster {
 
     /// Chrome trace-event JSON for whatever the tracer captured; enable
     /// capture with `self.fabric.set_trace(..)` before running work.
+    /// When span tracing is on, the export also carries one complete
+    /// ("X") event per span and "s"/"f" flow arrows linking the causal
+    /// parent/child edges that cross devices.
     pub fn chrome_trace_json(&self) -> String {
         self.fabric.chrome_trace_json()
+    }
+
+    /// Enables or disables causal span tracing on the underlying fabric.
+    /// Off by default. Recording spans is pure data collection — like
+    /// metrics, it never schedules events, so toggling it never shifts
+    /// simulated timestamps.
+    pub fn set_span_tracing(&mut self, enabled: bool) {
+        self.fabric.set_span_tracing(enabled);
+    }
+
+    /// Critical-path breakdown of every *completed* root span, grouped by
+    /// transfer kind (`pio`, `dma`, `mpi.*`): transfer count, total and
+    /// mean end-to-end latency, and an exact per-stage attribution — the
+    /// stage rows of each group sum to the group total to the picosecond,
+    /// with time covered by no recorded stage reported as `other`.
+    pub fn span_report(&self) -> String {
+        use std::collections::BTreeMap;
+        use std::fmt::Write as _;
+        let spans = self.fabric.spans();
+        let roots = spans.roots();
+        let completed = roots.iter().filter(|r| r.3.is_some()).count();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "span report: {} root spans, {completed} completed",
+            roots.len()
+        );
+        // name → (count, total elapsed, stage → time in first-seen order)
+        type StageAcc = Vec<(String, tca_sim::Dur)>;
+        let mut groups: BTreeMap<String, (u64, tca_sim::Dur, StageAcc)> = BTreeMap::new();
+        for (id, name, _start, end) in roots {
+            if end.is_none() {
+                continue;
+            }
+            let elapsed = spans.root_elapsed(id).expect("completed root");
+            let entry = groups
+                .entry(name.to_string())
+                .or_insert_with(|| (0, tca_sim::Dur::ZERO, Vec::new()));
+            entry.0 += 1;
+            entry.1 += elapsed;
+            for (stage, d) in spans.attribution(id) {
+                match entry.2.iter_mut().find(|(s, _)| *s == stage) {
+                    Some(slot) => slot.1 += d,
+                    None => entry.2.push((stage, d)),
+                }
+            }
+        }
+        for (name, (count, total, stages)) in groups {
+            let mean_us = total.as_ns_f64() / 1000.0 / count as f64;
+            let _ = writeln!(
+                out,
+                "  {name}: {count} transfer(s), total {total}, mean {mean_us:.3} µs"
+            );
+            for (stage, d) in stages {
+                let pct = if total > tca_sim::Dur::ZERO {
+                    100.0 * d.as_ps() as f64 / total.as_ps() as f64
+                } else {
+                    0.0
+                };
+                let _ = writeln!(out, "    {stage:<14} {pct:5.1}%  {d}");
+            }
+        }
+        out
     }
 }
 
@@ -209,6 +275,36 @@ mod tests {
             "ring port traffic visible after sync"
         );
         assert_eq!(snap.counter("peach2.n0.dma.runs"), Some(1));
+    }
+
+    #[test]
+    fn span_report_breaks_down_dma_critical_path() {
+        use crate::api::MemRef;
+        let mut c = TcaClusterBuilder::new(2).build();
+        c.set_span_tracing(true);
+        c.write(&MemRef::host(0, 0x4000_0000), &[1u8; 1024]);
+        c.memcpy_peer(
+            &MemRef::host(1, 0x5000_0000),
+            &MemRef::host(0, 0x4000_0000),
+            1024,
+        );
+        let r = c.span_report();
+        assert!(r.contains("dma:"), "{r}");
+        assert!(r.contains("desc_fetch"), "{r}");
+        assert!(r.contains("wire"), "{r}");
+        // The attribution is an exact partition: per root, the stage
+        // durations sum to the end-to-end elapsed time to the picosecond.
+        let spans = c.fabric.spans();
+        for (id, _, _, end) in spans.roots() {
+            if end.is_none() {
+                continue;
+            }
+            let total = spans
+                .attribution(id)
+                .iter()
+                .fold(tca_sim::Dur::ZERO, |a, (_, d)| a + *d);
+            assert_eq!(total, spans.root_elapsed(id).unwrap());
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@
 use crate::params::HostParams;
 use std::collections::HashMap;
 use tca_pcie::{AddrRange, Ctx, Device, DeviceId, PageMemory, PortIdx, Tlp, TlpKind};
-use tca_sim::{Counter, SimTime, TraceLevel};
+use tca_sim::{Counter, SimTime, TraceCtx, TraceLevel};
 
 /// Identifier of a poll watch registered on a host.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -53,6 +53,7 @@ struct PendingRead {
     len: u32,
     tag: tca_pcie::Tag,
     requester: DeviceId,
+    span: Option<TraceCtx>,
 }
 
 struct Watch {
@@ -74,6 +75,9 @@ pub struct HostCore {
     watches: Vec<Watch>,
     /// (delivery time, handler-entry time, vector) for every MSI.
     interrupts: Vec<(SimTime, SimTime, u32)>,
+    /// Span context of each MSI, parallel to `interrupts`, so the handler
+    /// entry can close the originating transfer's root span.
+    irq_spans: Vec<Option<TraceCtx>>,
     /// Writes delivered into DRAM: count and bytes.
     pub dram_writes: Counter,
     /// Bytes written into DRAM by devices.
@@ -150,8 +154,30 @@ impl HostCore {
 
     /// Issues a store from the CPU: DRAM stores land directly; stores into
     /// a downstream window become posted write TLPs (the PIO path, §III-F1).
+    /// With span tracing enabled, each window store opens a `"pio"` root
+    /// span that closes when the write commits into its destination DRAM.
     #[track_caller]
     pub fn cpu_store(&mut self, addr: u64, data: &[u8], ctx: &mut Ctx<'_>) {
+        if self.dram.contains(addr) {
+            self.mem.write(addr, data);
+            return;
+        }
+        let now = ctx.now();
+        let span = ctx.spans().start_root("pio", now, Some(self.id.0));
+        self.cpu_store_traced(addr, data, ctx, span);
+    }
+
+    /// [`HostCore::cpu_store`] carrying a caller-allocated span context —
+    /// used when the store belongs to a larger traced transfer (a DMA
+    /// doorbell, a multi-TLP write-combining copy).
+    #[track_caller]
+    pub fn cpu_store_traced(
+        &mut self,
+        addr: u64,
+        data: &[u8],
+        ctx: &mut Ctx<'_>,
+        span: Option<TraceCtx>,
+    ) {
         if self.dram.contains(addr) {
             self.mem.write(addr, data);
             return;
@@ -159,16 +185,19 @@ impl HostCore {
         let port = self
             .route_port(addr)
             .unwrap_or_else(|| panic!("cpu_store to unmapped address {addr:#x}"));
-        ctx.send(port, Tlp::write(addr, data.to_vec()));
+        ctx.send(port, Tlp::write(addr, data.to_vec()).with_span(span));
     }
 
     /// Copies `data` to a device window through the CPU write-combining
     /// buffers: one posted TLP per `wc_burst` bytes, as a streaming store
-    /// loop would produce.
+    /// loop would produce. All bursts share one `"pio"` root span, closed
+    /// by the last burst's commit.
     pub fn cpu_store_wc(&mut self, addr: u64, data: &[u8], ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let span = ctx.spans().start_root("pio", now, Some(self.id.0));
         let burst = self.params.wc_burst as usize;
         for (i, chunk) in data.chunks(burst).enumerate() {
-            self.cpu_store(addr + (i * burst) as u64, chunk, ctx);
+            self.cpu_store_traced(addr + (i * burst) as u64, chunk, ctx, span);
         }
     }
 
@@ -238,6 +267,7 @@ impl HostBridge {
                 pending_reads: Vec::new(),
                 watches: Vec::new(),
                 interrupts: Vec::new(),
+                irq_spans: Vec::new(),
                 dram_writes: Counter::new(),
                 dram_bytes_in: Counter::new(),
             },
@@ -288,6 +318,12 @@ impl Device for HostBridge {
         match tlp.kind {
             TlpKind::MemWrite { addr, ref data } => {
                 if self.core.dram.contains(addr) {
+                    // Final remote-memory commit: the transfer's root span
+                    // closes at the instant the payload is visible in DRAM.
+                    if let Some(sp) = tlp.span {
+                        let now = ctx.now();
+                        ctx.spans().end_root(sp, now);
+                    }
                     self.core.mem.write(addr, data);
                     let n = data.len();
                     let hit_before = self
@@ -331,12 +367,18 @@ impl Device for HostBridge {
             } => {
                 if self.core.dram.contains(addr) {
                     let idx = self.core.pending_reads.len() as u64;
+                    if let Some(sp) = tlp.span {
+                        let now = ctx.now();
+                        let until = now + self.core.params.mem_read_latency;
+                        ctx.spans().segment(sp, "dram_read", now, until, None);
+                    }
                     self.core.pending_reads.push(Some(PendingRead {
                         port,
                         addr,
                         len,
                         tag,
                         requester,
+                        span: tlp.span,
                     }));
                     ctx.timer_in(self.core.params.mem_read_latency, mk_tag(KIND_READ, idx));
                 } else if let Some(out) = self.core.route_port(addr) {
@@ -363,7 +405,12 @@ impl Device for HostBridge {
                 // Handler entry happens after the interrupt dispatch cost;
                 // record both instants (the paper reads TSC *inside* the
                 // handler, §IV-A).
+                if let Some(sp) = tlp.span {
+                    let entry = arrived + self.core.params.interrupt_entry;
+                    ctx.spans().segment(sp, "irq_entry", arrived, entry, None);
+                }
                 self.core.interrupts.push((arrived, arrived, vector));
+                self.core.irq_spans.push(tlp.span);
                 let idx = self.core.interrupts.len() as u64 - 1;
                 ctx.timer_in(
                     self.core.params.interrupt_entry,
@@ -396,7 +443,8 @@ impl Device for HostBridge {
                             off as u32,
                             data[off..off + n].to_vec(),
                             last,
-                        ),
+                        )
+                        .with_span(pr.span),
                     );
                     off += n;
                 }
@@ -405,6 +453,12 @@ impl Device for HostBridge {
                 let idx = (val >> 16) as usize;
                 let vector = (val & 0xffff) as u32;
                 self.core.interrupts[idx].1 = ctx.now();
+                // The paper's DMA window closes at handler entry (§IV-A):
+                // close the originating transfer's root span here.
+                if let Some(sp) = self.core.irq_spans[idx] {
+                    let now = ctx.now();
+                    ctx.spans().end_root(sp, now);
+                }
                 self.dispatch_agent(ctx, |a, api| a.on_interrupt(vector, api));
             }
             KIND_AGENT => {

@@ -254,7 +254,14 @@ impl Device for IbHca {
                 assert_ne!(port, PortIdx(0), "{}: host wrote into the HCA", self.name);
                 self.deliver_frame(addr, data, ctx);
             }
-            other => panic!("{}: unexpected TLP {:?}", self.name, Tlp { kind: other }),
+            other => panic!(
+                "{}: unexpected TLP {:?}",
+                self.name,
+                Tlp {
+                    kind: other,
+                    span: None
+                }
+            ),
         }
     }
 

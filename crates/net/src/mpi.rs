@@ -25,7 +25,7 @@ use crate::params::{CudaCopyParams, MpiParams};
 use tca_device::node::Node;
 use tca_device::{Gpu, HostBridge};
 use tca_pcie::{DeviceId, Fabric};
-use tca_sim::Dur;
+use tca_sim::{Dur, SimTime, TraceCtx};
 
 /// Point-to-point protocol selection.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -36,6 +36,15 @@ pub enum Protocol {
     Rendezvous,
     /// Pick by `eager_threshold`, like a real MPI.
     Auto,
+}
+
+/// Records a phase segment `[start, now]` against an MPI root span, when
+/// tracing is on. Pure data collection: never touches simulated time.
+fn span_seg(f: &mut Fabric, span: Option<TraceCtx>, name: &str, start: SimTime) {
+    if let Some(sp) = span {
+        let now = f.now();
+        f.spans_mut().segment(sp, name, start, now, None);
+    }
 }
 
 /// Fixed DRAM regions the runtime owns on every node.
@@ -160,7 +169,12 @@ impl MpiWorld {
         hub.inc(c);
         let m = hub.meter("mpi.payload_bytes");
         hub.record_bytes(m, t0, len);
+        let span = f
+            .spans_mut()
+            .start_root(if eager { "mpi.eager" } else { "mpi.rndv" }, t0, None);
+        let mut mark = f.now();
         self.advance(f, src_rank, self.mpi.sw_overhead);
+        span_seg(f, span, "sw_overhead", mark);
         if eager {
             // Sender copy into the registered bounce buffer.
             let data = f
@@ -172,10 +186,16 @@ impl MpiWorld {
                 .core_mut()
                 .mem()
                 .write(SEND_BOUNCE, &data);
+            mark = f.now();
             self.advance(f, src_rank, Dur::for_bytes(len, self.mpi.memcpy_rate));
+            span_seg(f, span, "memcpy", mark);
+            mark = f.now();
             self.post_and_wait(f, src_rank, dst_rank, SEND_BOUNCE, RECV_BOUNCE, len);
+            span_seg(f, span, "rdma_write", mark);
             // Receiver match + copy-out.
+            mark = f.now();
             self.advance(f, dst_rank, self.mpi.match_overhead);
+            span_seg(f, span, "match", mark);
             let data = f
                 .device::<HostBridge>(self.nodes[dst_rank].host)
                 .core()
@@ -185,24 +205,40 @@ impl MpiWorld {
                 .core_mut()
                 .mem()
                 .write(dst_addr, &data);
+            mark = f.now();
             self.advance(f, dst_rank, Dur::for_bytes(len, self.mpi.memcpy_rate));
+            span_seg(f, span, "memcpy", mark);
         } else {
             // RTS (sender → receiver control message).
             f.device_mut::<HostBridge>(self.nodes[src_rank].host)
                 .core_mut()
                 .mem()
                 .write_u64(CTRL_BASE, len);
+            mark = f.now();
             self.post_and_wait(f, src_rank, dst_rank, CTRL_BASE, CTRL_BASE, 8);
+            span_seg(f, span, "rts", mark);
+            mark = f.now();
             self.advance(f, dst_rank, self.mpi.match_overhead);
+            span_seg(f, span, "match", mark);
             // CTS (receiver → sender: destination ready).
             f.device_mut::<HostBridge>(self.nodes[dst_rank].host)
                 .core_mut()
                 .mem()
                 .write_u64(CTRL_BASE + 8, dst_addr);
+            mark = f.now();
             self.post_and_wait(f, dst_rank, src_rank, CTRL_BASE + 8, CTRL_BASE + 8, 8);
+            span_seg(f, span, "cts", mark);
             // Zero-copy payload.
+            mark = f.now();
             self.post_and_wait(f, src_rank, dst_rank, src_addr, dst_addr, len);
+            span_seg(f, span, "rdma_write", mark);
+            mark = f.now();
             self.advance(f, dst_rank, self.mpi.match_overhead);
+            span_seg(f, span, "match", mark);
+        }
+        if let Some(sp) = span {
+            let now = f.now();
+            f.spans_mut().end_root(sp, now);
         }
         f.now().since(t0)
     }
@@ -292,8 +328,17 @@ impl MpiWorld {
         len: u64,
     ) -> Dur {
         let t0 = f.now();
+        let span = f.spans_mut().start_root("mpi.gpudirect", t0, None);
+        let mut mark = t0;
         self.advance(f, src_rank, self.mpi.sw_overhead);
+        span_seg(f, span, "sw_overhead", mark);
+        mark = f.now();
         self.post_and_wait(f, src_rank, dst_rank, src_bar_addr, dst_bar_addr, len);
+        span_seg(f, span, "rdma_write", mark);
+        if let Some(sp) = span {
+            let now = f.now();
+            f.spans_mut().end_root(sp, now);
+        }
         f.now().since(t0)
     }
 }

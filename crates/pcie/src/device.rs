@@ -10,7 +10,7 @@
 
 use crate::tlp::{DeviceId, Dir, FcClass, PortIdx, Tlp};
 use std::any::Any;
-use tca_sim::{Dur, MetricsHub, SimTime, TraceLevel};
+use tca_sim::{Dur, MetricsHub, SimTime, SpanStore, TraceLevel};
 
 /// A held receive-buffer credit. Devices that apply backpressure (PEACH2's
 /// finite internal packet buffer) call [`Ctx::hold_credits`] inside
@@ -44,6 +44,7 @@ pub struct Ctx<'a> {
     /// Credits of the in-flight delivery; `Some` only inside `on_tlp`.
     pub(crate) delivery_credits: Option<CreditHold>,
     pub(crate) tracer: &'a mut tca_sim::Tracer,
+    pub(crate) spans: &'a mut SpanStore,
 }
 
 impl Ctx<'_> {
@@ -95,6 +96,13 @@ impl Ctx<'_> {
     pub fn trace(&mut self, level: TraceLevel, line: impl FnOnce() -> String) {
         self.tracer.emit(level, self.now, line);
     }
+
+    /// The fabric-wide causal span store. Recording into it is pure data
+    /// collection — like metrics, it never schedules events, so handlers
+    /// may use it freely without perturbing simulated time.
+    pub fn spans(&mut self) -> &mut SpanStore {
+        self.spans
+    }
 }
 
 /// A device model attached to the fabric.
@@ -134,12 +142,14 @@ mod tests {
     #[test]
     fn ctx_buffers_actions_in_order() {
         let mut tracer = Tracer::default();
+        let mut spans = SpanStore::new();
         let mut ctx = Ctx {
             now: SimTime::ZERO,
             self_id: DeviceId(3),
             actions: vec![],
             delivery_credits: None,
             tracer: &mut tracer,
+            spans: &mut spans,
         };
         ctx.send(PortIdx(0), Tlp::msi(1));
         ctx.timer_in(Dur::from_ns(5), 42);
@@ -153,12 +163,14 @@ mod tests {
     #[should_panic(expected = "no in-flight delivery")]
     fn hold_credits_outside_delivery_panics() {
         let mut tracer = Tracer::default();
+        let mut spans = SpanStore::new();
         let mut ctx = Ctx {
             now: SimTime::ZERO,
             self_id: DeviceId(0),
             actions: vec![],
             delivery_credits: None,
             tracer: &mut tracer,
+            spans: &mut spans,
         };
         let _ = ctx.hold_credits();
     }

@@ -23,7 +23,9 @@ use crate::tlp::{DeviceId, Dir, FcClass, PortIdx, Tlp, TlpKind};
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 use tca_sim::metrics::{CounterId, GaugeId, MeterId};
-use tca_sim::{Dur, EventQueue, MetricsHub, MetricsSnapshot, SimRng, SimTime, TraceLevel, Tracer};
+use tca_sim::{
+    Dur, EventQueue, MetricsHub, MetricsSnapshot, SimRng, SimTime, SpanStore, TraceLevel, Tracer,
+};
 
 /// Identifier of a link within the fabric.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -106,6 +108,8 @@ pub struct Fabric {
     links: Vec<LinkState>,
     tracer: Tracer,
     metrics: MetricsHub,
+    /// Causal span trees of in-flight and completed transfers.
+    spans: SpanStore,
     /// Drives link-error injection (PEARL replays); deterministic.
     rng: SimRng,
 }
@@ -126,6 +130,7 @@ impl Fabric {
             links: Vec::new(),
             tracer: Tracer::default(),
             metrics: MetricsHub::new(),
+            spans: SpanStore::new(),
             rng: SimRng::seed_from_u64(0x7ca_2013),
         }
     }
@@ -147,9 +152,39 @@ impl Fabric {
 
     /// Renders the retained trace as Chrome trace-event JSON (`ph`/`ts`/
     /// `name` fields, timestamps in microseconds), loadable in Perfetto or
-    /// `chrome://tracing`.
+    /// `chrome://tracing`. When span tracing is on, the causal span trees
+    /// are appended as complete (`"X"`) events plus cross-device flow
+    /// (`"s"`/`"f"`) arrows in the same array.
     pub fn chrome_trace_json(&self) -> String {
-        self.tracer.chrome_trace_json()
+        let base = self.tracer.chrome_trace_json();
+        if self.spans.is_empty() {
+            return base;
+        }
+        let spans = self.spans.chrome_trace_json();
+        // Both are JSON arrays; splice them into one.
+        match (base.as_str(), spans.as_str()) {
+            ("[]", _) => spans,
+            (_, "[]") => base,
+            _ => format!("{},{}", &base[..base.len() - 1], &spans[1..]),
+        }
+    }
+
+    /// Enables or disables causal span tracing. Packets launched while
+    /// disabled carry no [`tca_sim::TraceCtx`], and the store never
+    /// schedules events, so this flag cannot shift simulated time.
+    pub fn set_span_tracing(&mut self, enabled: bool) {
+        self.spans.set_enabled(enabled);
+    }
+
+    /// Read access to the recorded span trees.
+    pub fn spans(&self) -> &SpanStore {
+        &self.spans
+    }
+
+    /// Write access to the span store, for host-side code (drivers,
+    /// harnesses) that opens transfer roots from outside the event loop.
+    pub fn spans_mut(&mut self) -> &mut SpanStore {
+        &mut self.spans
     }
 
     /// Read access to the always-on metrics registry.
@@ -271,6 +306,7 @@ impl Fabric {
             actions: Vec::new(),
             delivery_credits: None,
             tracer: &mut self.tracer,
+            spans: &mut self.spans,
         };
         let dev: &mut dyn Any = self.devices[id.0 as usize].as_mut();
         let dev = dev.downcast_mut::<T>().expect("device type mismatch");
@@ -371,6 +407,7 @@ impl Fabric {
                 data,
             }),
             tracer: &mut self.tracer,
+            spans: &mut self.spans,
         };
         self.devices[dst.0 as usize].on_tlp(port, tlp, &mut ctx);
         let actions = std::mem::take(&mut ctx.actions);
@@ -399,6 +436,7 @@ impl Fabric {
             actions: Vec::new(),
             delivery_credits: None,
             tracer: &mut self.tracer,
+            spans: &mut self.spans,
         };
         self.devices[dst.0 as usize].on_timer(tag, &mut ctx);
         let actions = std::mem::take(&mut ctx.actions);
@@ -466,11 +504,13 @@ impl Fabric {
                 &mut self.queue,
                 &mut self.tracer,
                 &mut self.metrics,
+                &mut self.spans,
                 &mut self.rng,
                 link,
                 end,
                 params,
                 d,
+                src,
                 tlp,
             );
         } else {
@@ -494,14 +534,17 @@ impl Fabric {
         queue: &mut EventQueue<Ev>,
         tracer: &mut Tracer,
         metrics: &mut MetricsHub,
+        spans: &mut SpanStore,
         rng: &mut SimRng,
         link: u32,
         dir: Dir,
         params: LinkParams,
         d: &mut LinkDir,
+        sender: DeviceId,
         tlp: Tlp,
     ) {
         let corrupt_p = params.error_rate_ppm as f64 / 1e6;
+        let submitted = queue.now();
         loop {
             let wire_bytes = tlp.wire_bytes();
             let (departure, arrival) = d.wire.reserve(queue.now(), &params, wire_bytes);
@@ -517,12 +560,23 @@ impl Fabric {
                 d.wire.replays += 1;
                 d.wire.busy_until = d.wire.busy_until.max(arrival) + params.replay_penalty();
                 metrics.inc(d.m.replays);
+                if let Some(sp) = tlp.span {
+                    spans.segment(sp, "replay", departure, arrival, Some(sender.0));
+                }
                 tracer.emit(TraceLevel::Packet, queue.now(), || {
                     format!("tx link{link}/{dir} {tlp:?} CORRUPT -> replay")
                 });
                 continue;
             }
             metrics.inc(d.m.tlps);
+            if let Some(sp) = tlp.span {
+                // Head-of-line wait behind earlier packets serializing on
+                // this wire, then the traversal itself (tx + propagation).
+                if departure > submitted {
+                    spans.segment(sp, "wire_wait", submitted, departure, Some(sender.0));
+                }
+                spans.segment(sp, "wire", departure, arrival, Some(sender.0));
+            }
             tracer.emit(TraceLevel::Packet, queue.now(), || {
                 format!("tx link{link}/{dir} {tlp:?} depart={departure} arrive={arrival}")
             });
@@ -534,6 +588,7 @@ impl Fabric {
     /// After credits return, pushes out as many queued packets as now fit.
     fn pump_link(&mut self, link: u32, dir: Dir) {
         let params = self.links[link as usize].params;
+        let sender = self.links[link as usize].ends[dir.index()].0;
         let d = &mut self.links[link as usize].dirs[dir.index()];
         loop {
             // Completions first: they must be able to bypass stalled
@@ -555,17 +610,25 @@ impl Fabric {
             self.metrics.add(d.m.credit_stall_ns, stall.as_ps() / 1_000);
             self.metrics
                 .gauge_set(d.m.queue_depth, (d.reqq.len() + d.cplq.len()) as i64);
+            if let Some(sp) = tlp.span {
+                if stall > Dur::ZERO {
+                    self.spans
+                        .segment(sp, "stall", queued_at, self.queue.now(), Some(sender.0));
+                }
+            }
             let ok = d.credits.consume(tlp.fc_class(), tlp.data_credits());
             debug_assert!(ok);
             Self::transmit(
                 &mut self.queue,
                 &mut self.tracer,
                 &mut self.metrics,
+                &mut self.spans,
                 &mut self.rng,
                 link,
                 dir,
                 params,
                 d,
+                sender,
                 tlp,
             );
         }

@@ -9,6 +9,7 @@
 
 use bytes::Bytes;
 use std::fmt;
+use tca_sim::TraceCtx;
 
 /// Index of a device within a [`crate::Fabric`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -149,6 +150,11 @@ pub enum FcClass {
 pub struct Tlp {
     /// What the packet is.
     pub kind: TlpKind,
+    /// Causal span context of the transfer this packet serves. `None`
+    /// (the default) when span tracing is disabled; carrying it here is
+    /// how a transfer's identity survives every hop, translation, and
+    /// completion split on its way across the fabric.
+    pub span: Option<TraceCtx>,
 }
 
 impl Tlp {
@@ -158,6 +164,7 @@ impl Tlp {
         assert!(!data.is_empty(), "zero-length MemWrite");
         Tlp {
             kind: TlpKind::MemWrite { addr, data },
+            span: None,
         }
     }
 
@@ -171,6 +178,7 @@ impl Tlp {
                 tag,
                 requester,
             },
+            span: None,
         }
     }
 
@@ -190,6 +198,7 @@ impl Tlp {
                 data: data.into(),
                 last,
             },
+            span: None,
         }
     }
 
@@ -197,7 +206,14 @@ impl Tlp {
     pub fn msi(vector: u32) -> Tlp {
         Tlp {
             kind: TlpKind::Msi { vector },
+            span: None,
         }
+    }
+
+    /// Attaches (or clears) the causal span context, builder style.
+    pub fn with_span(mut self, span: Option<TraceCtx>) -> Tlp {
+        self.span = span;
+        self
     }
 
     /// Payload byte count (0 for reads and MSIs).

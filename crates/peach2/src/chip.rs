@@ -22,7 +22,7 @@ use tca_device::map::{gpu_bar, TcaBlock, TcaMap};
 use tca_pcie::{
     Ctx, Device, DeviceId, Fabric, PageMemory, PortIdx, ReadReassembly, TagPool, Tlp, TlpKind,
 };
-use tca_sim::{Counter, Dur, LatencyHistogram, MetricsHub, SimTime, TraceLevel};
+use tca_sim::{Counter, Dur, LatencyHistogram, MetricsHub, SimTime, TraceCtx, TraceLevel};
 
 /// Port N: host connection (always, §III-D).
 pub const PORT_N: PortIdx = PortIdx(0);
@@ -79,6 +79,8 @@ struct ReadChunk {
 struct DataRead {
     chunk: ReadChunk,
     received: u32,
+    /// Issue time, for the per-chunk `dma_read` span segment.
+    issued: SimTime,
 }
 
 struct DmaState {
@@ -111,6 +113,11 @@ struct DmaState {
     /// Reliable-link retirement delay carried into the next descriptor's
     /// decode (never absorbed by the descriptor prefetch).
     pending_ack: tca_sim::Dur,
+    /// Causal span of the run, carried in on the doorbell TLP. Every
+    /// engine stage and every packet the run emits is recorded against it.
+    span: Option<TraceCtx>,
+    /// When the current descriptor began issuing (for stage segments).
+    issue_start: SimTime,
 }
 
 impl DmaState {
@@ -135,6 +142,8 @@ impl DmaState {
             fifo_in_flight: 0,
             run_bytes: 0,
             pending_ack: tca_sim::Dur::ZERO,
+            span: None,
+            issue_start: SimTime::ZERO,
         }
     }
 }
@@ -315,6 +324,7 @@ impl Peach2 {
     /// it like the hardware: own slice → translate → port N; other slice →
     /// routing registers → E/W/S; non-window → port N as-is.
     fn emit_write(&mut self, addr: u64, data: Vec<u8>, ctx: &mut Ctx<'_>) {
+        let span = self.dma.span;
         match self.map.classify(addr) {
             Some((node, block, off)) if node == self.regs.node_id => {
                 if block == TcaBlock::Internal {
@@ -323,7 +333,7 @@ impl Peach2 {
                     self.sram.write(off - SRAM_OFFSET, &data);
                 } else {
                     let local = self.translate_own(block, off);
-                    ctx.send(PORT_N, Tlp::write(local, data));
+                    ctx.send(PORT_N, Tlp::write(local, data).with_span(span));
                 }
             }
             Some(_) => {
@@ -332,11 +342,11 @@ impl Peach2 {
                     .route(addr)
                     .unwrap_or_else(|| panic!("{}: no route for {addr:#x}", self.name));
                 self.nios.count_egress(port.0);
-                ctx.send(port, Tlp::write(addr, data));
+                ctx.send(port, Tlp::write(addr, data).with_span(span));
             }
             None => {
                 self.nios.count_egress(PORT_N.0);
-                ctx.send(PORT_N, Tlp::write(addr, data));
+                ctx.send(PORT_N, Tlp::write(addr, data).with_span(span));
             }
         }
     }
@@ -345,7 +355,7 @@ impl Peach2 {
     // DMA engine
     // ------------------------------------------------------------------
 
-    fn doorbell(&mut self, ctx: &mut Ctx<'_>) {
+    fn doorbell(&mut self, span: Option<TraceCtx>, ctx: &mut Ctx<'_>) {
         assert_eq!(
             self.dma.phase,
             Phase::Idle,
@@ -354,6 +364,13 @@ impl Peach2 {
         );
         let tags = self.params.dma_tags;
         self.dma = DmaState::new(tags);
+        self.dma.span = span;
+        if let Some(sp) = span {
+            let now = ctx.now();
+            let end = now + self.params.engine_start;
+            ctx.spans()
+                .segment(sp, "engine_start", now, end, Some(self.id.0));
+        }
         self.dma.phase = Phase::Starting;
         self.dma.engine = EngineKind::from_u32(self.regs.dma_engine);
         self.dma.count = self.regs.dma_desc_count;
@@ -396,10 +413,14 @@ impl Peach2 {
             tag.0,
             (idx, ctx.now(), ReadReassembly::new(DESC_SIZE as usize)),
         );
-        ctx.send(PORT_N, Tlp::read(addr, DESC_SIZE as u32, tag, self.id));
+        ctx.send(
+            PORT_N,
+            Tlp::read(addr, DESC_SIZE as u32, tag, self.id).with_span(self.dma.span),
+        );
     }
 
     fn begin_issue(&mut self, ctx: &mut Ctx<'_>) {
+        self.dma.issue_start = ctx.now();
         let idx = self.dma.issue_idx;
         let d = self.dma.descs[idx as usize].expect("descriptor not fetched");
         // Prefetch the next descriptor while this one transfers — the
@@ -482,10 +503,18 @@ impl Peach2 {
             if chunk.write_out {
                 self.dma.fifo_in_flight += chunk.len as u64;
             }
-            self.dma
-                .data_reads
-                .insert(tag.0, DataRead { chunk, received: 0 });
-            ctx.send(PORT_N, Tlp::read(chunk.src, chunk.len, tag, self.id));
+            self.dma.data_reads.insert(
+                tag.0,
+                DataRead {
+                    chunk,
+                    received: 0,
+                    issued: ctx.now(),
+                },
+            );
+            ctx.send(
+                PORT_N,
+                Tlp::read(chunk.src, chunk.len, tag, self.id).with_span(self.dma.span),
+            );
         }
     }
 
@@ -510,6 +539,11 @@ impl Peach2 {
         } else {
             // Posted writes: the descriptor is done when its last TLP has
             // been issued (no completion to wait for, §IV-A1).
+            if let Some(sp) = self.dma.span {
+                let now = ctx.now();
+                ctx.spans()
+                    .segment(sp, "dma_write", self.dma.issue_start, now, Some(self.id.0));
+            }
             self.desc_done(idx, ctx);
             self.finish_issue(ctx);
         }
@@ -559,6 +593,11 @@ impl Peach2 {
             && self.dma.data_reads.is_empty()
         {
             self.dma.phase = Phase::Flushing;
+            if let Some(sp) = self.dma.span {
+                let now = ctx.now();
+                let end = now + self.params.completion_flush;
+                ctx.spans().segment(sp, "flush", now, end, Some(self.id.0));
+            }
             ctx.timer_in(self.params.completion_flush, T_FLUSH);
         }
     }
@@ -572,10 +611,14 @@ impl Peach2 {
             let count = self.runs.len() as u32;
             ctx.send(
                 PORT_N,
-                Tlp::write(self.regs.dma_status_addr, count.to_le_bytes().to_vec()),
+                Tlp::write(self.regs.dma_status_addr, count.to_le_bytes().to_vec())
+                    .with_span(self.dma.span),
             );
         }
-        ctx.send(PORT_N, Tlp::msi(self.params.dma_msi_vector));
+        ctx.send(
+            PORT_N,
+            Tlp::msi(self.params.dma_msi_vector).with_span(self.dma.span),
+        );
         self.nios.note_dma_complete(ctx.now(), self.dma.count);
         self.dma.phase = Phase::Idle;
         ctx.trace(TraceLevel::Txn, || {
@@ -604,12 +647,24 @@ impl Peach2 {
             }
             self.dma.tags.release(tag);
             self.desc_fetch_hist.record(ctx.now().since(issued));
+            if let Some(sp) = self.dma.span {
+                let now = ctx.now();
+                ctx.spans()
+                    .segment(sp, "desc_fetch", issued, now, Some(self.id.0));
+            }
             let desc = Descriptor::decode(&reasm.into_data());
             self.dma.descs[idx as usize] = Some(desc);
             if self.dma.waiting_for_desc && idx == self.dma.issue_idx {
                 self.dma.waiting_for_desc = false;
                 let ack = std::mem::take(&mut self.dma.pending_ack);
-                ctx.timer_in(self.params.desc_decode + ack, T_DESC_DECODE);
+                let decode = self.params.desc_decode + ack;
+                if let Some(sp) = self.dma.span {
+                    let now = ctx.now();
+                    let end = now + decode;
+                    ctx.spans()
+                        .segment(sp, "desc_decode", now, end, Some(self.id.0));
+                }
+                ctx.timer_in(decode, T_DESC_DECODE);
             }
             self.pump_reads(ctx);
             return;
@@ -621,11 +676,17 @@ impl Peach2 {
             .get_mut(&tag.0)
             .unwrap_or_else(|| panic!("{}: completion for unknown {tag:?}", self.name));
         let chunk = dr.chunk;
+        let read_issued = dr.issued;
         dr.received += data.len() as u32;
         let req_done = last && dr.received >= chunk.len;
         if req_done {
             self.dma.data_reads.remove(&tag.0);
             self.dma.tags.release(tag);
+            if let Some(sp) = self.dma.span {
+                let now = ctx.now();
+                ctx.spans()
+                    .segment(sp, "dma_read", read_issued, now, Some(self.id.0));
+            }
         }
         if chunk.write_out {
             self.dma.fifo_in_flight -= data.len() as u64;
@@ -660,13 +721,20 @@ impl Peach2 {
     // Ingress handling
     // ------------------------------------------------------------------
 
-    fn on_mem_write(&mut self, in_port: PortIdx, addr: u64, data: bytes::Bytes, ctx: &mut Ctx<'_>) {
+    fn on_mem_write(
+        &mut self,
+        in_port: PortIdx,
+        addr: u64,
+        data: bytes::Bytes,
+        span: Option<TraceCtx>,
+        ctx: &mut Ctx<'_>,
+    ) {
         match self.map.classify(addr) {
             Some((node, block, off)) if node == self.regs.node_id => {
                 if block == TcaBlock::Internal {
                     if off < SRAM_OFFSET {
                         if self.regs.write(off, &data) == RegEffect::Doorbell {
-                            self.doorbell(ctx);
+                            self.doorbell(span, ctx);
                         }
                     } else {
                         self.sram.write(off - SRAM_OFFSET, &data);
@@ -677,8 +745,13 @@ impl Peach2 {
                     // CPU into the node's own slice legitimately hairpins
                     // here: down port N, translate, back up port N.)
                     let _ = in_port;
+                    if let Some(sp) = span {
+                        let now = ctx.now();
+                        let end = now + self.params.port_n_translate;
+                        ctx.spans().segment(sp, "relay", now, end, Some(self.id.0));
+                    }
                     let local = self.translate_own(block, off);
-                    let tlp = Tlp::write(local, data);
+                    let tlp = Tlp::write(local, data).with_span(span);
                     self.forward_after(self.params.port_n_translate, PORT_N, tlp, ctx);
                 }
             }
@@ -695,7 +768,12 @@ impl Peach2 {
                     self.name
                 );
                 self.relayed.inc();
-                let tlp = Tlp::write(addr, data);
+                if let Some(sp) = span {
+                    let now = ctx.now();
+                    let end = now + self.params.chip_transit;
+                    ctx.spans().segment(sp, "relay", now, end, Some(self.id.0));
+                }
+                let tlp = Tlp::write(addr, data).with_span(span);
                 self.forward_after(self.params.chip_transit, out, tlp, ctx);
             }
             None => panic!(
@@ -711,7 +789,8 @@ impl Device for Peach2 {
         self.nios.count_ingress(port.0);
         match tlp.kind {
             TlpKind::MemWrite { addr, ref data } => {
-                self.on_mem_write(port, addr, data.clone(), ctx)
+                let span = tlp.span;
+                self.on_mem_write(port, addr, data.clone(), span, ctx)
             }
             TlpKind::Completion { .. } => {
                 assert_eq!(
@@ -740,7 +819,14 @@ impl Device for Peach2 {
             T_DESC_GAP => {
                 if self.dma.descs[self.dma.issue_idx as usize].is_some() {
                     let ack = std::mem::take(&mut self.dma.pending_ack);
-                    ctx.timer_in(self.params.desc_decode + ack, T_DESC_DECODE);
+                    let decode = self.params.desc_decode + ack;
+                    if let Some(sp) = self.dma.span {
+                        let now = ctx.now();
+                        let end = now + decode;
+                        ctx.spans()
+                            .segment(sp, "desc_decode", now, end, Some(self.id.0));
+                    }
+                    ctx.timer_in(decode, T_DESC_DECODE);
                 } else {
                     self.dma.waiting_for_desc = true;
                     // Make sure the fetch is actually in flight.

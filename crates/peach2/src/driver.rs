@@ -127,13 +127,18 @@ impl Peach2Driver {
     }
 
     /// Rings the doorbell; returns the doorbell-store instant (the first
-    /// TSC read of the measurement).
+    /// TSC read of the measurement). When span tracing is enabled this
+    /// opens the `dma` root span the whole run records against; the root
+    /// closes in the host's interrupt handler, so its duration is exactly
+    /// the paper's TSC-to-TSC window.
     pub fn ring_doorbell(&self, fabric: &mut Fabric) -> SimTime {
         let base = self.regs_base();
         let t0 = fabric.now();
+        let host_dev = self.host.0;
+        let span = fabric.spans_mut().start_root("dma", t0, Some(host_dev));
         fabric.drive::<HostBridge, _>(self.host, |h, ctx| {
             h.core_mut()
-                .cpu_store(base + REG_DMA_DOORBELL, &1u32.to_le_bytes(), ctx);
+                .cpu_store_traced(base + REG_DMA_DOORBELL, &1u32.to_le_bytes(), ctx, span);
         });
         t0
     }

@@ -38,6 +38,7 @@ pub mod engine;
 pub mod json;
 pub mod metrics;
 pub mod rng;
+pub mod span;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -48,6 +49,7 @@ pub use metrics::{
     CounterId, GaugeId, HistogramId, MeterId, MetricValue, MetricsHub, MetricsSnapshot,
 };
 pub use rng::SimRng;
+pub use span::{SpanId, SpanStore, TraceCtx};
 pub use stats::{fmt_gbps, BandwidthMeter, Counter, LatencyHistogram, OnlineStats};
 pub use time::{Dur, SimTime};
 pub use trace::{TraceEvent, TraceKind, TraceLevel, Tracer};

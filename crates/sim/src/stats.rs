@@ -343,6 +343,33 @@ mod tests {
     }
 
     #[test]
+    fn percentile_of_empty_histogram_is_zero() {
+        // Regression: an empty histogram must report 0.0, not the upper
+        // bound of bucket 0 (2 ns) or f64::MAX.
+        let h = LatencyHistogram::new();
+        assert_eq!(h.percentile_ns(0.5), 0.0);
+        assert_eq!(h.percentile_ns(0.0), 0.0);
+        assert_eq!(h.percentile_ns(1.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_clamps_q_outside_unit_interval() {
+        let mut h = LatencyHistogram::new();
+        h.record(Dur::from_ns(100)); // bucket 6, upper bound 128 ns
+        assert_eq!(h.percentile_ns(-3.0), h.percentile_ns(0.0));
+        assert_eq!(h.percentile_ns(42.0), h.percentile_ns(1.0));
+        assert_eq!(h.percentile_ns(42.0), 128.0);
+        assert!(h.percentile_ns(f64::NAN).is_finite(), "NaN q must clamp");
+    }
+
+    #[test]
+    fn percentile_q_zero_still_lands_in_first_nonempty_bucket() {
+        let mut h = LatencyHistogram::new();
+        h.record(Dur::from_ns(10_000)); // bucket 13
+        assert_eq!(h.percentile_ns(0.0), 16384.0);
+    }
+
+    #[test]
     fn fmt_gbps_matches_paper_convention() {
         assert_eq!(fmt_gbps(3.66e9), "3.660 GB/s");
     }

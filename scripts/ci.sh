@@ -8,3 +8,8 @@ cargo fmt --all -- --check
 cargo clippy --workspace --all-targets --offline -- -D warnings
 cargo build --release --offline
 cargo test -q --offline
+
+# Perf-regression gate: rerun the fabric kernels (ping-pong, hop sweep,
+# Fig. 7/8/9 bandwidth), write the schema-stable results/BENCH_fabric.json,
+# and fail the build if any metric drifts outside its paper-anchored bound.
+cargo run -q --release --offline -p tca-bench --bin bench_regression

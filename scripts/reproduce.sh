@@ -7,11 +7,17 @@ out=${1:-results}
 mkdir -p "$out"
 
 bins=(tables fig7 fig8 fig9 fig12 latency ablation_qpi ablation_dmac \
-      ablation_pearl ring_hops comparison contention hierarchy scaling apps)
+      ablation_pearl ring_hops comparison contention hierarchy scaling apps \
+      telemetry latency_attrib)
 for b in "${bins[@]}"; do
     echo "== $b =="
     cargo run -q --release -p tca-bench --bin "$b" | tee "$out/$b.txt"
     echo
 done
 cargo run -q --release -p tca-bench --bin export "$out/json"
+
+# Schema-stable perf-regression report (byte-identical across runs), with
+# every metric validated against its paper-anchored bound.
+echo "== bench_regression =="
+cargo run -q --release -p tca-bench --bin bench_regression "$out/BENCH_fabric.json"
 echo "all outputs under $out/"

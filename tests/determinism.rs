@@ -5,17 +5,19 @@
 use tca::prelude::*;
 
 fn run_workload() -> (u64, Vec<u64>) {
-    let (events, times, _) = run_workload_telemetry(false);
+    let (events, times, ..) = run_workload_telemetry(false);
     (events, times)
 }
 
-/// The same workload, optionally with full telemetry: packet-level tracing
-/// plus a metrics snapshot taken *between* operations (mid-run) and another
-/// at the end. Returns the final snapshot JSON when instrumented.
-fn run_workload_telemetry(instrument: bool) -> (u64, Vec<u64>, String) {
+/// The same workload, optionally with full telemetry: packet-level tracing,
+/// causal span tracing, plus a metrics snapshot taken *between* operations
+/// (mid-run) and another at the end. Returns the final snapshot JSON and the
+/// span-tree JSON when instrumented.
+fn run_workload_telemetry(instrument: bool) -> (u64, Vec<u64>, String, String) {
     let mut c = TcaClusterBuilder::new(4).build();
     if instrument {
         c.fabric.set_trace(tca::sim::TraceLevel::Packet, 65536);
+        c.set_span_tracing(true);
     }
     let mut times = Vec::new();
     let a = c.alloc_gpu(0, 0, 64 * 1024);
@@ -32,12 +34,12 @@ fn run_workload_telemetry(instrument: bool) -> (u64, Vec<u64>, String) {
     let p = c.pio_put(1, &MemRef::host(3, 0x4000_0000), &[1, 2, 3, 4]);
     times.push(p.as_ps());
     times.push(c.now().as_ps());
-    let snapshot = if instrument {
-        c.metrics_snapshot().to_json()
+    let (snapshot, spans) = if instrument {
+        (c.metrics_snapshot().to_json(), c.fabric.spans().to_json())
     } else {
-        String::new()
+        (String::new(), String::new())
     };
-    (c.fabric.events_executed(), times, snapshot)
+    (c.fabric.events_executed(), times, snapshot, spans)
 }
 
 #[test]
@@ -50,8 +52,10 @@ fn identical_runs_replay_bit_identically() {
 
 #[test]
 fn telemetry_never_touches_simulated_time() {
-    let (ev_off, t_off, _) = run_workload_telemetry(false);
-    let (ev_on, t_on, snap) = run_workload_telemetry(true);
+    // `instrument = true` turns on packet tracing, metrics snapshots AND
+    // causal span tracing — none may shift a single simulated timestamp.
+    let (ev_off, t_off, ..) = run_workload_telemetry(false);
+    let (ev_on, t_on, snap, _) = run_workload_telemetry(true);
     assert_eq!(ev_off, ev_on, "tracing/snapshots changed the event count");
     assert_eq!(t_off, t_on, "tracing/snapshots changed the timing");
     assert!(!snap.is_empty());
@@ -59,10 +63,30 @@ fn telemetry_never_touches_simulated_time() {
 
 #[test]
 fn instrumented_runs_snapshot_bit_identically() {
-    let (_, _, a) = run_workload_telemetry(true);
-    let (_, _, b) = run_workload_telemetry(true);
+    let (_, _, a, _) = run_workload_telemetry(true);
+    let (_, _, b, _) = run_workload_telemetry(true);
     assert!(!a.is_empty());
     assert_eq!(a, b, "metrics snapshots diverged between identical runs");
+}
+
+#[test]
+fn span_trees_replay_byte_identically() {
+    let (_, _, _, s1) = run_workload_telemetry(true);
+    let (_, _, _, s2) = run_workload_telemetry(true);
+    assert!(s1.len() > 2, "workload recorded spans: {s1}");
+    assert_eq!(s1, s2, "span trees diverged between identical runs");
+}
+
+#[test]
+fn bench_fabric_report_is_byte_identical() {
+    let a = tca_bench::fabric_regression();
+    let b = tca_bench::fabric_regression();
+    assert_eq!(
+        a.to_json(),
+        b.to_json(),
+        "BENCH_fabric.json diverged between identical runs"
+    );
+    assert!(a.validate().is_empty(), "violations: {:?}", a.validate());
 }
 
 #[test]
