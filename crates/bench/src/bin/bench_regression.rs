@@ -7,7 +7,7 @@
 //! Usage: `bench_regression [output.json]` (default `results/BENCH_fabric.json`).
 
 use std::process::ExitCode;
-use tca_bench::fabric_regression;
+use tca_bench::{fabric_regression, hazard_check};
 
 fn main() -> ExitCode {
     let out = std::env::args()
@@ -47,7 +47,16 @@ fn main() -> ExitCode {
     std::fs::write(&out, bench.to_json()).expect("write BENCH json");
     println!("  wrote {out}");
 
-    let violations = bench.validate();
+    let mut violations = bench.validate();
+    let hazards = hazard_check();
+    if hazards.is_clean() {
+        println!("  hazard check: benchmark payload+flag traffic is ordered");
+    } else {
+        violations.push(format!(
+            "RDMA hazards in benchmark traffic:\n{}",
+            hazards.render()
+        ));
+    }
     if violations.is_empty() {
         println!("  all metrics within paper-anchored bounds");
         ExitCode::SUCCESS

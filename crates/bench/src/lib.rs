@@ -858,6 +858,31 @@ pub fn telemetry_report(sizes: &[u64]) -> TelemetryReport {
     }
 }
 
+/// Runs the canonical payload+flag neighbour put of the benchmarks under
+/// span tracing and feeds the recorded commit log to the `tca-verify`
+/// RDMA-hazard detector. The benchmark workloads all use this idiom, so a
+/// non-clean report means the harness itself would publish racy numbers;
+/// `bench_regression` gates on it alongside the perf bounds.
+pub fn hazard_check() -> tca_verify::Report {
+    use tca_core::prelude::*;
+    let mut c = TcaClusterBuilder::new(4).build();
+    c.set_span_tracing(true);
+    let len = 64 * 1024u64;
+    c.write(&MemRef::host(0, 0x4000_0000), &vec![0x5au8; len as usize]);
+    c.write(&MemRef::host(0, 0x4800_0000), &1u64.to_le_bytes());
+    c.memcpy_peer(
+        &MemRef::host(1, 0x5000_0000),
+        &MemRef::host(0, 0x4000_0000),
+        len,
+    );
+    c.memcpy_peer(
+        &MemRef::host(1, 0x5800_0000),
+        &MemRef::host(0, 0x4800_0000),
+        8,
+    );
+    c.detect_hazards(&[AddrRange::new(0x5800_0000, 8)])
+}
+
 /// Formats a bandwidth column in the paper's GB/s convention.
 pub fn gbps(x: f64) -> String {
     format!("{:8.3}", x / 1e9)
@@ -1390,6 +1415,12 @@ mod tests {
                 .sum::<f64>()
         };
         assert!(wire_ns(&rows[2]) > wire_ns(&rows[0]), "{rows:?}");
+    }
+
+    #[test]
+    fn benchmark_traffic_is_hazard_free() {
+        let rep = hazard_check();
+        assert!(rep.is_clean(), "{}", rep.render());
     }
 
     #[test]

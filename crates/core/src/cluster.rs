@@ -164,6 +164,26 @@ impl TcaCluster {
         self.fabric.set_span_tracing(enabled);
     }
 
+    /// Runs the static configuration lint (`tca-verify` pass 1) plus the
+    /// runtime-echo pass over this cluster: route tables, reachability,
+    /// link credits, host windows, and any typed config errors the fabric
+    /// recorded while running. A clean report means a `memcpy_peer`
+    /// between any two nodes can be routed and flow-controlled.
+    pub fn verify(&self) -> tca_verify::Report {
+        tca_verify::lint_cluster(&self.fabric, &self.sub)
+    }
+
+    /// Runs the deterministic RDMA-hazard detector (`tca-verify` pass 2)
+    /// over the writes recorded so far. Requires span tracing to have been
+    /// enabled for the run (`set_span_tracing(true)`); `flag_ranges` are
+    /// the address ranges the application uses as completion flags.
+    pub fn detect_hazards(&self, flag_ranges: &[tca_pcie::AddrRange]) -> tca_verify::Report {
+        tca_verify::Report::from_diagnostics(tca_verify::detect_hazards(
+            self.fabric.spans(),
+            flag_ranges,
+        ))
+    }
+
     /// Critical-path breakdown of every *completed* root span, grouped by
     /// transfer kind (`pio`, `dma`, `mpi.*`): transfer count, total and
     /// mean end-to-end latency, and an exact per-stage attribution — the
@@ -305,6 +325,62 @@ mod tests {
                 .fold(tca_sim::Dur::ZERO, |a, (_, d)| a + *d);
             assert_eq!(total, spans.root_elapsed(id).unwrap());
         }
+    }
+
+    #[test]
+    fn verify_accepts_shipped_clusters() {
+        let c = TcaClusterBuilder::new(4).build();
+        let rep = c.verify();
+        assert!(rep.is_clean(), "{}", rep.render());
+        assert_eq!(c.verify().to_json(), rep.to_json(), "deterministic");
+        let d = TcaClusterBuilder::new(8)
+            .topology(Topology::DualRing)
+            .with_infiniband(IbParams::default())
+            .build();
+        let rep = d.verify();
+        assert!(rep.is_clean(), "{}", rep.render());
+    }
+
+    #[test]
+    fn hazard_detector_flags_conflicting_remote_writes() {
+        use crate::api::MemRef;
+        let mut c = TcaClusterBuilder::new(4).build();
+        c.set_span_tracing(true);
+        c.write(&MemRef::host(0, 0x4000_0000), &[1u8; 1024]);
+        c.write(&MemRef::host(1, 0x4000_0000), &[2u8; 1024]);
+        // Two different origins RDMA-put into the same bytes of node 2
+        // with no flag handshake: a textbook WAW race.
+        c.memcpy_peer(
+            &MemRef::host(2, 0x5000_0000),
+            &MemRef::host(0, 0x4000_0000),
+            1024,
+        );
+        c.memcpy_peer(
+            &MemRef::host(2, 0x5000_0000),
+            &MemRef::host(1, 0x4000_0000),
+            1024,
+        );
+        let rep = c.detect_hazards(&[]);
+        assert!(
+            rep.diagnostics.iter().any(|d| d.code == "TCA-H001"),
+            "{}",
+            rep.render()
+        );
+        // A single origin writing twice is not a cross-origin hazard.
+        let mut solo = TcaClusterBuilder::new(2).build();
+        solo.set_span_tracing(true);
+        solo.write(&MemRef::host(0, 0x4000_0000), &[1u8; 1024]);
+        solo.memcpy_peer(
+            &MemRef::host(1, 0x5000_0000),
+            &MemRef::host(0, 0x4000_0000),
+            1024,
+        );
+        solo.memcpy_peer(
+            &MemRef::host(1, 0x5000_0000),
+            &MemRef::host(0, 0x4000_0000),
+            1024,
+        );
+        assert!(solo.detect_hazards(&[]).is_clean());
     }
 
     #[test]

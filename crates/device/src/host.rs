@@ -115,6 +115,12 @@ impl HostCore {
         self.windows.push((range, port));
     }
 
+    /// The registered downstream windows, in registration order (read-only
+    /// introspection for configuration lints).
+    pub fn windows(&self) -> &[(AddrRange, PortIdx)] {
+        &self.windows
+    }
+
     /// Registers the port leading to `device`, for completion routing.
     pub fn add_id_route(&mut self, device: DeviceId, port: PortIdx) {
         self.id_routes.insert(device.0, port);
@@ -319,10 +325,19 @@ impl Device for HostBridge {
             TlpKind::MemWrite { addr, ref data } => {
                 if self.core.dram.contains(addr) {
                     // Final remote-memory commit: the transfer's root span
-                    // closes at the instant the payload is visible in DRAM.
+                    // closes at the instant the payload is visible in DRAM,
+                    // and the commit lands in the write log hazard analysis
+                    // replays (`tca-verify` pass 2).
                     if let Some(sp) = tlp.span {
                         let now = ctx.now();
                         ctx.spans().end_root(sp, now);
+                        ctx.spans().record_write(
+                            sp,
+                            addr,
+                            data.len() as u64,
+                            now,
+                            Some(self.core.id.0),
+                        );
                     }
                     self.core.mem.write(addr, data);
                     let n = data.len();

@@ -8,6 +8,17 @@
 use std::fmt;
 
 /// A half-open address range `[base, base + len)` in the PCIe space.
+///
+/// Boundary semantics, made explicit because routing lints depend on them:
+///
+/// * The end is **exclusive**: `contains(end())` is always false.
+/// * Construction rejects wrapping ranges, so `base + len` never overflows
+///   and [`AddrRange::end`] is total. The largest legal range is
+///   `AddrRange::new(0, u64::MAX)`, whose exclusive end `u64::MAX` means the
+///   top byte of the address space is not addressable by any range — a
+///   deliberate trade for overflow-free arithmetic everywhere else.
+/// * Empty ranges contain nothing and overlap nothing, including the
+///   full-space range above.
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AddrRange {
     base: u64,
@@ -53,10 +64,13 @@ impl AddrRange {
         self.len == 0
     }
 
-    /// End (exclusive).
+    /// End (exclusive). Saturating by construction: [`AddrRange::new`]
+    /// rejects wrapping ranges, so this never overflows; the saturating add
+    /// keeps the expression total even under `const` evaluation of
+    /// adversarial inputs.
     #[inline]
     pub const fn end(&self) -> u64 {
-        self.base + self.len
+        self.base.saturating_add(self.len)
     }
 
     /// Whether `addr` falls inside the range.
@@ -165,6 +179,29 @@ mod tests {
         assert!(r.is_empty());
         assert!(!r.contains(0x1000));
         assert!(!r.overlaps(&AddrRange::new(0, u64::MAX)));
+        // ...and the full-space range agrees: overlap with an empty range
+        // is false from both sides.
+        assert!(!AddrRange::new(0, u64::MAX).overlaps(&r));
+    }
+
+    #[test]
+    fn full_space_range_boundary_semantics() {
+        // The largest constructible range: [0, u64::MAX). Its exclusive end
+        // computes without wrapping, and it overlaps every non-empty range.
+        let full = AddrRange::new(0, u64::MAX);
+        assert_eq!(full.end(), u64::MAX);
+        assert!(full.contains(0));
+        assert!(full.contains(u64::MAX - 1));
+        assert!(!full.contains(u64::MAX), "exclusive end");
+        assert!(full.overlaps(&AddrRange::new(0x1000, 1)));
+        assert!(full.overlaps(&AddrRange::new(u64::MAX - 1, 1)));
+        assert!(AddrRange::new(0x1000, 1).overlaps(&full));
+        // A range ending exactly at the top of the space behaves the same.
+        let top = AddrRange::new(u64::MAX - 4, 4);
+        assert_eq!(top.end(), u64::MAX);
+        assert!(top.contains(u64::MAX - 1));
+        assert!(!top.contains(u64::MAX));
+        assert!(top.overlaps(&full));
     }
 
     #[test]

@@ -31,6 +31,32 @@ use tca_sim::{
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct LinkId(pub u32);
 
+/// A configuration error observed while the fabric was running. These are
+/// *software/config* mistakes (wrong routing table, missing cable), not
+/// internal invariant violations: the offending packet is dropped, the
+/// error is recorded, and the simulation keeps running so a verifier can
+/// report every problem in one pass instead of dying on the first.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ConfigError {
+    /// A device handed a TLP to a port with no link attached.
+    UnconnectedPort {
+        /// The sending device.
+        device: DeviceId,
+        /// The port the TLP was submitted on.
+        port: PortIdx,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::UnconnectedPort { device, port } => {
+                write!(f, "send on unconnected port dev{}:{port:?}", device.0)
+            }
+        }
+    }
+}
+
 enum Ev {
     Deliver {
         link: u32,
@@ -112,6 +138,8 @@ pub struct Fabric {
     spans: SpanStore,
     /// Drives link-error injection (PEARL replays); deterministic.
     rng: SimRng,
+    /// Configuration errors observed while running (packets dropped).
+    config_errors: Vec<ConfigError>,
 }
 
 impl Default for Fabric {
@@ -132,6 +160,7 @@ impl Fabric {
             metrics: MetricsHub::new(),
             spans: SpanStore::new(),
             rng: SimRng::seed_from_u64(0x7ca_2013),
+            config_errors: Vec::new(),
         }
     }
 
@@ -345,6 +374,25 @@ impl Fabric {
             .map(|&(link, dir)| (LinkId(link), dir))
     }
 
+    /// The parameters a link was connected with (read-only introspection
+    /// for static analysis: credit sizing, latency, payload limits).
+    pub fn link_params(&self, link: LinkId) -> &LinkParams {
+        &self.links[link.0 as usize].params
+    }
+
+    /// The two `(device, port)` endpoints of a link, in [`Dir::Fwd`] order
+    /// (`[0]` is the first endpoint passed to [`Fabric::connect`]).
+    pub fn link_endpoints(&self, link: LinkId) -> [(DeviceId, PortIdx); 2] {
+        self.links[link.0 as usize].ends
+    }
+
+    /// Configuration errors observed while running, in occurrence order.
+    /// Empty on a correctly configured fabric; each entry corresponds to a
+    /// dropped packet (see [`ConfigError`]).
+    pub fn config_errors(&self) -> &[ConfigError] {
+        &self.config_errors
+    }
+
     /// Executes events until the queue drains; returns the final time.
     pub fn run_until_idle(&mut self) -> SimTime {
         while self.step() {}
@@ -466,13 +514,21 @@ impl Fabric {
         }
     }
 
-    /// Enqueues `tlp` for transmission from `(src, port)`.
+    /// Enqueues `tlp` for transmission from `(src, port)`. A send on an
+    /// unconnected port is a *configuration* error (bad routing table,
+    /// missing cable), not an internal invariant: the TLP is dropped and
+    /// recorded in [`Fabric::config_errors`] so `tca-verify` can surface it
+    /// as a diagnostic.
     #[track_caller]
     fn submit(&mut self, src: DeviceId, port: PortIdx, tlp: Tlp) {
-        let &(link, end) = self
-            .ports
-            .get(&(src, port))
-            .unwrap_or_else(|| panic!("send on unconnected port dev{}:{port:?}", src.0));
+        let Some(&(link, end)) = self.ports.get(&(src, port)) else {
+            let err = ConfigError::UnconnectedPort { device: src, port };
+            self.tracer.emit(TraceLevel::Txn, self.queue.now(), || {
+                format!("{err}: dropping {tlp:?}")
+            });
+            self.config_errors.push(err);
+            return;
+        };
         let params = self.links[link as usize].params;
         match &tlp.kind {
             TlpKind::MemWrite { data, .. } | TlpKind::Completion { data, .. } => {
@@ -838,13 +894,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unconnected port")]
-    fn send_on_unconnected_port_panics() {
+    fn send_on_unconnected_port_is_recorded_not_fatal() {
         let mut f = Fabric::new();
         let req = f.add_device(|id| Requester { id, got: vec![] });
         f.drive::<Requester, _>(req, |_, ctx| {
             ctx.send(PortIdx(5), Tlp::msi(0));
         });
+        f.run_until_idle();
+        assert_eq!(
+            f.config_errors(),
+            &[ConfigError::UnconnectedPort {
+                device: req,
+                port: PortIdx(5)
+            }]
+        );
+        assert_eq!(
+            f.config_errors()[0].to_string(),
+            "send on unconnected port dev0:PortIdx(5)"
+        );
     }
 
     #[test]

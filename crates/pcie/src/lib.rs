@@ -48,7 +48,7 @@ pub mod tlp;
 
 pub use addr::{align_down, align_up, is_aligned, AddrRange};
 pub use device::{CreditHold, Ctx, Device};
-pub use fabric::{Fabric, LinkDirStats, LinkId};
+pub use fabric::{ConfigError, Fabric, LinkDirStats, LinkId};
 pub use link::{LinkParams, PcieGen, WireState};
 pub use memory::{PageMemory, PAGE_SIZE};
 pub use tagpool::{ReadReassembly, TagPool};

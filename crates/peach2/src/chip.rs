@@ -16,7 +16,7 @@
 use crate::dma::{Descriptor, EngineKind, DESC_SIZE};
 use crate::nios::{Nios, PortLinkStats, PortRole};
 use crate::params::Peach2Params;
-use crate::regs::{RegEffect, RegFile, RouteRule, SRAM_OFFSET};
+use crate::regs::{RegEffect, RegError, RegFile, RouteRule, SRAM_OFFSET};
 use std::collections::{HashMap, VecDeque};
 use tca_device::map::{gpu_bar, TcaBlock, TcaMap};
 use tca_pcie::{
@@ -163,6 +163,9 @@ pub struct Peach2 {
     fwd_free: Vec<usize>,
     /// Packets relayed between ports (not terminated here).
     pub relayed: Counter,
+    /// Malformed register accesses observed (stores dropped); surfaced by
+    /// `tca-verify` as diagnostics.
+    reg_errors: Vec<RegError>,
     /// Completed and in-progress DMA runs.
     pub runs: Vec<DmaRunRecord>,
     /// Distribution of doorbell→completion windows across runs.
@@ -199,6 +202,7 @@ impl Peach2 {
             pending_fwd: Vec::new(),
             fwd_free: Vec::new(),
             relayed: Counter::new(),
+            reg_errors: Vec::new(),
             runs: Vec::new(),
             dma_window_hist: LatencyHistogram::new(),
             desc_fetch_hist: LatencyHistogram::new(),
@@ -249,6 +253,12 @@ impl Peach2 {
     /// Read-only register file access.
     pub fn regs(&self) -> &RegFile {
         &self.regs
+    }
+
+    /// Malformed register accesses observed while running (each one a
+    /// dropped store), in occurrence order. Empty on a correct driver.
+    pub fn reg_errors(&self) -> &[RegError] {
+        &self.reg_errors
     }
 
     /// Direct access to the internal SRAM/DDR3 staging memory (offset space
@@ -733,8 +743,17 @@ impl Peach2 {
             Some((node, block, off)) if node == self.regs.node_id => {
                 if block == TcaBlock::Internal {
                     if off < SRAM_OFFSET {
-                        if self.regs.write(off, &data) == RegEffect::Doorbell {
-                            self.doorbell(span, ctx);
+                        match self.regs.write(off, &data) {
+                            Ok(RegEffect::Doorbell) => self.doorbell(span, ctx),
+                            Ok(RegEffect::None) => {}
+                            Err(e) => {
+                                // Software bug, not a chip invariant: drop
+                                // the store, record it for the verifier.
+                                ctx.trace(TraceLevel::Txn, || {
+                                    format!("{}: dropped register write: {e}", self.name)
+                                });
+                                self.reg_errors.push(e);
+                            }
                         }
                     } else {
                         self.sram.write(off - SRAM_OFFSET, &data);

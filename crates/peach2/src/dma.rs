@@ -54,6 +54,13 @@ pub struct Descriptor {
 /// Byte size of one descriptor in the table.
 pub const DESC_SIZE: u64 = 32;
 
+/// Flag bit 0: a *link* entry. The descriptor carries no payload; `dst` is
+/// the host address of the next descriptor table and `len` its entry count,
+/// chaining tables together. Reserved in the evaluated hardware (the
+/// shipped engines never set it and ignore it if set), but part of the wire
+/// format, so `tca-verify` follows linked tables and rejects cycles.
+pub const DESC_FLAG_LINK: u32 = 1 << 0;
+
 impl Descriptor {
     /// Simple transfer descriptor.
     pub fn new(src: u64, dst: u64, len: u64) -> Descriptor {
@@ -64,6 +71,22 @@ impl Descriptor {
             len,
             flags: 0,
         }
+    }
+
+    /// A link entry continuing the chain at `table` with `count` entries
+    /// (see [`DESC_FLAG_LINK`]).
+    pub fn link(table: u64, count: u32) -> Descriptor {
+        Descriptor {
+            src: 0,
+            dst: table,
+            len: u64::from(count),
+            flags: DESC_FLAG_LINK,
+        }
+    }
+
+    /// Whether this is a link entry rather than a transfer.
+    pub fn is_link(&self) -> bool {
+        self.flags & DESC_FLAG_LINK != 0
     }
 
     /// Serializes to the 32-byte table entry.
@@ -147,6 +170,16 @@ mod tests {
             descs[3],
             Descriptor::new(0x1000 + 3 * 256, 0x8000 + 3 * 512, 128)
         );
+    }
+
+    #[test]
+    fn link_entries_round_trip() {
+        let l = Descriptor::link(0x0120_0000, 12);
+        assert!(l.is_link());
+        assert!(!Descriptor::new(0, 0x100, 64).is_link());
+        let back = Descriptor::decode(&l.encode());
+        assert_eq!(back, l);
+        assert_eq!((back.dst, back.len), (0x0120_0000, 12));
     }
 
     #[test]

@@ -40,11 +40,11 @@ pub mod topology;
 pub use chip::{
     ring_routing, sync_nios_link_stats, DmaRunRecord, Peach2, PORT_E, PORT_N, PORT_S, PORT_W,
 };
-pub use dma::{Descriptor, EngineKind, DESC_SIZE};
+pub use dma::{Descriptor, EngineKind, DESC_FLAG_LINK, DESC_SIZE};
 pub use driver::{DmaMeasurement, Peach2Driver};
 pub use nios::{LinkHealth, MgmtEvent, Nios, PortCounters, PortLinkStats, PortRole};
 pub use params::Peach2Params;
-pub use regs::{RegFile, RouteRule, SRAM_OFFSET};
+pub use regs::{RegEffect, RegError, RegFile, RouteRule, ROUTE_RULES, SRAM_OFFSET};
 pub use topology::{
     attach_peach2, build_dual_ring, build_loopback, build_ring, LoopbackRig, SubCluster,
 };

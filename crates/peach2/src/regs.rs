@@ -106,11 +106,37 @@ pub enum RegEffect {
     Doorbell,
 }
 
+/// A malformed register access. These are *software* bugs (a driver
+/// computed a bad offset), not chip invariants: real hardware would drop or
+/// misroute the store, so the model rejects it as a typed error that the
+/// chip records and `tca-verify` surfaces as a diagnostic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RegError {
+    /// Write to an offset that maps to no register.
+    UnknownOffset(u64),
+    /// Write inside the routing rows but not on a field boundary.
+    UnalignedRouteField(u64),
+}
+
+impl std::fmt::Display for RegError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegError::UnknownOffset(off) => {
+                write!(f, "write to unknown register offset {off:#x}")
+            }
+            RegError::UnalignedRouteField(off) => {
+                write!(f, "unaligned routing register write at {off:#x}")
+            }
+        }
+    }
+}
+
 impl RegFile {
     /// Applies a PIO write of `data` at register-block offset `off`.
-    /// Registers are written with naturally aligned 4- or 8-byte stores.
-    #[track_caller]
-    pub fn write(&mut self, off: u64, data: &[u8]) -> RegEffect {
+    /// Registers are written with naturally aligned 4- or 8-byte stores; a
+    /// store to an unknown or misaligned offset changes nothing and returns
+    /// the error.
+    pub fn write(&mut self, off: u64, data: &[u8]) -> Result<RegEffect, RegError> {
         let v64 = |d: &[u8]| {
             let mut b = [0u8; 8];
             b[..d.len().min(8)].copy_from_slice(&d[..d.len().min(8)]);
@@ -123,7 +149,7 @@ impl RegFile {
             REG_DMA_DESC_COUNT => self.dma_desc_count = v as u32,
             REG_DMA_ENGINE => self.dma_engine = v as u32,
             REG_DMA_STATUS_ADDR => self.dma_status_addr = v,
-            REG_DMA_DOORBELL => return RegEffect::Doorbell,
+            REG_DMA_DOORBELL => return Ok(RegEffect::Doorbell),
             o if (REG_ROUTE_BASE..REG_ROUTE_BASE + (ROUTE_RULES as u64) * REG_ROUTE_STRIDE)
                 .contains(&o) =>
             {
@@ -141,12 +167,12 @@ impl RegFile {
                             Some(PortIdx(v as u8))
                         }
                     }
-                    _ => panic!("unaligned routing register write at {off:#x}"),
+                    _ => return Err(RegError::UnalignedRouteField(off)),
                 }
             }
-            _ => panic!("write to unknown register offset {off:#x}"),
+            _ => return Err(RegError::UnknownOffset(off)),
         }
-        RegEffect::None
+        Ok(RegEffect::None)
     }
 
     /// Routing decision: output port for a destination address, or `None`
@@ -166,11 +192,15 @@ mod tests {
     #[test]
     fn scalar_register_writes() {
         let mut r = RegFile::default();
-        assert_eq!(r.write(REG_NODE_ID, &3u32.to_le_bytes()), RegEffect::None);
+        assert_eq!(
+            r.write(REG_NODE_ID, &3u32.to_le_bytes()),
+            Ok(RegEffect::None)
+        );
         assert_eq!(r.node_id, 3);
-        r.write(REG_DMA_DESC_ADDR, &0x10_0000u64.to_le_bytes());
-        r.write(REG_DMA_DESC_COUNT, &255u32.to_le_bytes());
-        r.write(REG_DMA_ENGINE, &1u32.to_le_bytes());
+        r.write(REG_DMA_DESC_ADDR, &0x10_0000u64.to_le_bytes())
+            .unwrap();
+        r.write(REG_DMA_DESC_COUNT, &255u32.to_le_bytes()).unwrap();
+        r.write(REG_DMA_ENGINE, &1u32.to_le_bytes()).unwrap();
         assert_eq!(r.dma_desc_addr, 0x10_0000);
         assert_eq!(r.dma_desc_count, 255);
         assert_eq!(r.dma_engine, 1);
@@ -181,7 +211,7 @@ mod tests {
         let mut r = RegFile::default();
         assert_eq!(
             r.write(REG_DMA_DOORBELL, &1u32.to_le_bytes()),
-            RegEffect::Doorbell
+            Ok(RegEffect::Doorbell)
         );
     }
 
@@ -191,16 +221,18 @@ mod tests {
         let base = REG_ROUTE_BASE;
         // Rule 0: addresses with bits [39:35] in 2..=3 go out port 1 (E).
         let mask = !((32u64 << 30) - 1); // 32 GiB slices
-        r.write(base, &mask.to_le_bytes());
+        r.write(base, &mask.to_le_bytes()).unwrap();
         r.write(
             base + 0x08,
             &(0x80_0000_0000u64 + 2 * (32 << 30)).to_le_bytes(),
-        );
+        )
+        .unwrap();
         r.write(
             base + 0x10,
             &(0x80_0000_0000u64 + 3 * (32 << 30)).to_le_bytes(),
-        );
-        r.write(base + 0x18, &1u64.to_le_bytes());
+        )
+        .unwrap();
+        r.write(base + 0x18, &1u64.to_le_bytes()).unwrap();
         let in_slice2 = 0x80_0000_0000u64 + 2 * (32 << 30) + 12345;
         let in_slice4 = 0x80_0000_0000u64 + 4 * (32 << 30);
         assert_eq!(r.route(in_slice2), Some(PortIdx(1)));
@@ -238,14 +270,29 @@ mod tests {
     #[test]
     fn port_disable_via_ff() {
         let mut r = RegFile::default();
-        r.write(REG_ROUTE_BASE + 0x18, &0xffu64.to_le_bytes());
+        r.write(REG_ROUTE_BASE + 0x18, &0xffu64.to_le_bytes())
+            .unwrap();
         assert_eq!(r.routes[0].port, None);
     }
 
     #[test]
-    #[should_panic(expected = "unknown register")]
-    fn unknown_offset_panics() {
+    fn malformed_accesses_are_typed_errors() {
         let mut r = RegFile::default();
-        r.write(0x800, &[0; 4]);
+        assert_eq!(r.write(0x800, &[0; 4]), Err(RegError::UnknownOffset(0x800)));
+        let off = REG_ROUTE_BASE + 0x04; // inside row 0, off a field boundary
+        assert_eq!(
+            r.write(off, &[0; 4]),
+            Err(RegError::UnalignedRouteField(off))
+        );
+        // Nothing changed, and the errors render for diagnostics.
+        assert_eq!(r.routes[0], RouteRule::DISABLED);
+        assert_eq!(
+            RegError::UnknownOffset(0x800).to_string(),
+            "write to unknown register offset 0x800"
+        );
+        assert_eq!(
+            RegError::UnalignedRouteField(off).to_string(),
+            format!("unaligned routing register write at {off:#x}")
+        );
     }
 }

@@ -49,7 +49,7 @@ pub use metrics::{
     CounterId, GaugeId, HistogramId, MeterId, MetricValue, MetricsHub, MetricsSnapshot,
 };
 pub use rng::SimRng;
-pub use span::{SpanId, SpanStore, TraceCtx};
+pub use span::{SpanId, SpanStore, TraceCtx, WriteRec};
 pub use stats::{fmt_gbps, BandwidthMeter, Counter, LatencyHistogram, OnlineStats};
 pub use time::{Dur, SimTime};
 pub use trace::{TraceEvent, TraceKind, TraceLevel, Tracer};

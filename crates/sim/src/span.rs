@@ -67,12 +67,38 @@ struct SpanRec {
     end: Option<SimTime>,
 }
 
+/// One remote write observed committing into a memory endpoint, recorded
+/// for post-run hazard analysis (RDMA-put-only fabrics synchronize with an
+/// ordered flag write; `tca-verify` replays this log to find conflicting
+/// writes that raced). `issued` is the origin instant of the transfer that
+/// carried the write (its root span start) and `origin` the device that
+/// opened the root, so two writes can be ordered by program order at the
+/// source and by commit order at the destination.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct WriteRec {
+    /// Root span of the transfer the write belongs to.
+    pub root: SpanId,
+    /// Device that originated the transfer (the root span's device).
+    pub origin: Option<u32>,
+    /// Device the write committed into.
+    pub dest: Option<u32>,
+    /// Instant the transfer was issued at the origin (root span start).
+    pub issued: SimTime,
+    /// Instant the bytes became visible at the destination.
+    pub commit: SimTime,
+    /// Destination address of the write.
+    pub addr: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
 /// Collector of transfer span trees. Owned by the fabric next to the
 /// tracer and metrics hub; disabled (and free) by default.
 #[derive(Default)]
 pub struct SpanStore {
     enabled: bool,
     spans: Vec<SpanRec>,
+    writes: Vec<WriteRec>,
 }
 
 impl SpanStore {
@@ -102,9 +128,41 @@ impl SpanStore {
         self.spans.is_empty()
     }
 
-    /// Drops all recorded spans (the enabled flag is kept).
+    /// Drops all recorded spans and writes (the enabled flag is kept).
     pub fn clear(&mut self) {
         self.spans.clear();
+        self.writes.clear();
+    }
+
+    /// Records a write of `len` bytes at `addr` committing into `dest` at
+    /// `commit`, attributed to the transfer `ctx` belongs to. Pure data
+    /// collection, like every other recording on this store.
+    pub fn record_write(
+        &mut self,
+        ctx: TraceCtx,
+        addr: u64,
+        len: u64,
+        commit: SimTime,
+        dest: Option<u32>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let rootrec = self.get(ctx.root);
+        self.writes.push(WriteRec {
+            root: ctx.root,
+            origin: rootrec.device,
+            dest,
+            issued: rootrec.start,
+            commit,
+            addr,
+            len,
+        });
+    }
+
+    /// The committed-write log, in commit (i.e. recording) order.
+    pub fn writes(&self) -> &[WriteRec] {
+        &self.writes
     }
 
     fn alloc(&mut self, rec: SpanRec) -> SpanId {
@@ -459,6 +517,24 @@ mod tests {
         assert_eq!(get("other"), Dur::from_ps(50)); // uncovered tail
                                                     // First-appearance ordering along the timeline.
         assert_eq!(attr[0].0, "fetch");
+    }
+
+    #[test]
+    fn write_log_carries_origin_and_issue_instant() {
+        let mut s = SpanStore::new();
+        assert!(s.start_root("dma", SimTime::ZERO, Some(7)).is_none());
+        assert!(s.writes().is_empty(), "disabled store records no writes");
+        s.set_enabled(true);
+        let root = s.start_root("dma", SimTime::from_ps(100), Some(7)).unwrap();
+        s.record_write(root, 0x4000, 256, SimTime::from_ps(900), Some(3));
+        let w = s.writes()[0];
+        assert_eq!(w.origin, Some(7), "root span's device");
+        assert_eq!(w.dest, Some(3));
+        assert_eq!(w.issued, SimTime::from_ps(100), "root span's start");
+        assert_eq!(w.commit, SimTime::from_ps(900));
+        assert_eq!((w.addr, w.len), (0x4000, 256));
+        s.clear();
+        assert!(s.writes().is_empty());
     }
 
     #[test]

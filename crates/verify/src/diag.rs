@@ -1,0 +1,275 @@
+//! Structured diagnostics: codes, severities, rustc-style rendering, and
+//! deterministic JSON.
+//!
+//! Every check in this crate reports through [`Diagnostic`]; nothing
+//! prints ad hoc. Codes are stable strings (`TCA-W001`, `TCA-R001`, …)
+//! documented in `EXPERIMENTS.md`, so CI can gate on them and tests can
+//! assert exact findings.
+
+use std::fmt;
+use tca_sim::JsonValue;
+
+/// How bad a finding is.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// Suspicious but survivable: the simulation runs, possibly slower or
+    /// with shadowed configuration. CI treats warnings as errors
+    /// (`--deny warnings`).
+    Warning,
+    /// The configuration is broken: a run would panic, drop traffic, or
+    /// produce wrong data.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label used in rendering and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// Where a finding points: an optional TCA node plus a free-form site
+/// ("route row 3", "link 5 (dev2:E ↔ dev5:W)", "descriptor 7").
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DiagSpan {
+    /// TCA node the finding is anchored to, when node-scoped.
+    pub node: Option<u32>,
+    /// Human-readable site within (or outside) the node.
+    pub site: String,
+}
+
+impl DiagSpan {
+    /// A node-scoped site.
+    pub fn node(node: u32, site: impl Into<String>) -> Self {
+        DiagSpan {
+            node: Some(node),
+            site: site.into(),
+        }
+    }
+
+    /// A fabric-scoped site (no single owning node).
+    pub fn fabric(site: impl Into<String>) -> Self {
+        DiagSpan {
+            node: None,
+            site: site.into(),
+        }
+    }
+}
+
+impl fmt::Display for DiagSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.node {
+            Some(n) => write!(f, "node {n}: {}", self.site),
+            None => write!(f, "{}", self.site),
+        }
+    }
+}
+
+/// One verified finding.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// Stable code, e.g. `TCA-R001`.
+    pub code: &'static str,
+    /// Severity.
+    pub severity: Severity,
+    /// Location the finding anchors to.
+    pub span: DiagSpan,
+    /// One-sentence statement of the problem.
+    pub message: String,
+    /// How to fix it.
+    pub help: String,
+}
+
+impl Diagnostic {
+    /// An error-severity finding.
+    pub fn error(
+        code: &'static str,
+        span: DiagSpan,
+        message: impl Into<String>,
+        help: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            span,
+            message: message.into(),
+            help: help.into(),
+        }
+    }
+
+    /// A warning-severity finding.
+    pub fn warning(
+        code: &'static str,
+        span: DiagSpan,
+        message: impl Into<String>,
+        help: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Warning,
+            span,
+            message: message.into(),
+            help: help.into(),
+        }
+    }
+
+    /// Renders the finding rustc-style:
+    ///
+    /// ```text
+    /// error[TCA-R001]: routing cycle: packets from node 0 to node 2 loop
+    ///  --> node 1: route row 0
+    ///   = help: reprogram the rows so every destination walk converges
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{}[{}]: {}\n --> {}\n",
+            self.severity.label(),
+            self.code,
+            self.message,
+            self.span
+        );
+        if !self.help.is_empty() {
+            out.push_str(&format!("  = help: {}\n", self.help));
+        }
+        out
+    }
+}
+
+/// An ordered collection of findings plus summary helpers. Ordering is
+/// deterministic: every pass appends in a fixed traversal order, so two
+/// identical configurations render and serialize byte-identically.
+#[derive(Default, Clone, PartialEq, Eq, Debug)]
+pub struct Report {
+    /// The findings, in pass order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Wraps a finding list.
+    pub fn from_diagnostics(diagnostics: Vec<Diagnostic>) -> Self {
+        Report { diagnostics }
+    }
+
+    /// Appends another pass's findings.
+    pub fn extend(&mut self, more: Vec<Diagnostic>) {
+        self.diagnostics.extend(more);
+    }
+
+    /// No findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.len() - self.error_count()
+    }
+
+    /// Whether the report fails a gate: errors always fail; warnings fail
+    /// only when denied.
+    pub fn fails(&self, deny_warnings: bool) -> bool {
+        self.error_count() > 0 || (deny_warnings && !self.is_clean())
+    }
+
+    /// Renders every finding plus a one-line summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render());
+        }
+        out.push_str(&format!(
+            "{} error(s), {} warning(s)\n",
+            self.error_count(),
+            self.warning_count()
+        ));
+        out
+    }
+
+    /// Deterministic JSON: `{"errors": n, "warnings": n, "diagnostics":
+    /// [{code, severity, node, site, message, help}, ...]}` with findings
+    /// in report order and object keys in fixed order.
+    pub fn to_json(&self) -> String {
+        let mut arr = Vec::with_capacity(self.diagnostics.len());
+        for d in &self.diagnostics {
+            let mut obj = JsonValue::object();
+            obj.push("code", JsonValue::from(d.code));
+            obj.push("severity", JsonValue::from(d.severity.label()));
+            obj.push(
+                "node",
+                d.span
+                    .node
+                    .map_or(JsonValue::Null, |n| JsonValue::from(u64::from(n))),
+            );
+            obj.push("site", JsonValue::from(d.span.site.as_str()));
+            obj.push("message", JsonValue::from(d.message.as_str()));
+            obj.push("help", JsonValue::from(d.help.as_str()));
+            arr.push(obj);
+        }
+        let mut root = JsonValue::object();
+        root.push("errors", JsonValue::from(self.error_count() as u64));
+        root.push("warnings", JsonValue::from(self.warning_count() as u64));
+        root.push("diagnostics", JsonValue::Array(arr));
+        root.to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_rustc_style() {
+        let d = Diagnostic::error(
+            "TCA-W004",
+            DiagSpan::node(1, "route table"),
+            "no route for node 3's slice",
+            "program a row covering the slice",
+        );
+        let r = d.render();
+        assert!(r.starts_with("error[TCA-W004]: no route"), "{r}");
+        assert!(r.contains(" --> node 1: route table"), "{r}");
+        assert!(r.contains("  = help: program a row"), "{r}");
+    }
+
+    #[test]
+    fn report_gates_and_counts() {
+        let mut rep = Report::new();
+        assert!(rep.is_clean() && !rep.fails(true));
+        rep.extend(vec![Diagnostic::warning(
+            "TCA-C002",
+            DiagSpan::fabric("link 0"),
+            "credits below BDP",
+            "raise posted_data_credits",
+        )]);
+        assert_eq!((rep.error_count(), rep.warning_count()), (0, 1));
+        assert!(!rep.fails(false) && rep.fails(true));
+        rep.extend(vec![Diagnostic::error(
+            "TCA-R001",
+            DiagSpan::node(0, "route row 1"),
+            "cycle",
+            "",
+        )]);
+        assert!(rep.fails(false));
+        let json = rep.to_json();
+        assert!(json.starts_with("{\"errors\":1,\"warnings\":1,"), "{json}");
+        assert!(json.contains("\"code\":\"TCA-R001\""), "{json}");
+        assert!(json.contains("\"node\":0"), "{json}");
+        assert!(json.contains("\"node\":null"), "{json}");
+    }
+}

@@ -1,0 +1,234 @@
+//! Pass 2: deterministic RDMA-hazard detection over a finished run's span
+//! store.
+//!
+//! The fabric is RDMA-put, PIO-completion: remote writes commit in host
+//! DRAM with no acknowledgement the producer waits for, and the only
+//! ordering primitive is the flag write at the tail of a chain (the
+//! `memcpy_peer`/halo-exchange idiom: payload descriptors, then a flag
+//! descriptor the consumer polls). Two rules follow, and this pass checks
+//! both over the exact commit log [`SpanStore::writes`] the host bridges
+//! recorded:
+//!
+//! * **`TCA-H002` — flag before payload.** Within one origin's program
+//!   order, a flag must not commit before a payload write issued earlier.
+//!   PCIe posted writes on a single path stay ordered; a flag overtaking
+//!   its payload means the chain was split across paths or engines, and a
+//!   consumer that trusts the flag reads stale bytes.
+//! * **`TCA-H001` — unordered conflicting writes.** Two writes from
+//!   *different* origins touching overlapping bytes race unless a flag
+//!   write by the first origin committed after the first write and before
+//!   the second origin *issued* its write (i.e. the second node observably
+//!   waited). Without that synchronization the final bytes depend on
+//!   arrival order — a WAW/RAW hazard the deterministic simulator happens
+//!   to resolve one way, and real hardware may not.
+//!
+//! Flag writes are classified by caller-declared address ranges: the
+//! application knows which words are flags; the detector does not guess.
+
+use crate::diag::{DiagSpan, Diagnostic};
+use tca_pcie::AddrRange;
+use tca_sim::{SpanStore, WriteRec};
+
+/// Whether a committed write landed inside any declared flag range.
+fn is_flag(w: &WriteRec, flags: &[AddrRange]) -> bool {
+    flags.iter().any(|r| {
+        r.overlaps(&AddrRange::new(
+            w.addr,
+            w.len.min(u64::MAX - w.addr), // defensively avoid wrap panics
+        ))
+    })
+}
+
+/// Program-order key within one origin: root spans are issued (allocated)
+/// in a deterministic order, so (issue instant, span id) totally orders an
+/// origin's writes even when several are issued at the same tick.
+fn program_order(w: &WriteRec) -> (u64, u64) {
+    (w.issued.as_ps(), w.root.raw())
+}
+
+/// Runs both hazard rules over a finished run's write log. `flags` is the
+/// set of address ranges the application uses as completion flags; writes
+/// landing there order, writes elsewhere are payload. Diagnostics come out
+/// in deterministic (program-order) sequence.
+pub fn detect_hazards(spans: &SpanStore, flags: &[AddrRange]) -> Vec<Diagnostic> {
+    let mut log: Vec<&WriteRec> = spans.writes().iter().collect();
+    log.sort_by_key(|w| (program_order(w), w.commit.as_ps()));
+    let mut out = Vec::new();
+
+    // H002: within one origin, a flag committing before an earlier-issued
+    // payload write.
+    for (fi, f) in log.iter().enumerate() {
+        if !is_flag(f, flags) || f.origin.is_none() {
+            continue;
+        }
+        for p in &log[..fi] {
+            if p.origin == f.origin && !is_flag(p, flags) && f.commit < p.commit {
+                out.push(Diagnostic::error(
+                    "TCA-H002",
+                    origin_span(f, format!("flag write to {:#x}", f.addr)),
+                    format!(
+                        "flag committed at {} ps before its payload write to {:#x} \
+                         committed at {} ps: a consumer polling the flag reads stale data",
+                        f.commit.as_ps(),
+                        p.addr,
+                        p.commit.as_ps()
+                    ),
+                    "keep payload and flag on one ordered path (one chain, one engine)",
+                ));
+            }
+        }
+    }
+
+    // H001: overlapping writes from different origins with no ordering
+    // flag in between.
+    for (ai, a) in log.iter().enumerate() {
+        if is_flag(a, flags) {
+            continue;
+        }
+        for b in &log[ai + 1..] {
+            if is_flag(b, flags) || a.origin == b.origin {
+                continue;
+            }
+            if a.origin.is_none() || b.origin.is_none() {
+                continue;
+            }
+            let ra = AddrRange::new(a.addr, a.len);
+            let rb = AddrRange::new(b.addr, b.len);
+            if !ra.overlaps(&rb) {
+                continue;
+            }
+            let (first, second) = if a.commit <= b.commit { (a, b) } else { (b, a) };
+            let ordered = log.iter().any(|f| {
+                is_flag(f, flags)
+                    && f.origin == first.origin
+                    && f.commit >= first.commit
+                    && f.commit <= second.issued
+            });
+            if !ordered {
+                out.push(Diagnostic::error(
+                    "TCA-H001",
+                    origin_span(
+                        second,
+                        format!("write to {:#x}+{}", second.addr, second.len),
+                    ),
+                    format!(
+                        "unordered conflicting writes: origins {} and {} both wrote \
+                         overlapping bytes ({ra:?} vs {rb:?}) with no flag write from the \
+                         first committer in between — the result depends on arrival order",
+                        fmt_origin(first),
+                        fmt_origin(second),
+                    ),
+                    "synchronize through a flag write the second origin waits on",
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn origin_span(w: &WriteRec, site: String) -> DiagSpan {
+    match w.origin {
+        Some(n) => DiagSpan::node(n, site),
+        None => DiagSpan::fabric(site),
+    }
+}
+
+fn fmt_origin(w: &WriteRec) -> String {
+    match w.origin {
+        Some(n) => format!("dev{n}"),
+        None => "<untracked>".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tca_sim::SimTime;
+
+    /// Builds a store with one root span per write, from `origin`, issued
+    /// at `issued` and committed at `commit`.
+    fn store(writes: &[(u32, u64, u64, u64, u64)]) -> SpanStore {
+        // (origin, issued_ps, commit_ps, addr, len)
+        let mut s = SpanStore::new();
+        s.set_enabled(true);
+        for &(origin, issued, commit, addr, len) in writes {
+            let ctx = s
+                .start_root("w", SimTime::from_ps(issued), Some(origin))
+                .expect("enabled");
+            s.record_write(ctx, addr, len, SimTime::from_ps(commit), Some(9));
+            s.end_root(ctx, SimTime::from_ps(commit));
+        }
+        s
+    }
+
+    const FLAG: u64 = 0xF000;
+
+    fn flags() -> Vec<AddrRange> {
+        vec![AddrRange::new(FLAG, 8)]
+    }
+
+    #[test]
+    fn ordered_payload_then_flag_is_clean() {
+        let s = store(&[
+            (0, 100, 500, 0x1000, 256), // payload
+            (0, 200, 600, FLAG, 8),     // flag commits after payload
+        ]);
+        assert!(detect_hazards(&s, &flags()).is_empty());
+    }
+
+    #[test]
+    fn flag_overtaking_payload_is_h002() {
+        let s = store(&[
+            (0, 100, 900, 0x1000, 256), // payload commits late
+            (0, 200, 400, FLAG, 8),     // flag overtakes it
+        ]);
+        let d = detect_hazards(&s, &flags());
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].code, "TCA-H002");
+        assert_eq!(d[0].span.node, Some(0));
+        assert!(d[0].message.contains("stale"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn conflicting_writes_without_flag_are_h001() {
+        let s = store(&[
+            (0, 100, 500, 0x1000, 256),
+            (1, 150, 550, 0x1080, 256), // overlaps the tail, different origin
+        ]);
+        let d = detect_hazards(&s, &flags());
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].code, "TCA-H001");
+        assert!(d[0].message.contains("dev0"), "{}", d[0].message);
+        assert!(d[0].message.contains("dev1"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn flag_synchronized_handoff_is_clean() {
+        // dev0 writes, flags; dev1 issues only after the flag committed.
+        let s = store(&[
+            (0, 100, 500, 0x1000, 256),
+            (0, 200, 600, FLAG, 8),
+            (1, 700, 900, 0x1000, 256),
+        ]);
+        assert!(detect_hazards(&s, &flags()).is_empty());
+    }
+
+    #[test]
+    fn flag_after_second_issue_does_not_order() {
+        // The flag exists but dev1 issued before it committed: still a race.
+        let s = store(&[
+            (0, 100, 500, 0x1000, 256),
+            (0, 200, 800, FLAG, 8),
+            (1, 600, 900, 0x1000, 256), // issued at 600 < flag commit 800
+        ]);
+        let d = detect_hazards(&s, &flags());
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].code, "TCA-H001");
+    }
+
+    #[test]
+    fn disjoint_writes_do_not_conflict() {
+        let s = store(&[(0, 100, 500, 0x1000, 256), (1, 150, 550, 0x2000, 256)]);
+        assert!(detect_hazards(&s, &flags()).is_empty());
+    }
+}

@@ -1,0 +1,43 @@
+//! # tca-verify — static configuration lint + RDMA-hazard detection
+//!
+//! Two analysis passes over a TCA sub-cluster, both pure and deterministic:
+//!
+//! 1. **Static lint** ([`lint_cluster`]) — before any packet moves, check
+//!    routing tables for shadowed/dead/unreachable windows and cycles,
+//!    links for credit sufficiency, host bridges for window coverage, and
+//!    descriptor chains for cycles, bad targets, and capacity overruns.
+//! 2. **Hazard detection** ([`detect_hazards`]) — after a traced run,
+//!    replay the exact DRAM-commit log and flag unordered conflicting
+//!    remote writes and flags that overtook their payload.
+//!
+//! Findings are [`Diagnostic`]s with stable codes (`TCA-W001` …
+//! `TCA-H002`), rustc-style rendering, and byte-deterministic JSON; see
+//! `EXPERIMENTS.md` § "Verifying a configuration" for the code table. The
+//! `tca-verify` binary (in the root crate) lints every shipped preset and
+//! is wired into `scripts/ci.sh` with warnings denied.
+//!
+//! ```
+//! use tca_device::node::NodeConfig;
+//! use tca_peach2::{build_ring, Peach2Params};
+//! use tca_pcie::Fabric;
+//!
+//! let mut fabric = Fabric::new();
+//! let sub = build_ring(&mut fabric, 4, &NodeConfig::default(), Peach2Params::default());
+//! let report = tca_verify::lint_cluster(&fabric, &sub);
+//! assert!(report.is_clean(), "{}", report.render());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod diag;
+pub mod hazard;
+pub mod lint;
+
+pub use diag::{DiagSpan, Diagnostic, Report, Severity};
+pub use hazard::detect_hazards;
+pub use lint::{
+    collect_chain, lint_chain, lint_cluster, lint_links, lint_reachability, lint_routes,
+    runtime_diagnostics, ChainContext,
+};

@@ -9,6 +9,22 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 cargo build --release --offline
 cargo test -q --offline
 
+# Configuration-verifier gate: statically lint every shipped preset
+# (address windows, routing cycles, credit sufficiency, descriptor chains)
+# and hazard-check a traced reference workload on each. Deny-by-default:
+# even a warning fails the build.
+cargo run -q --release --offline --bin tca-verify -- --all-presets --deny warnings
+
+# Determinism lint: the simulation crates must never consult wall-clock
+# time or OS entropy — a single call would silently break bit-identical
+# replay. (TraceKind::Instant is a span event name, hence the precise
+# patterns rather than a bare "Instant".)
+if grep -rnE 'std::time::(Instant|SystemTime)|Instant::now|SystemTime::now|thread_rng' \
+    crates/sim/src crates/pcie/src crates/peach2/src; then
+    echo "determinism lint: wall-clock or OS-entropy use in simulation crates" >&2
+    exit 1
+fi
+
 # Perf-regression gate: rerun the fabric kernels (ping-pong, hop sweep,
 # Fig. 7/8/9 bandwidth), write the schema-stable results/BENCH_fabric.json,
 # and fail the build if any metric drifts outside its paper-anchored bound.

@@ -1,0 +1,199 @@
+//! `tca-verify` — lint every shipped cluster preset and hazard-check a
+//! traced reference workload on each.
+//!
+//! ```text
+//! tca-verify --all-presets --deny warnings        # the CI gate
+//! tca-verify --preset ring-4 --json               # one preset, JSON out
+//! ```
+//!
+//! Exit status is 0 when every selected preset is clean (or carries only
+//! warnings without `--deny warnings`), 1 otherwise. Output is fully
+//! deterministic: two runs of the same binary print identical bytes.
+
+use std::process::ExitCode;
+use tca::core::prelude::*;
+use tca::pcie::AddrRange;
+use tca::verify::{lint_chain, ChainContext, Report};
+
+/// One shipped configuration the gate covers.
+struct Preset {
+    name: &'static str,
+    build: fn() -> TcaCluster,
+}
+
+const PRESETS: &[Preset] = &[
+    Preset {
+        name: "ring-2",
+        build: || TcaClusterBuilder::new(2).build(),
+    },
+    Preset {
+        name: "ring-4",
+        build: || TcaClusterBuilder::new(4).build(),
+    },
+    Preset {
+        name: "ring-8",
+        build: || TcaClusterBuilder::new(8).build(),
+    },
+    Preset {
+        name: "ring-16",
+        build: || TcaClusterBuilder::new(16).build(),
+    },
+    Preset {
+        name: "dual-ring-4",
+        build: || {
+            TcaClusterBuilder::new(4)
+                .topology(Topology::DualRing)
+                .build()
+        },
+    },
+    Preset {
+        name: "dual-ring-8",
+        build: || {
+            TcaClusterBuilder::new(8)
+                .topology(Topology::DualRing)
+                .build()
+        },
+    },
+    Preset {
+        name: "dual-ring-16",
+        build: || {
+            TcaClusterBuilder::new(16)
+                .topology(Topology::DualRing)
+                .build()
+        },
+    },
+    Preset {
+        name: "ring-4+ib",
+        build: || {
+            TcaClusterBuilder::new(4)
+                .with_infiniband(IbParams::default())
+                .build()
+        },
+    },
+];
+
+/// Static lint + a traced reference workload (payload puts then a flag
+/// put, node 0 → node 1) fed to the hazard detector, plus a lint of the
+/// descriptor chains the drivers would actually program.
+fn check_preset(p: &Preset) -> Report {
+    let mut cluster = (p.build)();
+    let mut rep = cluster.verify();
+
+    // Reference workload under span tracing: the canonical payload+flag
+    // idiom must come out hazard-free.
+    cluster.set_span_tracing(true);
+    let payload = MemRef::host(0, 0x4000_0000);
+    let flag_src = MemRef::host(0, 0x4800_0000);
+    let dst = MemRef::host(1, 0x5000_0000);
+    let flag_dst = MemRef::host(1, 0x5800_0000);
+    cluster.write(&payload, &[0xabu8; 4096]);
+    cluster.write(&flag_src, &1u64.to_le_bytes());
+    cluster.memcpy_peer(&dst, &payload, 4096);
+    cluster.memcpy_peer(&flag_dst, &flag_src, 8);
+    // The write log records node-local DRAM addresses, so the flag range
+    // is the consumer-side flag word's local address.
+    rep.extend(tca::verify::detect_hazards(
+        cluster.fabric.spans(),
+        &[AddrRange::new(0x5800_0000, 8)],
+    ));
+
+    // The descriptor chains the drivers program for a node 0 → node 1 put,
+    // on both engines.
+    let drv = cluster.drivers[0];
+    let remote = cluster.sub.map.block(1, tca::device::TcaBlock::Host).base() + 0x5000_0000;
+    for engine in [EngineKind::Pipelined, EngineKind::Legacy] {
+        let cx = ChainContext {
+            map: cluster.sub.map,
+            node: 0,
+            sram_size: cluster
+                .fabric
+                .device::<tca::peach2::Peach2>(cluster.sub.chips[0])
+                .params()
+                .sram_size,
+            local: vec![AddrRange::new(0, 1 << 32)],
+            engine,
+        };
+        let descs = match engine {
+            EngineKind::Pipelined => vec![Descriptor::new(drv.dma_buf, remote, 4096)],
+            EngineKind::Legacy => vec![Descriptor::new(drv.sram_addr(0), remote, 4096)],
+        };
+        rep.extend(lint_chain(&cx, &descs));
+    }
+    // Re-run the runtime-echo pass now that traffic has moved.
+    rep.extend(tca::verify::runtime_diagnostics(
+        &cluster.fabric,
+        &cluster.sub,
+    ));
+    rep
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut deny_warnings = false;
+    let mut json = false;
+    let mut only: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--all-presets" => only = None,
+            "--deny" if args.get(i + 1).map(String::as_str) == Some("warnings") => {
+                deny_warnings = true;
+                i += 1;
+            }
+            "--deny-warnings" => deny_warnings = true,
+            "--json" => json = true,
+            "--preset" => {
+                only = args.get(i + 1).cloned();
+                i += 1;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: tca-verify [--all-presets] [--preset NAME] [--deny warnings] [--json]\n\
+                     presets: {}",
+                    PRESETS
+                        .iter()
+                        .map(|p| p.name)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("tca-verify: unknown argument {other:?} (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    // No selection means everything, same as --all-presets.
+    let mut failed = false;
+    let mut matched = false;
+    for p in PRESETS {
+        if let Some(name) = &only {
+            if p.name != *name {
+                continue;
+            }
+        }
+        matched = true;
+        let rep = check_preset(p);
+        if json {
+            println!("{{\"preset\":\"{}\",\"report\":{}}}", p.name, rep.to_json());
+        } else if rep.is_clean() {
+            println!("{}: clean", p.name);
+        } else {
+            print!("{}:\n{}", p.name, rep.render());
+        }
+        if rep.fails(deny_warnings) {
+            failed = true;
+        }
+    }
+    if !matched {
+        eprintln!("tca-verify: no preset matched (try --help)");
+        return ExitCode::FAILURE;
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

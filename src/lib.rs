@@ -12,6 +12,7 @@ pub use tca_net as net;
 pub use tca_pcie as pcie;
 pub use tca_peach2 as peach2;
 pub use tca_sim as sim;
+pub use tca_verify as verify;
 
 /// Re-export of the most commonly used items.
 pub mod prelude {

@@ -110,6 +110,41 @@ fn latency_report_is_reproducible() {
 }
 
 #[test]
+fn verifier_reports_are_byte_identical() {
+    // Static lint + hazard pass over a traced run, on a deliberately broken
+    // configuration (one routing row misdirected) so the diagnostics list
+    // is non-empty: two identical runs must serialize to identical bytes.
+    let run = || {
+        let mut c = TcaClusterBuilder::new(4).build();
+        let dev = c.sub.chips[0];
+        let chip = c.fabric.device_mut::<tca::peach2::Peach2>(dev);
+        let victim = c.sub.map.node_slice(2).base();
+        let row = (0..8)
+            .find(|&i| chip.regs().routes[i].matches(victim))
+            .expect("route row for node 2's slice");
+        chip.regs_mut().routes[row].port = Some(tca::peach2::PORT_S);
+        let mut rep = c.verify();
+        c.set_span_tracing(true);
+        c.write(&MemRef::host(0, 0x4000_0000), &[0x5au8; 4096]);
+        c.memcpy_peer(
+            &MemRef::host(1, 0x5000_0000),
+            &MemRef::host(0, 0x4000_0000),
+            4096,
+        );
+        rep.extend(tca::verify::detect_hazards(
+            c.fabric.spans(),
+            &[tca::pcie::AddrRange::new(0x5800_0000, 8)],
+        ));
+        (rep.error_count(), rep.to_json(), rep.render())
+    };
+    let (errs_a, json_a, text_a) = run();
+    let (_, json_b, text_b) = run();
+    assert!(errs_a > 0, "seeded route corruption must produce errors");
+    assert_eq!(json_a, json_b, "verifier JSON diverged between runs");
+    assert_eq!(text_a, text_b, "verifier rendering diverged between runs");
+}
+
+#[test]
 fn rng_streams_are_seed_stable() {
     let mut a = tca::sim::SimRng::seed_from_u64(1234);
     let expected: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
