@@ -14,7 +14,6 @@
 //! against the Thomas-algorithm direct solution computed single-node.
 
 use tca_core::prelude::*;
-use tca_core::Collectives;
 
 /// Per-rank base addresses of the solver's vectors (host DRAM).
 const X: u64 = 0x4000_0000;
@@ -42,19 +41,19 @@ pub struct CgReport {
     pub comm_time: Dur,
 }
 
-fn read_vec(c: &TcaCluster, rank: u32, addr: u64, n: usize) -> Vec<f64> {
+fn read_vec(c: &(impl CommWorld + ?Sized), rank: u32, addr: u64, n: usize) -> Vec<f64> {
     c.read(&MemRef::host(rank, addr), n * 8)
         .chunks_exact(8)
         .map(|b| f64::from_le_bytes(b.try_into().expect("8 bytes")))
         .collect()
 }
 
-fn write_vec(c: &mut TcaCluster, rank: u32, addr: u64, v: &[f64]) {
+fn write_vec(c: &mut (impl CommWorld + ?Sized), rank: u32, addr: u64, v: &[f64]) {
     let bytes: Vec<u8> = v.iter().flat_map(|x| x.to_le_bytes()).collect();
     c.write(&MemRef::host(rank, addr), &bytes);
 }
 
-fn read_scalar(c: &TcaCluster, rank: u32, addr: u64) -> f64 {
+fn read_scalar(c: &(impl CommWorld + ?Sized), rank: u32, addr: u64) -> f64 {
     f64::from_le_bytes(
         c.read(&MemRef::host(rank, addr), 8)
             .try_into()
@@ -83,30 +82,60 @@ pub fn thomas_reference(b: &[f64]) -> Vec<f64> {
 }
 
 /// Exchanges boundary elements of the `p` vector with both neighbours
-/// (non-periodic chain decomposition) via 8-byte PIO puts.
-fn halo_exchange(c: &mut TcaCluster, n_local: usize) {
+/// (non-periodic chain decomposition) as one batch of 8-byte puts — the
+/// TCA backend fires them over the PIO window, the MPI backend as eager
+/// sends.
+fn halo_exchange(c: &mut (impl CommWorld + ?Sized), n_local: usize) {
     let ranks = c.nodes();
+    let mut puts = Vec::new();
     for rank in 0..ranks {
         // My first element goes to the left neighbour's right halo.
         if rank > 0 {
-            let v = c.read(&MemRef::host(rank, P), 8);
-            c.pio_put_nowait(rank, &MemRef::host(rank - 1, HALO_R), &v);
+            puts.push(PutSpec::new(
+                MemRef::host(rank - 1, HALO_R),
+                MemRef::host(rank, P),
+                8,
+            ));
         }
         // My last element goes to the right neighbour's left halo.
         if rank + 1 < ranks {
-            let v = c.read(&MemRef::host(rank, P + (n_local as u64 - 1) * 8), 8);
-            c.pio_put_nowait(rank, &MemRef::host(rank + 1, HALO_L), &v);
+            puts.push(PutSpec::new(
+                MemRef::host(rank + 1, HALO_L),
+                MemRef::host(rank, P + (n_local as u64 - 1) * 8),
+                8,
+            ));
         }
     }
-    c.synchronize();
+    c.put_batch(&puts);
+}
+
+/// Distributed dot product `<a, b>`: local partials, then the backend's
+/// scalar allreduce (bit-identical summation order on every backend).
+fn global_dot(
+    c: &mut (impl CommWorld + ?Sized),
+    n_local: usize,
+    a: u64,
+    b: u64,
+    comm: &mut Dur,
+) -> f64 {
+    let ranks = c.nodes() as usize;
+    for rank in 0..ranks {
+        let va = read_vec(c, rank as u32, a, n_local);
+        let vb = read_vec(c, rank as u32, b, n_local);
+        let partial: f64 = va.iter().zip(&vb).map(|(x, y)| x * y).sum();
+        c.write(&MemRef::host(rank as u32, SCALAR), &partial.to_le_bytes());
+    }
+    let t0 = c.now();
+    let total = c.allreduce_scalar_f64(SCALAR);
+    *comm += c.now().since(t0);
+    total
 }
 
 /// Runs distributed CG for the 1-D Laplacian with `n_local` unknowns per
 /// rank, to tolerance `tol` (max `max_iters` iterations).
-pub fn solve(c: &mut TcaCluster, n_local: usize, tol: f64, max_iters: usize) -> CgReport {
+pub fn solve(c: &mut impl CommWorld, n_local: usize, tol: f64, max_iters: usize) -> CgReport {
     let ranks = c.nodes() as usize;
     let n_global = ranks * n_local;
-    let mut coll = Collectives::new();
     let t_start = c.now();
     let mut comm_time = Dur::ZERO;
 
@@ -122,22 +151,7 @@ pub fn solve(c: &mut TcaCluster, n_local: usize, tol: f64, max_iters: usize) -> 
     }
 
     // rs = <r, r>
-    let global_dot =
-        |c: &mut TcaCluster, coll: &mut Collectives, a: u64, b: u64, comm: &mut Dur| {
-            let ranks = c.nodes() as usize;
-            for rank in 0..ranks {
-                let va = read_vec(c, rank as u32, a, n_local);
-                let vb = read_vec(c, rank as u32, b, n_local);
-                let partial: f64 = va.iter().zip(&vb).map(|(x, y)| x * y).sum();
-                c.write(&MemRef::host(rank as u32, SCALAR), &partial.to_le_bytes());
-            }
-            let t0 = c.now();
-            let total = coll.allreduce_scalar_f64(c, SCALAR);
-            *comm += c.now().since(t0);
-            total
-        };
-
-    let mut rs = global_dot(c, &mut coll, R, R, &mut comm_time);
+    let mut rs = global_dot(c, n_local, R, R, &mut comm_time);
     let mut iterations = 0;
 
     for _ in 0..max_iters {
@@ -172,7 +186,7 @@ pub fn solve(c: &mut TcaCluster, n_local: usize, tol: f64, max_iters: usize) -> 
             write_vec(c, rank, Q, &q);
         }
 
-        let pq = global_dot(c, &mut coll, P, Q, &mut comm_time);
+        let pq = global_dot(c, n_local, P, Q, &mut comm_time);
         let alpha = rs / pq;
 
         // x += alpha p; r -= alpha q (local vector updates).
@@ -189,7 +203,7 @@ pub fn solve(c: &mut TcaCluster, n_local: usize, tol: f64, max_iters: usize) -> 
             write_vec(c, rank, R, &r);
         }
 
-        let rs_new = global_dot(c, &mut coll, R, R, &mut comm_time);
+        let rs_new = global_dot(c, n_local, R, R, &mut comm_time);
         let beta = rs_new / rs;
         rs = rs_new;
 

@@ -7,7 +7,6 @@
 //! distributed run must match bit-for-bit.
 
 use tca_core::prelude::*;
-use tca_core::Collectives;
 
 /// One particle: position, velocity, mass.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -87,7 +86,12 @@ pub struct NbodyReport {
     pub elapsed: Dur,
 }
 
-fn write_block(c: &mut TcaCluster, rank: u32, offset_particles: usize, block: &[Particle]) {
+fn write_block(
+    c: &mut (impl CommWorld + ?Sized),
+    rank: u32,
+    offset_particles: usize,
+    block: &[Particle],
+) {
     let bytes: Vec<u8> = block
         .iter()
         .flat_map(|p| {
@@ -113,7 +117,7 @@ fn write_block(c: &mut TcaCluster, rank: u32, offset_particles: usize, block: &[
     c.write(&MemRef::host(rank, VEL), &vels);
 }
 
-fn read_gather(c: &TcaCluster, rank: u32, n: usize) -> Vec<[f64; 4]> {
+fn read_gather(c: &(impl CommWorld + ?Sized), rank: u32, n: usize) -> Vec<[f64; 4]> {
     c.read(&MemRef::host(rank, GATHER), n * 32)
         .chunks_exact(8)
         .map(|b| f64::from_le_bytes(b.try_into().expect("8 bytes")))
@@ -124,10 +128,9 @@ fn read_gather(c: &TcaCluster, rank: u32, n: usize) -> Vec<[f64; 4]> {
 }
 
 /// Runs `steps` leapfrog steps of `n_per_rank × ranks` particles.
-pub fn run(c: &mut TcaCluster, n_per_rank: usize, steps: usize, dt: f64) -> NbodyReport {
+pub fn run(c: &mut impl CommWorld, n_per_rank: usize, steps: usize, dt: f64) -> NbodyReport {
     let ranks = c.nodes() as usize;
     let n_total = ranks * n_per_rank;
-    let mut coll = Collectives::new();
 
     // Scatter: rank r owns particles [r*npr, (r+1)*npr), placed at its own
     // offset in the gather array so allgather aligns them globally.
@@ -146,7 +149,7 @@ pub fn run(c: &mut TcaCluster, n_per_rank: usize, steps: usize, dt: f64) -> Nbod
     for _ in 0..steps {
         // All-gather the position/mass blocks around the ring.
         let t0 = c.now();
-        coll.allgather(c, GATHER, block_bytes);
+        c.allgather(GATHER, block_bytes);
         comm_time += c.now().since(t0);
 
         // Local force computation + integration on the owned block.

@@ -55,7 +55,7 @@ fn unpack(bytes: &[u8]) -> Vec<f64> {
 
 /// Runs the distributed stencil on `c` and verifies against a single-node
 /// reference computed with identical arithmetic.
-pub fn run(c: &mut TcaCluster, cfg: StencilConfig) -> StencilReport {
+pub fn run(c: &mut impl CommWorld, cfg: StencilConfig) -> StencilReport {
     let ranks = c.nodes() as usize;
     let cols = cfg.cols;
     let rpn = cfg.rows_per_rank;
@@ -90,33 +90,28 @@ pub fn run(c: &mut TcaCluster, cfg: StencilConfig) -> StencilReport {
     for _ in 0..cfg.iters {
         // Halo exchange: two waves of concurrent GPU-to-GPU puts.
         let t0 = c.now();
-        let ups: Vec<TcaEvent> = (1..ranks)
+        let ups: Vec<PutSpec> = (1..ranks)
             .map(|n| {
                 halo_bytes += row_bytes;
-                c.memcpy_peer_async(
-                    &slabs[n - 1].at(row_off(rpn + 1)),
-                    &slabs[n].at(row_off(1)),
+                PutSpec::new(
+                    slabs[n - 1].at(row_off(rpn + 1)),
+                    slabs[n].at(row_off(1)),
                     row_bytes,
                 )
             })
             .collect();
-        for ev in ups {
-            c.wait(ev);
-        }
-        let downs: Vec<TcaEvent> = (0..ranks - 1)
+        c.put_batch(&ups);
+        let downs: Vec<PutSpec> = (0..ranks - 1)
             .map(|n| {
                 halo_bytes += row_bytes;
-                c.memcpy_peer_async(
-                    &slabs[n + 1].at(row_off(0)),
-                    &slabs[n].at(row_off(rpn)),
+                PutSpec::new(
+                    slabs[n + 1].at(row_off(0)),
+                    slabs[n].at(row_off(rpn)),
                     row_bytes,
                 )
             })
             .collect();
-        for ev in downs {
-            c.wait(ev);
-        }
-        c.synchronize();
+        c.put_batch(&downs);
         comm_time += c.now().since(t0);
 
         // Local smoothing (kernel stand-in) on every rank.

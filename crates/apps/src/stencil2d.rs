@@ -55,7 +55,7 @@ fn unpack(bytes: &[u8]) -> Vec<f64> {
 }
 
 /// Runs the 2-D decomposition on `c` (each node contributes GPU0 + GPU1).
-pub fn run(c: &mut TcaCluster, cfg: Stencil2dConfig) -> Stencil2dReport {
+pub fn run(c: &mut impl CommWorld, cfg: Stencil2dConfig) -> Stencil2dReport {
     let nodes = c.nodes() as usize;
     let cpg = cfg.cols_per_gpu;
     let rpn = cfg.rows_per_node;
@@ -109,7 +109,7 @@ pub fn run(c: &mut TcaCluster, cfg: Stencil2dConfig) -> Stencil2dReport {
         for (n, node_tiles) in tiles.iter().enumerate() {
             let _ = n;
             // GPU0's last owned column → GPU1's left halo column.
-            c.memcpy_peer_strided(
+            c.put_strided(
                 &node_tiles[1].at(cell(1, 0)),
                 (tile_cols * 8) as u64,
                 &node_tiles[0].at(cell(1, cpg)),
@@ -118,7 +118,7 @@ pub fn run(c: &mut TcaCluster, cfg: Stencil2dConfig) -> Stencil2dReport {
                 rpn as u64,
             );
             // GPU1's first owned column → GPU0's right halo column.
-            c.memcpy_peer_strided(
+            c.put_strided(
                 &node_tiles[0].at(cell(1, cpg + 1)),
                 (tile_cols * 8) as u64,
                 &node_tiles[1].at(cell(1, 1)),
@@ -135,14 +135,14 @@ pub fn run(c: &mut TcaCluster, cfg: Stencil2dConfig) -> Stencil2dReport {
         for n in 0..nodes {
             for g in 0..2usize {
                 if n + 1 < nodes {
-                    c.memcpy_peer(
+                    c.put(
                         &tiles[n + 1][g].at(cell(0, 0)),
                         &tiles[n][g].at(cell(rpn, 0)),
                         (tile_cols * 8) as u64,
                     );
                 }
                 if n > 0 {
-                    c.memcpy_peer(
+                    c.put(
                         &tiles[n - 1][g].at(cell(rpn + 1, 0)),
                         &tiles[n][g].at(cell(1, 0)),
                         (tile_cols * 8) as u64,

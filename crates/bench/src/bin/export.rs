@@ -1,329 +1,60 @@
 //! Exports every experiment as JSON for plotting, running the independent
 //! sweeps in parallel worker threads (each point is its own simulation, so
-//! the parallelism cannot perturb any measurement).
+//! the parallelism cannot perturb any measurement). Serialization and file
+//! handling live in the `tca-bench` library (`mini_json`, `write_json`).
 //!
 //! Usage: `cargo run --release -p tca-bench --bin export [out_dir]`
 
 use parking_lot::Mutex;
 use serde::Serialize;
-use std::io::Write;
 use std::path::Path;
+use tca_bench::{mini_json::Ser, write_json};
 
 #[derive(Serialize)]
 struct Manifest {
     experiments: Vec<&'static str>,
 }
 
-fn write_json<T: Serialize>(dir: &Path, name: &str, value: &T) {
-    let path = dir.join(format!("{name}.json"));
-    let mut f = std::fs::File::create(&path).expect("create json");
-    let body = serde_json::to_string_pretty_fallback(value);
-    f.write_all(body.as_bytes()).expect("write json");
-    println!("wrote {}", path.display());
-}
-
-// serde_json is not vendored; a tiny pretty-printer over serde's
-// serializer would be overkill, so emit via the `serde` Serialize impls
-// through a minimal hand-rolled JSON writer.
-mod mini_json {
-    use serde::ser::{self, Serialize};
-    use std::fmt::Write as _;
-
-    pub struct Ser {
-        pub out: String,
-    }
-
-    impl Ser {
-        pub fn to_string<T: Serialize>(v: &T) -> String {
-            let mut s = Ser { out: String::new() };
-            v.serialize(&mut s).expect("serialize");
-            s.out
-        }
-    }
-
-    #[derive(Debug)]
-    pub struct Err(String);
-    impl std::fmt::Display for Err {
-        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-            write!(f, "{}", self.0)
-        }
-    }
-    impl std::error::Error for Err {}
-    impl ser::Error for Err {
-        fn custom<T: std::fmt::Display>(msg: T) -> Self {
-            Err(msg.to_string())
-        }
-    }
-
-    pub struct Seq<'a> {
-        s: &'a mut Ser,
-        first: bool,
-    }
-
-    impl ser::SerializeSeq for Seq<'_> {
-        type Ok = ();
-        type Error = Err;
-        fn serialize_element<T: ?Sized + Serialize>(&mut self, v: &T) -> Result<(), Err> {
-            if !self.first {
-                self.s.out.push(',');
-            }
-            self.first = false;
-            v.serialize(&mut *self.s)
-        }
-        fn end(self) -> Result<(), Err> {
-            self.s.out.push(']');
-            Ok(())
-        }
-    }
-
-    pub struct Map<'a> {
-        s: &'a mut Ser,
-        first: bool,
-    }
-
-    impl ser::SerializeStruct for Map<'_> {
-        type Ok = ();
-        type Error = Err;
-        fn serialize_field<T: ?Sized + Serialize>(
-            &mut self,
-            key: &'static str,
-            v: &T,
-        ) -> Result<(), Err> {
-            if !self.first {
-                self.s.out.push(',');
-            }
-            self.first = false;
-            write!(self.s.out, "\"{key}\":").expect("fmt");
-            v.serialize(&mut *self.s)
-        }
-        fn end(self) -> Result<(), Err> {
-            self.s.out.push('}');
-            Ok(())
-        }
-    }
-
-    macro_rules! unsupported {
-        ($($m:ident: $t:ty),*) => {$(
-            fn $m(self, _v: $t) -> Result<(), Err> {
-                Err::custom_err()
-            }
-        )*}
-    }
-    impl Err {
-        fn custom_err() -> Result<(), Err> {
-            Result::Err(Err("unsupported JSON type in export".into()))
-        }
-    }
-
-    impl<'a> ser::Serializer for &'a mut Ser {
-        type Ok = ();
-        type Error = Err;
-        type SerializeSeq = Seq<'a>;
-        type SerializeTuple = ser::Impossible<(), Err>;
-        type SerializeTupleStruct = ser::Impossible<(), Err>;
-        type SerializeTupleVariant = ser::Impossible<(), Err>;
-        type SerializeMap = ser::Impossible<(), Err>;
-        type SerializeStruct = Map<'a>;
-        type SerializeStructVariant = ser::Impossible<(), Err>;
-
-        fn serialize_u64(self, v: u64) -> Result<(), Err> {
-            write!(self.out, "{v}").expect("fmt");
-            Ok(())
-        }
-        fn serialize_u32(self, v: u32) -> Result<(), Err> {
-            self.serialize_u64(v as u64)
-        }
-        fn serialize_f64(self, v: f64) -> Result<(), Err> {
-            if v.is_finite() {
-                write!(self.out, "{v}").expect("fmt");
-            } else {
-                self.out.push_str("null");
-            }
-            Ok(())
-        }
-        fn serialize_str(self, v: &str) -> Result<(), Err> {
-            write!(self.out, "{v:?}").expect("fmt");
-            Ok(())
-        }
-        fn serialize_seq(self, _len: Option<usize>) -> Result<Seq<'a>, Err> {
-            self.out.push('[');
-            Ok(Seq {
-                s: self,
-                first: true,
-            })
-        }
-        fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Map<'a>, Err> {
-            self.out.push('{');
-            Ok(Map {
-                s: self,
-                first: true,
-            })
-        }
-
-        unsupported!(serialize_bool: bool, serialize_i8: i8, serialize_i16: i16,
-            serialize_i32: i32, serialize_i64: i64, serialize_u8: u8,
-            serialize_u16: u16, serialize_f32: f32, serialize_char: char);
-        fn serialize_bytes(self, _v: &[u8]) -> Result<(), Err> {
-            Err::custom_err()
-        }
-        fn serialize_none(self) -> Result<(), Err> {
-            self.out.push_str("null");
-            Ok(())
-        }
-        fn serialize_some<T: ?Sized + Serialize>(self, v: &T) -> Result<(), Err> {
-            v.serialize(self)
-        }
-        fn serialize_unit(self) -> Result<(), Err> {
-            self.out.push_str("null");
-            Ok(())
-        }
-        fn serialize_unit_struct(self, _n: &'static str) -> Result<(), Err> {
-            self.serialize_unit()
-        }
-        fn serialize_unit_variant(
-            self,
-            _n: &'static str,
-            _i: u32,
-            variant: &'static str,
-        ) -> Result<(), Err> {
-            self.serialize_str(variant)
-        }
-        fn serialize_newtype_struct<T: ?Sized + Serialize>(
-            self,
-            _n: &'static str,
-            v: &T,
-        ) -> Result<(), Err> {
-            v.serialize(self)
-        }
-        fn serialize_newtype_variant<T: ?Sized + Serialize>(
-            self,
-            _n: &'static str,
-            _i: u32,
-            _variant: &'static str,
-            v: &T,
-        ) -> Result<(), Err> {
-            v.serialize(self)
-        }
-        fn serialize_tuple(self, _l: usize) -> Result<Self::SerializeTuple, Err> {
-            Result::Err(Err("tuple".into()))
-        }
-        fn serialize_tuple_struct(
-            self,
-            _n: &'static str,
-            _l: usize,
-        ) -> Result<Self::SerializeTupleStruct, Err> {
-            Result::Err(Err("tuple struct".into()))
-        }
-        fn serialize_tuple_variant(
-            self,
-            _n: &'static str,
-            _i: u32,
-            _v: &'static str,
-            _l: usize,
-        ) -> Result<Self::SerializeTupleVariant, Err> {
-            Result::Err(Err("tuple variant".into()))
-        }
-        fn serialize_map(self, _l: Option<usize>) -> Result<Self::SerializeMap, Err> {
-            Result::Err(Err("map".into()))
-        }
-        fn serialize_struct_variant(
-            self,
-            _n: &'static str,
-            _i: u32,
-            _v: &'static str,
-            _l: usize,
-        ) -> Result<Self::SerializeStructVariant, Err> {
-            Result::Err(Err("struct variant".into()))
-        }
-    }
-}
-
-// Namespacing shim so write_json reads naturally.
-#[allow(non_camel_case_types)]
-struct serde_json;
-impl serde_json {
-    fn to_string_pretty_fallback<T: Serialize>(v: &T) -> String {
-        mini_json::Ser::to_string(v)
-    }
-}
-
 fn main() {
     let out = std::env::args().nth(1).unwrap_or_else(|| "results".into());
     let dir = Path::new(&out);
-    std::fs::create_dir_all(dir).expect("create out dir");
-
-    let sizes = tca_bench::default_sizes();
-    let counts = tca_bench::default_counts();
 
     // Independent sweeps run in parallel: each point builds its own
     // simulation, so worker threads cannot interact.
     let results = Mutex::new(Vec::<(&'static str, String)>::new());
     crossbeam::scope(|scope| {
-        scope.spawn(|_| {
-            let v = tca_bench::fig7(&sizes);
-            results.lock().push(("fig7", mini_json::Ser::to_string(&v)));
-        });
-        scope.spawn(|_| {
-            let v = tca_bench::fig8(&sizes);
-            results.lock().push(("fig8", mini_json::Ser::to_string(&v)));
-        });
-        scope.spawn(|_| {
-            let v = tca_bench::fig9(&counts);
-            results.lock().push(("fig9", mini_json::Ser::to_string(&v)));
-        });
-        scope.spawn(|_| {
-            let v = tca_bench::fig12(&sizes);
-            results
-                .lock()
-                .push(("fig12", mini_json::Ser::to_string(&v)));
-        });
-        scope.spawn(|_| {
-            let v = tca_bench::latency_report();
-            results
-                .lock()
-                .push(("latency", mini_json::Ser::to_string(&v)));
-        });
-        scope.spawn(|_| {
-            let v = tca_bench::qpi_report();
-            results
-                .lock()
-                .push(("ablation_qpi", mini_json::Ser::to_string(&v)));
-        });
-        scope.spawn(|_| {
+        let sizes = tca_bench::default_sizes();
+        let counts = tca_bench::default_counts();
+        let push = |name: &'static str, body: String| results.lock().push((name, body));
+        let push = &push;
+        let sizes = &sizes;
+        scope.spawn(move |_| push("fig7", Ser::to_string(&tca_bench::fig7(sizes))));
+        scope.spawn(move |_| push("fig8", Ser::to_string(&tca_bench::fig8(sizes))));
+        scope.spawn(move |_| push("fig9", Ser::to_string(&tca_bench::fig9(&counts))));
+        scope.spawn(move |_| push("fig12", Ser::to_string(&tca_bench::fig12(sizes))));
+        scope.spawn(move |_| push("latency", Ser::to_string(&tca_bench::latency_report())));
+        scope.spawn(move |_| push("ablation_qpi", Ser::to_string(&tca_bench::qpi_report())));
+        scope.spawn(move |_| {
             let s: Vec<u64> = (10..=20).map(|p| 1u64 << p).collect();
-            let v = tca_bench::dmac_ablation(&s);
-            results
-                .lock()
-                .push(("ablation_dmac", mini_json::Ser::to_string(&v)));
+            push(
+                "ablation_dmac",
+                Ser::to_string(&tca_bench::dmac_ablation(&s)),
+            );
         });
-        scope.spawn(|_| {
+        scope.spawn(move |_| {
             let v = tca_bench::reliability_ablation(&[0, 1000, 10_000, 50_000, 100_000]);
-            results
-                .lock()
-                .push(("ablation_pearl", mini_json::Ser::to_string(&v)));
+            push("ablation_pearl", Ser::to_string(&v));
         });
-        scope.spawn(|_| {
-            let v = tca_bench::ring_hops();
-            results
-                .lock()
-                .push(("ring_hops", mini_json::Ser::to_string(&v)));
-        });
-        scope.spawn(|_| {
+        scope.spawn(move |_| push("ring_hops", Ser::to_string(&tca_bench::ring_hops())));
+        scope.spawn(move |_| {
             let s: Vec<u64> = (3..=21).step_by(2).map(|p| 1u64 << p).collect();
-            let v = tca_bench::comparison(&s);
-            results
-                .lock()
-                .push(("comparison", mini_json::Ser::to_string(&v)));
+            push("comparison", Ser::to_string(&tca_bench::comparison(&s)));
         });
-        scope.spawn(|_| {
-            let v = tca_bench::theoretical_peaks();
-            results
-                .lock()
-                .push(("peaks", mini_json::Ser::to_string(&v)));
-        });
+        scope.spawn(move |_| push("peaks", Ser::to_string(&tca_bench::theoretical_peaks())));
     })
     .expect("sweep threads");
 
+    std::fs::create_dir_all(dir).expect("create out dir");
     let mut names = Vec::new();
     for (name, body) in results.into_inner() {
         let path = dir.join(format!("{name}.json"));
@@ -332,47 +63,8 @@ fn main() {
         names.push(name);
     }
     names.sort_unstable();
-    write_json(dir, "manifest", &Manifest { experiments: names });
-    println!("export complete: {} experiments", 11);
-}
-
-#[cfg(test)]
-mod tests {
-    use super::mini_json::Ser;
-    use serde::Serialize;
-
-    #[derive(Serialize)]
-    struct Row {
-        size: u64,
-        bw: f64,
-        label: &'static str,
-    }
-
-    #[test]
-    fn serializes_structs_and_sequences() {
-        let rows = vec![
-            Row {
-                size: 64,
-                bw: 1.5e9,
-                label: "a\"b",
-            },
-            Row {
-                size: 128,
-                bw: f64::NAN,
-                label: "plain",
-            },
-        ];
-        let s = Ser::to_string(&rows);
-        assert!(s.starts_with('[') && s.ends_with(']'), "{s}");
-        assert!(s.contains("\"size\":64"), "{s}");
-        assert!(s.contains("1500000000"), "{s}");
-        assert!(s.contains("null"), "NaN must map to null: {s}");
-        assert!(s.contains("a\\\"b"), "quotes escaped: {s}");
-    }
-
-    #[test]
-    fn empty_sequence() {
-        let v: Vec<u64> = vec![];
-        assert_eq!(Ser::to_string(&v), "[]");
-    }
+    let count = names.len();
+    let path = write_json(dir, "manifest", &Manifest { experiments: names });
+    println!("wrote {}", path.display());
+    println!("export complete: {count} experiments");
 }

@@ -1,0 +1,95 @@
+//! `tca-bench` — the unified scenario runner.
+//!
+//! ```text
+//! tca-bench --list
+//! tca-bench --scenario <name> [--backend tca|mpi|mpi-gpudirect] [--json] [--jobs N]
+//! ```
+//!
+//! Each sweep point builds its own independent simulation, so `--jobs N`
+//! runs points on worker threads without perturbing any measurement; the
+//! output (table or `tca-bench-sweep/v1` JSON) is byte-identical at any
+//! job count.
+
+use std::process::ExitCode;
+use tca_bench::scenario::{find, run_sweep, scenarios, BackendKind};
+
+const USAGE: &str = "usage: tca-bench --list
+       tca-bench --scenario <name> [--backend tca|mpi|mpi-gpudirect] [--json] [--jobs N]";
+
+fn list() {
+    println!(
+        "{:<16} {:<17} {:<6} {:<22} description",
+        "scenario", "figure", "points", "backends"
+    );
+    for s in scenarios() {
+        let backends: Vec<&str> = s.backends.iter().map(|b| b.name()).collect();
+        println!(
+            "{:<16} {:<17} {:<6} {:<22} {}",
+            s.name,
+            s.figure,
+            s.points(s.backends[0]).len(),
+            backends.join(","),
+            s.description
+        );
+    }
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("tca-bench: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut scenario_name: Option<String> = None;
+    let mut backend = BackendKind::Tca;
+    let mut json = false;
+    let mut jobs = 1usize;
+    let mut do_list = false;
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list" => do_list = true,
+            "--json" => json = true,
+            "--scenario" => match args.next() {
+                Some(name) => scenario_name = Some(name),
+                None => return fail("--scenario needs a name"),
+            },
+            "--backend" => match args.next().as_deref().map(BackendKind::parse) {
+                Some(Some(b)) => backend = b,
+                _ => return fail("--backend must be tca, mpi, or mpi-gpudirect"),
+            },
+            "--jobs" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => jobs = n,
+                _ => return fail("--jobs needs a positive integer"),
+            },
+            other => return fail(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    if do_list {
+        list();
+        return ExitCode::SUCCESS;
+    }
+    let Some(name) = scenario_name else {
+        return fail("nothing to do");
+    };
+    let Some(sc) = find(&name) else {
+        return fail(&format!("unknown scenario '{name}' (see --list)"));
+    };
+    if !sc.supports(backend) {
+        return fail(&format!(
+            "scenario '{name}' does not support backend '{}'",
+            backend.name()
+        ));
+    }
+
+    let sweep = run_sweep(&sc, backend, jobs);
+    if json {
+        println!("{}", sweep.to_json());
+    } else {
+        print!("{}", sweep.render());
+    }
+    ExitCode::SUCCESS
+}

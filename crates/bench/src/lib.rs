@@ -12,7 +12,11 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod mini_json;
+pub mod scenario;
+
 use serde::Serialize;
+use std::path::{Path, PathBuf};
 use tca_device::map::TcaBlock;
 use tca_device::node::{build_dual_socket_node, NodeConfig};
 use tca_device::{Gpu, HostBridge, QpiParams};
@@ -548,45 +552,47 @@ pub struct HopRow {
     pub dma_4k_us: f64,
 }
 
+/// One point of the A4 hop sweep: a fresh 8-node ring, PIO + 4 KiB DMA to
+/// the node `hops` eastward neighbours away.
+pub fn ring_hop(hops: u32) -> HopRow {
+    let mut r = rig(8);
+    let dstn = hops; // eastward neighbours
+    let poll = 0x4800_0000u64;
+    let watch = r
+        .fabric
+        .device_mut::<HostBridge>(r.sc.nodes[dstn as usize].host)
+        .core_mut()
+        .add_watch(AddrRange::new(poll, 4));
+    let dst = r.sc.map.global_addr(dstn, TcaBlock::Host, poll);
+    let t0 = r.fabric.now();
+    let host0 = r.sc.nodes[0].host;
+    r.fabric.drive::<HostBridge, _>(host0, |h, ctx| {
+        h.core_mut().cpu_store(dst, &1u32.to_le_bytes(), ctx);
+    });
+    r.fabric.run_until_idle();
+    let pio_ns = r
+        .fabric
+        .device::<HostBridge>(r.sc.nodes[dstn as usize].host)
+        .core()
+        .watch_hits(watch)[0]
+        .since(t0)
+        .as_ns_f64();
+    let dma_dst = r.sc.map.global_addr(dstn, TcaBlock::Host, 0x4000_0000);
+    let buf = r.drivers[0].dma_buf;
+    let dma_4k_us = r.drivers[0]
+        .pipelined_remote_put(&mut r.fabric, buf, dma_dst, 4096)
+        .window
+        .as_us_f64();
+    HopRow {
+        hops,
+        pio_ns,
+        dma_4k_us,
+    }
+}
+
 /// A4: latency vs ring hop count in an 8-node ring (§III-E routing).
 pub fn ring_hops() -> Vec<HopRow> {
-    (1..=4u32)
-        .map(|hops| {
-            let mut r = rig(8);
-            let dstn = hops; // eastward neighbours
-            let poll = 0x4800_0000u64;
-            let watch = r
-                .fabric
-                .device_mut::<HostBridge>(r.sc.nodes[dstn as usize].host)
-                .core_mut()
-                .add_watch(AddrRange::new(poll, 4));
-            let dst = r.sc.map.global_addr(dstn, TcaBlock::Host, poll);
-            let t0 = r.fabric.now();
-            let host0 = r.sc.nodes[0].host;
-            r.fabric.drive::<HostBridge, _>(host0, |h, ctx| {
-                h.core_mut().cpu_store(dst, &1u32.to_le_bytes(), ctx);
-            });
-            r.fabric.run_until_idle();
-            let pio_ns = r
-                .fabric
-                .device::<HostBridge>(r.sc.nodes[dstn as usize].host)
-                .core()
-                .watch_hits(watch)[0]
-                .since(t0)
-                .as_ns_f64();
-            let dma_dst = r.sc.map.global_addr(dstn, TcaBlock::Host, 0x4000_0000);
-            let buf = r.drivers[0].dma_buf;
-            let dma_4k_us = r.drivers[0]
-                .pipelined_remote_put(&mut r.fabric, buf, dma_dst, 4096)
-                .window
-                .as_us_f64();
-            HopRow {
-                hops,
-                pio_ns,
-                dma_4k_us,
-            }
-        })
-        .collect()
+    (1..=4u32).map(ring_hop).collect()
 }
 
 /// One row of the A5 reliability ablation: cable bit errors vs remote
@@ -730,47 +736,48 @@ pub struct ScalingRow {
 /// cable carries one flow) — so the *latency* bound, not bandwidth, caps
 /// the useful sub-cluster size.
 pub fn scaling_sweep() -> Vec<ScalingRow> {
-    use tca_core::prelude::*;
-    [2u32, 4, 8, 16]
-        .into_iter()
-        .map(|n| {
-            // Diameter PIO latency.
-            let mut c = TcaClusterBuilder::new(n).build();
-            let far = n / 2;
-            let t0 = c.now();
-            c.pio_put(0, &MemRef::host(far, 0x4000_0000), &[1u8; 4]);
-            let diameter_pio_ns = c.now().since(t0).as_ns_f64();
+    [2u32, 4, 8, 16].into_iter().map(scaling_point).collect()
+}
 
-            // Simultaneous neighbour shift.
-            let len = 256u64 * 1024;
-            let mut c = TcaClusterBuilder::new(n).build();
-            for r in 0..n {
-                c.write(&MemRef::host(r, 0x4000_0000), &vec![r as u8; len as usize]);
-            }
-            let t0 = c.now();
-            let events: Vec<TcaEvent> = (0..n)
-                .map(|r| {
-                    c.memcpy_peer_async(
-                        &MemRef::host((r + 1) % n, 0x5000_0000),
-                        &MemRef::host(r, 0x4000_0000),
-                        len,
-                    )
-                })
-                .collect();
-            for ev in events {
-                c.wait(ev);
-            }
-            c.synchronize();
-            let elapsed = c.now().since(t0);
-            let agg = (n as u64 * len) as f64 / elapsed.as_s_f64();
-            ScalingRow {
-                nodes: n,
-                diameter_pio_ns,
-                shift_aggregate: agg,
-                shift_per_node: agg / n as f64,
-            }
+/// One point of the A8 scaling sweep: diameter latency and neighbour-shift
+/// bandwidth on a fresh `n`-node ring.
+pub fn scaling_point(n: u32) -> ScalingRow {
+    use tca_core::prelude::*;
+    // Diameter PIO latency.
+    let mut c = TcaClusterBuilder::new(n).build();
+    let far = n / 2;
+    let t0 = c.now();
+    c.pio_put(0, &MemRef::host(far, 0x4000_0000), &[1u8; 4]);
+    let diameter_pio_ns = c.now().since(t0).as_ns_f64();
+
+    // Simultaneous neighbour shift.
+    let len = 256u64 * 1024;
+    let mut c = TcaClusterBuilder::new(n).build();
+    for r in 0..n {
+        c.write(&MemRef::host(r, 0x4000_0000), &vec![r as u8; len as usize]);
+    }
+    let t0 = c.now();
+    let events: Vec<TcaEvent> = (0..n)
+        .map(|r| {
+            c.memcpy_peer_async(
+                &MemRef::host((r + 1) % n, 0x5000_0000),
+                &MemRef::host(r, 0x4000_0000),
+                len,
+            )
         })
-        .collect()
+        .collect();
+    for ev in events {
+        c.wait(ev);
+    }
+    c.synchronize();
+    let elapsed = c.now().since(t0);
+    let agg = (n as u64 * len) as f64 / elapsed.as_s_f64();
+    ScalingRow {
+        nodes: n,
+        diameter_pio_ns,
+        shift_aggregate: agg,
+        shift_per_node: agg / n as f64,
+    }
 }
 
 /// One row of the E0 theoretical-peak table (the §IV-A1 formula).
@@ -886,6 +893,15 @@ pub fn hazard_check() -> tca_verify::Report {
 /// Formats a bandwidth column in the paper's GB/s convention.
 pub fn gbps(x: f64) -> String {
     format!("{:8.3}", x / 1e9)
+}
+
+/// Serializes `value` with [`mini_json`] and writes it to `dir/name.json`,
+/// creating `dir` if needed. Returns the path written.
+pub fn write_json<T: Serialize>(dir: &Path, name: &str, value: &T) -> PathBuf {
+    std::fs::create_dir_all(dir).expect("create json output dir");
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, mini_json::Ser::to_string(value)).expect("write json");
+    path
 }
 
 /// Formats a byte size compactly (64B, 4KB, 1MB).

@@ -1,0 +1,266 @@
+//! Minimal `serde` JSON writer shared by the export paths.
+//!
+//! `serde_json` is not vendored; a full pretty-printer over serde's data
+//! model would be overkill for the flat row structs the bench emits, so
+//! this hand-rolled serializer covers exactly the subset they use —
+//! sequences, structs, unsigned integers, finite `f64` (NaN/∞ map to
+//! `null`), and strings. Output is deterministic: field order follows the
+//! struct declaration and numbers use Rust's shortest-round-trip display.
+
+use serde::ser::{self, Serialize};
+use std::fmt::Write as _;
+
+/// The serializer: drives a [`Serialize`] impl into [`Ser::out`].
+pub struct Ser {
+    /// The JSON text accumulated so far.
+    pub out: String,
+}
+
+impl Ser {
+    /// Serializes `v` to a JSON string.
+    pub fn to_string<T: Serialize>(v: &T) -> String {
+        let mut s = Ser { out: String::new() };
+        v.serialize(&mut s).expect("serialize");
+        s.out
+    }
+}
+
+/// Serialization error (unsupported data-model corner).
+#[derive(Debug)]
+pub struct Err(String);
+impl std::fmt::Display for Err {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+impl std::error::Error for Err {}
+impl ser::Error for Err {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Err(msg.to_string())
+    }
+}
+
+/// In-flight sequence state.
+pub struct Seq<'a> {
+    s: &'a mut Ser,
+    first: bool,
+}
+
+impl ser::SerializeSeq for Seq<'_> {
+    type Ok = ();
+    type Error = Err;
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, v: &T) -> Result<(), Err> {
+        if !self.first {
+            self.s.out.push(',');
+        }
+        self.first = false;
+        v.serialize(&mut *self.s)
+    }
+    fn end(self) -> Result<(), Err> {
+        self.s.out.push(']');
+        Ok(())
+    }
+}
+
+/// In-flight struct state.
+pub struct Map<'a> {
+    s: &'a mut Ser,
+    first: bool,
+}
+
+impl ser::SerializeStruct for Map<'_> {
+    type Ok = ();
+    type Error = Err;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        v: &T,
+    ) -> Result<(), Err> {
+        if !self.first {
+            self.s.out.push(',');
+        }
+        self.first = false;
+        write!(self.s.out, "\"{key}\":").expect("fmt");
+        v.serialize(&mut *self.s)
+    }
+    fn end(self) -> Result<(), Err> {
+        self.s.out.push('}');
+        Ok(())
+    }
+}
+
+macro_rules! unsupported {
+    ($($m:ident: $t:ty),*) => {$(
+        fn $m(self, _v: $t) -> Result<(), Err> {
+            Err::custom_err()
+        }
+    )*}
+}
+impl Err {
+    fn custom_err() -> Result<(), Err> {
+        Result::Err(Err("unsupported JSON type in export".into()))
+    }
+}
+
+impl<'a> ser::Serializer for &'a mut Ser {
+    type Ok = ();
+    type Error = Err;
+    type SerializeSeq = Seq<'a>;
+    type SerializeTuple = ser::Impossible<(), Err>;
+    type SerializeTupleStruct = ser::Impossible<(), Err>;
+    type SerializeTupleVariant = ser::Impossible<(), Err>;
+    type SerializeMap = ser::Impossible<(), Err>;
+    type SerializeStruct = Map<'a>;
+    type SerializeStructVariant = ser::Impossible<(), Err>;
+
+    fn serialize_u64(self, v: u64) -> Result<(), Err> {
+        write!(self.out, "{v}").expect("fmt");
+        Ok(())
+    }
+    fn serialize_u32(self, v: u32) -> Result<(), Err> {
+        self.serialize_u64(v as u64)
+    }
+    fn serialize_f64(self, v: f64) -> Result<(), Err> {
+        if v.is_finite() {
+            write!(self.out, "{v}").expect("fmt");
+        } else {
+            self.out.push_str("null");
+        }
+        Ok(())
+    }
+    fn serialize_str(self, v: &str) -> Result<(), Err> {
+        write!(self.out, "{v:?}").expect("fmt");
+        Ok(())
+    }
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Seq<'a>, Err> {
+        self.out.push('[');
+        Ok(Seq {
+            s: self,
+            first: true,
+        })
+    }
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Map<'a>, Err> {
+        self.out.push('{');
+        Ok(Map {
+            s: self,
+            first: true,
+        })
+    }
+
+    unsupported!(serialize_bool: bool, serialize_i8: i8, serialize_i16: i16,
+        serialize_i32: i32, serialize_i64: i64, serialize_u8: u8,
+        serialize_u16: u16, serialize_f32: f32, serialize_char: char);
+    fn serialize_bytes(self, _v: &[u8]) -> Result<(), Err> {
+        Err::custom_err()
+    }
+    fn serialize_none(self) -> Result<(), Err> {
+        self.out.push_str("null");
+        Ok(())
+    }
+    fn serialize_some<T: ?Sized + Serialize>(self, v: &T) -> Result<(), Err> {
+        v.serialize(self)
+    }
+    fn serialize_unit(self) -> Result<(), Err> {
+        self.out.push_str("null");
+        Ok(())
+    }
+    fn serialize_unit_struct(self, _n: &'static str) -> Result<(), Err> {
+        self.serialize_unit()
+    }
+    fn serialize_unit_variant(
+        self,
+        _n: &'static str,
+        _i: u32,
+        variant: &'static str,
+    ) -> Result<(), Err> {
+        self.serialize_str(variant)
+    }
+    fn serialize_newtype_struct<T: ?Sized + Serialize>(
+        self,
+        _n: &'static str,
+        v: &T,
+    ) -> Result<(), Err> {
+        v.serialize(self)
+    }
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        _n: &'static str,
+        _i: u32,
+        _variant: &'static str,
+        v: &T,
+    ) -> Result<(), Err> {
+        v.serialize(self)
+    }
+    fn serialize_tuple(self, _l: usize) -> Result<Self::SerializeTuple, Err> {
+        Result::Err(Err("tuple".into()))
+    }
+    fn serialize_tuple_struct(
+        self,
+        _n: &'static str,
+        _l: usize,
+    ) -> Result<Self::SerializeTupleStruct, Err> {
+        Result::Err(Err("tuple struct".into()))
+    }
+    fn serialize_tuple_variant(
+        self,
+        _n: &'static str,
+        _i: u32,
+        _v: &'static str,
+        _l: usize,
+    ) -> Result<Self::SerializeTupleVariant, Err> {
+        Result::Err(Err("tuple variant".into()))
+    }
+    fn serialize_map(self, _l: Option<usize>) -> Result<Self::SerializeMap, Err> {
+        Result::Err(Err("map".into()))
+    }
+    fn serialize_struct_variant(
+        self,
+        _n: &'static str,
+        _i: u32,
+        _v: &'static str,
+        _l: usize,
+    ) -> Result<Self::SerializeStructVariant, Err> {
+        Result::Err(Err("struct variant".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Ser;
+    use serde::Serialize;
+
+    #[derive(Serialize)]
+    struct Row {
+        size: u64,
+        bw: f64,
+        label: &'static str,
+    }
+
+    #[test]
+    fn serializes_structs_and_sequences() {
+        let rows = vec![
+            Row {
+                size: 64,
+                bw: 1.5e9,
+                label: "a\"b",
+            },
+            Row {
+                size: 128,
+                bw: f64::NAN,
+                label: "plain",
+            },
+        ];
+        let s = Ser::to_string(&rows);
+        assert!(s.starts_with('[') && s.ends_with(']'), "{s}");
+        assert!(s.contains("\"size\":64"), "{s}");
+        assert!(s.contains("1500000000"), "{s}");
+        assert!(s.contains("null"), "NaN must map to null: {s}");
+        assert!(s.contains("a\\\"b"), "quotes escaped: {s}");
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let v: Vec<u64> = vec![];
+        assert_eq!(Ser::to_string(&v), "[]");
+    }
+}

@@ -86,6 +86,7 @@ impl TcaClusterBuilder {
             sub,
             drivers,
             mpi,
+            coll: crate::collectives::Collectives::new(),
         }
     }
 }
@@ -101,6 +102,9 @@ pub struct TcaCluster {
     pub drivers: Vec<Peach2Driver>,
     /// The optional InfiniBand/MPI world sharing the same nodes.
     pub mpi: Option<MpiWorld>,
+    /// Persistent collectives communicator backing the [`crate::CommWorld`]
+    /// trait methods (its generation counter must survive across calls).
+    pub(crate) coll: crate::collectives::Collectives,
 }
 
 impl TcaCluster {

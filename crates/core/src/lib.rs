@@ -32,12 +32,14 @@
 pub mod api;
 pub mod cluster;
 pub mod collectives;
+pub mod comm;
 pub mod hierarchy;
 pub mod presets;
 
 pub use api::{GpuAlloc, MemRef, MemSpace, TcaEvent};
 pub use cluster::{TcaCluster, TcaClusterBuilder, Topology};
 pub use collectives::Collectives;
+pub use comm::{CommWorld, MpiBackend, MpiGpuMode, PutSpec, TcaBackend};
 pub use hierarchy::{HierarchicalCluster, Route};
 
 /// Common imports for examples and tests.
@@ -45,6 +47,7 @@ pub mod prelude {
     pub use crate::api::{GpuAlloc, MemRef, MemSpace, TcaEvent};
     pub use crate::cluster::{TcaCluster, TcaClusterBuilder, Topology};
     pub use crate::collectives::Collectives;
+    pub use crate::comm::{CommWorld, MpiBackend, MpiGpuMode, PutSpec, TcaBackend};
     pub use crate::hierarchy::{HierarchicalCluster, Route};
     pub use crate::presets;
     pub use tca_net::{IbParams, Protocol};

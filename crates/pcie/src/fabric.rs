@@ -910,7 +910,7 @@ mod tests {
         );
         assert_eq!(
             f.config_errors()[0].to_string(),
-            "send on unconnected port dev0:PortIdx(5)"
+            "send on unconnected port dev0:p5"
         );
     }
 

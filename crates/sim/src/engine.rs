@@ -49,6 +49,10 @@ impl<E> Eq for Scheduled<E> {}
 pub struct EventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
     cancelled: std::collections::HashSet<u64>,
+    /// Seqs currently in the heap and not cancelled. Bounded by `heap.len()`;
+    /// membership is what makes `cancel` exact (no tombstone leak for ids
+    /// that already fired or were never scheduled).
+    live: std::collections::HashSet<u64>,
     now: SimTime,
     next_seq: u64,
     popped: u64,
@@ -66,6 +70,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             cancelled: std::collections::HashSet::new(),
+            live: std::collections::HashSet::new(),
             now: SimTime::ZERO,
             next_seq: 0,
             popped: 0,
@@ -104,6 +109,7 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Scheduled { at, seq, payload });
+        self.live.insert(seq);
         EventId(seq)
     }
 
@@ -113,11 +119,13 @@ impl<E> EventQueue<E> {
         self.schedule_at(self.now + delay, payload)
     }
 
-    /// Cancels a previously scheduled event. Returns `true` if the event
-    /// had not yet fired (cancellation is lazy; the tombstone is dropped
-    /// when the event would have popped).
+    /// Cancels a previously scheduled event. Returns `true` only if the
+    /// event is still pending (cancellation is lazy; the tombstone is
+    /// dropped when the event would have popped). Cancelling an event that
+    /// already fired, was already cancelled, or was never scheduled returns
+    /// `false` and leaves no tombstone behind.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_seq {
+        if !self.live.remove(&id.0) {
             return false;
         }
         self.cancelled.insert(id.0)
@@ -129,6 +137,7 @@ impl<E> EventQueue<E> {
             if self.cancelled.remove(&ev.seq) {
                 continue;
             }
+            self.live.remove(&ev.seq);
             debug_assert!(ev.at >= self.now, "event queue went backwards");
             self.now = ev.at;
             self.popped += 1;
@@ -211,6 +220,30 @@ mod tests {
         let (t, e) = q.pop().unwrap();
         assert_eq!((t, e), (SimTime::from_ps(20), "b"));
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_of_fired_event_returns_false_and_leaks_nothing() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_ps(10), "a");
+        let b = q.schedule_at(SimTime::from_ps(20), "b");
+        assert_eq!(q.pop().unwrap().1, "a");
+        // `a` has already fired: cancelling it must fail and must not park
+        // a tombstone that would shadow a live event or grow forever.
+        assert!(!q.cancel(a), "cancel of fired event must return false");
+        assert!(!q.cancel(a), "repeated cancel of fired event");
+        assert!(q.cancel(b), "b is still pending");
+        assert!(!q.cancel(b), "double-cancel of same pending event");
+        assert!(q.pop().is_none());
+        // Cancel-heavy model: fire-then-cancel in a loop must not grow the
+        // tombstone set (it would previously accumulate one per iteration).
+        for i in 0..1000u64 {
+            let id = q.schedule_at(SimTime::from_ps(100 + i), "x");
+            assert!(q.pop().is_some());
+            assert!(!q.cancel(id));
+        }
+        assert!(q.cancelled.is_empty(), "no tombstones may leak");
+        assert!(q.live.is_empty());
     }
 
     #[test]

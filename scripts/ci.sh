@@ -6,8 +6,23 @@ cd "$(dirname "$0")/.."
 
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets --offline -- -D warnings
+cargo build --release --offline --workspace --bins
 cargo build --release --offline
 cargo test -q --offline
+
+# Scenario-runner smoke: the registry lists, a TCA-only sweep and a
+# backend-aware sweep both run, and the parallel runner emits the same
+# bytes at --jobs 1 and --jobs 4 (full jobs-invariance is also asserted by
+# tests/determinism.rs).
+cargo run -q --release --offline -p tca-bench --bin tca-bench -- --list > /dev/null
+one=$(cargo run -q --release --offline -p tca-bench --bin tca-bench -- \
+    --scenario put-latency --backend mpi --json --jobs 1)
+four=$(cargo run -q --release --offline -p tca-bench --bin tca-bench -- \
+    --scenario put-latency --backend mpi --json --jobs 4)
+if [[ "$one" != "$four" ]]; then
+    echo "tca-bench smoke: sweep JSON differs between --jobs 1 and --jobs 4" >&2
+    exit 1
+fi
 
 # Configuration-verifier gate: statically lint every shipped preset
 # (address windows, routing cycles, credit sufficiency, descriptor chains)

@@ -6,9 +6,34 @@ cd "$(dirname "$0")/.."
 out=${1:-results}
 mkdir -p "$out"
 
-bins=(tables fig7 fig8 fig9 fig12 latency ablation_qpi ablation_dmac \
-      ablation_pearl ring_hops comparison contention hierarchy scaling apps \
-      telemetry latency_attrib)
+# Figure/ablation sweeps run through the unified scenario runner; each
+# sweep point is an independent simulation, so --jobs parallelism cannot
+# perturb any measurement (output is byte-identical at any job count).
+scenarios=(fig7 fig8 fig9 fig12 latency ring-hops scaling contention \
+           comparison ablation-dmac ablation-qpi ablation-pearl \
+           put-latency cg stencil stencil2d nbody)
+jobs=${JOBS:-4}
+for s in "${scenarios[@]}"; do
+    echo "== $s =="
+    cargo run -q --release -p tca-bench --bin tca-bench -- \
+        --scenario "$s" --jobs "$jobs" | tee "$out/$s.txt"
+    echo
+done
+
+# Backend comparison: the application kernels again, over the MPI/IB
+# baseline paths (same numerics, different clock — the paper's §I claim).
+for s in cg stencil nbody; do
+    for backend in mpi mpi-gpudirect; do
+        echo "== $s ($backend) =="
+        cargo run -q --release -p tca-bench --bin tca-bench -- \
+            --scenario "$s" --backend "$backend" --jobs "$jobs" \
+            | tee "$out/$s-$backend.txt"
+        echo
+    done
+done
+
+# Remaining standalone reports (multi-rig or artifact-writing).
+bins=(tables hierarchy telemetry latency_attrib trace_pio)
 for b in "${bins[@]}"; do
     echo "== $b =="
     cargo run -q --release -p tca-bench --bin "$b" | tee "$out/$b.txt"

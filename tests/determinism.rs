@@ -101,6 +101,34 @@ fn figure_sweeps_are_reproducible() {
 }
 
 #[test]
+fn sweep_runner_output_is_independent_of_job_count() {
+    // The scenario runner farms points out to worker threads; every point
+    // builds its own simulation and lands in its own slot, so the rendered
+    // table and the sweep JSON must be byte-identical at any --jobs.
+    use tca_bench::scenario::{find, run_sweep, BackendKind};
+    let sc = find("ring-hops").expect("registered scenario");
+    let serial = run_sweep(&sc, BackendKind::Tca, 1);
+    let parallel = run_sweep(&sc, BackendKind::Tca, 8);
+    assert_eq!(
+        serial.to_json(),
+        parallel.to_json(),
+        "sweep JSON diverged between --jobs 1 and --jobs 8"
+    );
+    assert_eq!(serial.render(), parallel.render());
+}
+
+#[test]
+fn backend_sweeps_are_reproducible() {
+    // The MPI/IB backend must replay exactly like the TCA one: two runs of
+    // the same backend-aware scenario serialize to identical bytes.
+    use tca_bench::scenario::{find, run_sweep, BackendKind};
+    let sc = find("put-latency").expect("registered scenario");
+    let a = run_sweep(&sc, BackendKind::MpiStaged, 2);
+    let b = run_sweep(&sc, BackendKind::MpiStaged, 2);
+    assert_eq!(a.to_json(), b.to_json(), "MPI sweep diverged between runs");
+}
+
+#[test]
 fn latency_report_is_reproducible() {
     let a = tca_bench::latency_report();
     let b = tca_bench::latency_report();
