@@ -3,18 +3,30 @@
 //! ```text
 //! tca-bench --list
 //! tca-bench --scenario <name> [--backend tca|mpi|mpi-gpudirect] [--json] [--jobs N]
+//!           [--top] [--telemetry-dir <dir>]
 //! ```
 //!
 //! Each sweep point builds its own independent simulation, so `--jobs N`
 //! runs points on worker threads without perturbing any measurement; the
 //! output (table or `tca-bench-sweep/v1` JSON) is byte-identical at any
 //! job count.
+//!
+//! `--json` additionally embeds a compact `telemetry` summary on the
+//! instrumented scenarios (`pingpong`, `put-latency`); collection is
+//! time-neutral, so measurement fields never change. `--top` switches to
+//! the continuous-health report mode: an instrumented run of the
+//! scenario's representative traffic, rendered as the per-link/per-engine
+//! congestion table (`tca-health/v1` JSON with `--json`).
+//! `--telemetry-dir <dir>` writes the full health/series/trace JSON
+//! artifacts of that instrumented run into `<dir>`.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
-use tca_bench::scenario::{find, run_sweep, scenarios, BackendKind};
+use tca_bench::scenario::{find, run_sweep, scenarios, BackendKind, TelemetryMode};
 
 const USAGE: &str = "usage: tca-bench --list
-       tca-bench --scenario <name> [--backend tca|mpi|mpi-gpudirect] [--json] [--jobs N]";
+       tca-bench --scenario <name> [--backend tca|mpi|mpi-gpudirect] [--json] [--jobs N]
+                 [--top] [--telemetry-dir <dir>]";
 
 fn list() {
     println!(
@@ -47,11 +59,18 @@ fn main() -> ExitCode {
     let mut json = false;
     let mut jobs = 1usize;
     let mut do_list = false;
+    let mut top = false;
+    let mut telemetry_dir: Option<PathBuf> = None;
 
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--list" => do_list = true,
             "--json" => json = true,
+            "--top" => top = true,
+            "--telemetry-dir" => match args.next() {
+                Some(dir) => telemetry_dir = Some(PathBuf::from(dir)),
+                None => return fail("--telemetry-dir needs a directory"),
+            },
             "--scenario" => match args.next() {
                 Some(name) => scenario_name = Some(name),
                 None => return fail("--scenario needs a name"),
@@ -85,7 +104,34 @@ fn main() -> ExitCode {
         ));
     }
 
-    let sweep = run_sweep(&sc, backend, jobs);
+    // The health artifacts come from one instrumented representative run,
+    // shared between `--top` and `--telemetry-dir`.
+    let health = if top || telemetry_dir.is_some() {
+        Some(tca_bench::top_report(sc.name, backend))
+    } else {
+        None
+    };
+    if let (Some(rep), Some(dir)) = (&health, &telemetry_dir) {
+        for path in rep.write_to(dir, sc.name, backend.name()) {
+            eprintln!("tca-bench: wrote {}", path.display());
+        }
+    }
+    if top {
+        let rep = health.expect("built above");
+        if json {
+            println!("{}", rep.health_json);
+        } else {
+            print!("{}", rep.text);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let telemetry = if json {
+        TelemetryMode::Summary
+    } else {
+        TelemetryMode::Off
+    };
+    let sweep = run_sweep(&sc, backend, jobs, telemetry);
     if json {
         println!("{}", sweep.to_json());
     } else {

@@ -28,6 +28,11 @@ use tca_peach2::{
 };
 use tca_sim::{Dur, JsonValue, TraceLevel};
 
+// Percentile math lives in `tca_sim::stats` — the single source for both
+// the log₂ and the HDR (16-sub-buckets-per-octave) histograms. Re-exported
+// so bench consumers never grow a private copy.
+pub use tca_sim::{HdrHistogram, LatencyHistogram};
+
 /// Default data-size sweep of Figs. 7/8/12 (64 B – 1 MiB, doubling).
 pub fn default_sizes() -> Vec<u64> {
     (6..=20).map(|p| 1u64 << p).collect()
@@ -865,6 +870,170 @@ pub fn telemetry_report(sizes: &[u64]) -> TelemetryReport {
     }
 }
 
+/// Compact telemetry summary of a fabric run, embedded per point by
+/// `tca-bench --json` (the `telemetry` row field): peak link queue depth,
+/// worst per-link credit-stall fraction, sampler capture count, watchdog
+/// state, and span-latency percentiles from the HDR histogram. All-integer
+/// fields, so the summary is byte-stable across identical runs.
+pub fn telemetry_summary(fabric: &mut Fabric) -> JsonValue {
+    let snap = fabric.metrics_snapshot();
+    let elapsed_ps = fabric.now().as_ps().max(1);
+    let mut peak_queue = 0i64;
+    for e in &snap.entries {
+        if let tca_sim::MetricValue::Gauge { peak, .. } = e.value {
+            if e.name.starts_with("link.") && e.name.ends_with(".queue_depth") {
+                peak_queue = peak_queue.max(peak);
+            }
+        }
+    }
+    let mut max_stall_pm = 0u64;
+    for i in 0..fabric.link_count() {
+        for dir in [tca_pcie::Dir::Fwd, tca_pcie::Dir::Rev] {
+            let s = fabric.link_stats(tca_pcie::LinkId(i as u32), dir);
+            max_stall_pm = max_stall_pm.max(s.credit_stall.as_ps() * 1000 / elapsed_ps);
+        }
+    }
+    let spans = fabric.spans();
+    let mut h = HdrHistogram::new();
+    for (id, _, _, end) in spans.roots() {
+        if end.is_some() {
+            h.record(spans.root_elapsed(id).expect("completed root"));
+        }
+    }
+    let mut o = JsonValue::object();
+    o.push("peak_link_queue_depth", JsonValue::from(peak_queue));
+    o.push("max_stall_permille", JsonValue::from(max_stall_pm));
+    o.push(
+        "captures",
+        JsonValue::from(fabric.sampler().map_or(0, |s| s.captures()) as u64),
+    );
+    o.push(
+        "watchdog_fired",
+        JsonValue::from(fabric.stall_report().is_some()),
+    );
+    o.push("span_count", JsonValue::from(h.count()));
+    if h.count() > 0 {
+        o.push("span_p50_ns", JsonValue::from(h.percentile_ns(0.50)));
+        o.push("span_p99_ns", JsonValue::from(h.percentile_ns(0.99)));
+        o.push("span_max_ns", JsonValue::from(h.max_ns()));
+    }
+    o
+}
+
+/// The `tca-top` artifacts for one scenario: the rendered congestion
+/// report, its `tca-health/v1` JSON, the full `tca-series/v1` gauge
+/// time-series, and the Chrome trace (spans + counter tracks).
+#[derive(Clone, Debug)]
+pub struct TopReport {
+    /// The aligned-text health report (what `--top` prints).
+    pub text: String,
+    /// Schema `tca-health/v1` JSON.
+    pub health_json: String,
+    /// Schema `tca-series/v1` JSON (the sampled gauge time-series).
+    pub series_json: String,
+    /// Chrome trace-event JSON with `ph:"C"` counter events spliced in.
+    pub trace_json: String,
+}
+
+/// Drives a representative traffic pattern for the health report: every
+/// node puts a 64 KiB payload to its eastward neighbour, then a short
+/// flagged put westward — enough to light every ring cable in both
+/// directions and record `pio`/`dma` root spans.
+fn drive_health_traffic(c: &mut impl tca_core::CommWorld, n: u32) {
+    use tca_core::prelude::*;
+    let len = 64 * 1024u64;
+    for r in 0..n {
+        c.write(&MemRef::host(r, 0x4000_0000), &vec![r as u8; len as usize]);
+    }
+    for r in 0..n {
+        c.put(
+            &MemRef::host((r + 1) % n, 0x5000_0000),
+            &MemRef::host(r, 0x4000_0000),
+            len,
+        );
+    }
+    for r in 0..n {
+        c.put(
+            &MemRef::host((r + n - 1) % n, 0x5800_0000),
+            &MemRef::host(r, 0x4000_0000),
+            256,
+        );
+    }
+}
+
+/// Builds an instrumented world (gauge sampling, armed watchdog, span
+/// tracing), runs the representative traffic for `scenario`, and captures
+/// the continuous-health artifacts. Two nodes for the point-to-point
+/// latency scenarios, the 8-node ring otherwise (`ring-hops` &co. — the
+/// all-to-all neighbour shift of the EXPERIMENTS.md worked example).
+pub fn top_report(scenario: &str, backend: scenario::BackendKind) -> TopReport {
+    use scenario::BackendKind;
+    use tca_core::prelude::*;
+    const PERIOD: Dur = Dur::from_ns(250);
+    const WINDOW: Dur = Dur::from_us(200);
+    let two_node = matches!(
+        scenario,
+        "pingpong" | "latency" | "put-latency" | "fig7" | "fig8" | "fig9" | "fig12"
+    );
+    let n = if two_node { 2 } else { 8 };
+    let capture = |fabric: &mut Fabric, text: String, health_json: String| TopReport {
+        text,
+        health_json,
+        series_json: fabric
+            .sampler()
+            .map_or_else(|| "{}".to_string(), |s| s.to_json()),
+        trace_json: fabric.chrome_trace_json(),
+    };
+    match backend {
+        BackendKind::Tca => {
+            let mut c = TcaClusterBuilder::new(n).build();
+            c.fabric.set_span_tracing(true);
+            c.enable_sampling(PERIOD);
+            c.arm_watchdog(WINDOW);
+            drive_health_traffic(&mut c, n);
+            let (text, health_json) = (c.health_report(), c.health_report_json());
+            capture(&mut c.fabric, text, health_json)
+        }
+        BackendKind::MpiStaged | BackendKind::MpiGpuDirect => {
+            let mode = if backend == BackendKind::MpiStaged {
+                MpiGpuMode::Staged
+            } else {
+                MpiGpuMode::GpuDirect
+            };
+            let mut m = MpiBackend::new(n, mode);
+            m.fabric.set_span_tracing(true);
+            m.enable_sampling(PERIOD);
+            m.arm_watchdog(WINDOW);
+            drive_health_traffic(&mut m, n);
+            let (text, health_json) = (m.health_report(), m.health_report_json());
+            capture(&mut m.fabric, text, health_json)
+        }
+    }
+}
+
+impl TopReport {
+    /// Writes the three JSON artifacts into `dir` as
+    /// `<scenario>-<backend>.{health,series,trace}.json`, creating `dir`
+    /// if needed. Returns the paths written.
+    pub fn write_to(&self, dir: &Path, scenario: &str, backend: &str) -> Vec<PathBuf> {
+        std::fs::create_dir_all(dir).expect("create telemetry output dir");
+        let stem = format!("{scenario}-{backend}");
+        let files = [
+            ("health", &self.health_json),
+            ("series", &self.series_json),
+            ("trace", &self.trace_json),
+        ];
+        files
+            .iter()
+            .map(|(kind, body)| {
+                let path = dir.join(format!("{stem}.{kind}.json"));
+                std::fs::write(&path, body).expect("write telemetry artifact");
+                path
+            })
+            .collect()
+    }
+}
+
 /// Runs the canonical payload+flag neighbour put of the benchmarks under
 /// span tracing and feeds the recorded commit log to the `tca-verify`
 /// RDMA-hazard detector. The benchmark workloads all use this idiom, so a
@@ -1081,17 +1250,32 @@ fn dma_leg(r: &mut Rig, src: u32, dst: u32, addr: u64) -> Dur {
 /// leg are measured (they are symmetric by construction, but a routing
 /// regression would break the symmetry and show up here).
 pub fn pingpong() -> PingPong {
+    pingpong_with_telemetry(false).0
+}
+
+/// [`pingpong`] with optional continuous-health instrumentation on the
+/// shared rig: gauge sampling plus span tracing, summarized by
+/// [`telemetry_summary`]. Sampling is time-neutral, so the measured
+/// numbers are byte-identical to the uninstrumented run — the regression
+/// gate relies on this.
+pub fn pingpong_with_telemetry(instrument: bool) -> (PingPong, Option<JsonValue>) {
     let mut r = rig(2);
+    if instrument {
+        r.fabric.enable_sampling(Dur::from_ns(100));
+        r.fabric.set_span_tracing(true);
+    }
     let pio_fwd = pio_leg(&mut r, 0, 1, 0x6100);
     let pio_back = pio_leg(&mut r, 1, 0, 0x6200);
     let dma_fwd = dma_leg(&mut r, 0, 1, 0x4100_0000);
     let dma_back = dma_leg(&mut r, 1, 0, 0x4200_0000);
-    PingPong {
+    let pp = PingPong {
         pio_us: ((pio_fwd + PIO_PINGPONG_SW_TURNAROUND + pio_back) / 2).as_us_f64(),
         dma_us: ((dma_fwd + DMA_PINGPONG_SW_TURNAROUND + dma_back) / 2).as_us_f64(),
         pio_leg_ns: pio_fwd.as_ns_f64(),
         dma_leg_ns: dma_fwd.as_ns_f64(),
-    }
+    };
+    let telemetry = instrument.then(|| telemetry_summary(&mut r.fabric));
+    (pp, telemetry)
 }
 
 /// The schema-stable fabric regression report behind `BENCH_fabric.json`:

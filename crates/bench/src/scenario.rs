@@ -68,12 +68,36 @@ const ALL_BACKENDS: &[BackendKind] = &[
     BackendKind::MpiGpuDirect,
 ];
 
+/// Whether sweep points additionally collect the continuous-health
+/// telemetry summary (peak queue depths, stall fractions, span latency
+/// percentiles) into a `telemetry` sub-object of their row.
+///
+/// Telemetry collection is time-neutral — sampling and span recording
+/// never schedule events — so the measurement fields of a row are
+/// byte-identical in either mode; `Summary` only *adds* a field on the
+/// points that support it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum TelemetryMode {
+    /// Measurements only (the default; keeps rows minimal).
+    #[default]
+    Off,
+    /// Embed the compact telemetry summary per instrumented point.
+    Summary,
+}
+
+impl TelemetryMode {
+    /// Whether telemetry should be collected.
+    pub fn is_on(self) -> bool {
+        self == TelemetryMode::Summary
+    }
+}
+
 /// One independent sweep point: a label plus a closure that builds its own
 /// simulation and returns the point's JSON row (an object).
 pub struct Point {
     /// Human-readable point label (also the `label` field of the row).
     pub label: String,
-    run: Box<dyn Fn() -> JsonValue + Send + Sync>,
+    run: Box<dyn Fn(TelemetryMode) -> JsonValue + Send + Sync>,
 }
 
 impl Point {
@@ -81,6 +105,19 @@ impl Point {
     pub fn new(
         label: impl Into<String>,
         run: impl Fn() -> JsonValue + Send + Sync + 'static,
+    ) -> Point {
+        Point {
+            label: label.into(),
+            run: Box::new(move |_| run()),
+        }
+    }
+
+    /// Wraps a telemetry-aware measurement closure: the closure receives
+    /// the sweep's [`TelemetryMode`] and appends a `telemetry` sub-object
+    /// to its row when asked to.
+    pub fn instrumented(
+        label: impl Into<String>,
+        run: impl Fn(TelemetryMode) -> JsonValue + Send + Sync + 'static,
     ) -> Point {
         Point {
             label: label.into(),
@@ -141,8 +178,14 @@ pub struct Sweep {
 /// Each point builds its own fabric, so workers cannot interact; a shared
 /// atomic cursor hands out point indices and each result lands in its
 /// point's slot, making the output independent of the job count and of
-/// thread scheduling.
-pub fn run_sweep(sc: &Scenario, backend: BackendKind, jobs: usize) -> Sweep {
+/// thread scheduling. `telemetry` selects whether instrumented points
+/// embed their health summary; it never changes measurement fields.
+pub fn run_sweep(
+    sc: &Scenario,
+    backend: BackendKind,
+    jobs: usize,
+    telemetry: TelemetryMode,
+) -> Sweep {
     let points = sc.points(backend);
     let slots: Vec<Mutex<Option<JsonValue>>> = points.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
@@ -154,7 +197,7 @@ pub fn run_sweep(sc: &Scenario, backend: BackendKind, jobs: usize) -> Sweep {
                 if i >= points.len() {
                     break;
                 }
-                let row = (points[i].run)();
+                let row = (points[i].run)(telemetry);
                 *slots[i].lock() = Some(row);
             });
         }
@@ -401,6 +444,27 @@ pub fn scenarios() -> Vec<Scenario> {
             },
         },
         Scenario {
+            name: "pingpong",
+            description: "the §IV-B1 PIO and chained-DMA ping-pong half round trips",
+            figure: "§IV-B1",
+            backends: TCA_ONLY,
+            points: |_| {
+                vec![Point::instrumented("half-rtt", |tel| {
+                    let (pp, telemetry) = crate::pingpong_with_telemetry(tel.is_on());
+                    let mut o = row(vec![
+                        ("pio_us", jf(pp.pio_us)),
+                        ("dma_us", jf(pp.dma_us)),
+                        ("pio_leg_ns", jf(pp.pio_leg_ns)),
+                        ("dma_leg_ns", jf(pp.dma_leg_ns)),
+                    ]);
+                    if let Some(t) = telemetry {
+                        o.push("telemetry", t);
+                    }
+                    o
+                })]
+            },
+        },
+        Scenario {
             name: "ring-hops",
             description: "PIO and DMA latency vs ring hop count (8-node ring)",
             figure: "§III-E",
@@ -548,8 +612,12 @@ pub fn scenarios() -> Vec<Scenario> {
                 [8u64, 256, 4096, 65536]
                     .into_iter()
                     .map(move |size| {
-                        Point::new(fmt_size(size), move || {
+                        Point::instrumented(fmt_size(size), move |tel| {
                             on_backend!(kind, 2, |c| {
+                                if tel.is_on() {
+                                    c.fabric.enable_sampling(Dur::from_ns(500));
+                                    c.fabric.set_span_tracing(true);
+                                }
                                 c.write(&MemRef::host(0, 0x4000_0000), &vec![3u8; size as usize]);
                                 let host_us = c
                                     .put(
@@ -562,11 +630,15 @@ pub fn scenarios() -> Vec<Scenario> {
                                 let b = c.alloc_gpu(1, 0, size);
                                 c.write(&a.at(0), &vec![4u8; size as usize]);
                                 let gpu_us = c.put(&b.at(0), &a.at(0), size).as_us_f64();
-                                row(vec![
+                                let mut o = row(vec![
                                     ("size", JsonValue::from(size)),
                                     ("host_us", jf(host_us)),
                                     ("gpu_us", jf(gpu_us)),
-                                ])
+                                ]);
+                                if tel.is_on() {
+                                    o.push("telemetry", crate::telemetry_summary(&mut c.fabric));
+                                }
+                                o
                             })
                         })
                     })
@@ -715,8 +787,8 @@ mod tests {
     #[test]
     fn sweep_json_is_independent_of_job_count() {
         let sc = find("put-latency").expect("registered");
-        let a = run_sweep(&sc, BackendKind::Tca, 1);
-        let b = run_sweep(&sc, BackendKind::Tca, 8);
+        let a = run_sweep(&sc, BackendKind::Tca, 1, TelemetryMode::Off);
+        let b = run_sweep(&sc, BackendKind::Tca, 8, TelemetryMode::Off);
         assert_eq!(a.to_json(), b.to_json(), "jobs must not affect output");
         assert_eq!(a.render(), b.render());
         let parsed = JsonValue::parse(&a.to_json()).expect("valid JSON");
@@ -736,8 +808,8 @@ mod tests {
     #[test]
     fn backend_aware_scenarios_run_on_mpi() {
         let sc = find("put-latency").expect("registered");
-        let tca = run_sweep(&sc, BackendKind::Tca, 2);
-        let mpi = run_sweep(&sc, BackendKind::MpiStaged, 2);
+        let tca = run_sweep(&sc, BackendKind::Tca, 2, TelemetryMode::Off);
+        let mpi = run_sweep(&sc, BackendKind::MpiStaged, 2, TelemetryMode::Off);
         // Small puts: the TCA fabric must win, per the paper's Fig. 7/10.
         let first = |s: &Sweep, key: &str| {
             s.rows[0]
@@ -748,6 +820,39 @@ mod tests {
         };
         assert!(first(&tca, "host_us") < first(&mpi, "host_us"));
         assert!(first(&tca, "gpu_us") < first(&mpi, "gpu_us"));
+    }
+
+    #[test]
+    fn telemetry_summary_adds_field_without_changing_measurements() {
+        let sc = find("pingpong").expect("registered");
+        let off = run_sweep(&sc, BackendKind::Tca, 1, TelemetryMode::Off);
+        let on = run_sweep(&sc, BackendKind::Tca, 1, TelemetryMode::Summary);
+        let (row_off, row_on) = (&off.rows[0].1, &on.rows[0].1);
+        // Time-neutrality: the measured fields are identical either way.
+        for key in ["pio_us", "dma_us", "pio_leg_ns", "dma_leg_ns"] {
+            assert_eq!(row_off.get(key), row_on.get(key), "{key} shifted");
+        }
+        assert!(row_off.get("telemetry").is_none(), "off mode stays lean");
+        let t = row_on.get("telemetry").expect("summary embedded");
+        let num = |k: &str| t.get(k).and_then(|v| v.as_f64()).expect(k);
+        assert!(num("captures") > 0.0, "sampler ran: {t:?}");
+        assert!(num("span_count") > 0.0, "root spans recorded: {t:?}");
+        assert!(num("span_p50_ns") > 0.0, "{t:?}");
+        assert_eq!(t.get("watchdog_fired"), Some(&JsonValue::from(false)));
+    }
+
+    #[test]
+    fn put_latency_embeds_telemetry_on_all_backends() {
+        let sc = find("put-latency").expect("registered");
+        for backend in BackendKind::ALL {
+            let sweep = run_sweep(&sc, backend, 2, TelemetryMode::Summary);
+            for (label, row) in &sweep.rows {
+                let t = row
+                    .get("telemetry")
+                    .unwrap_or_else(|| panic!("{label} on {} lacks telemetry", backend.name()));
+                assert!(t.get("peak_link_queue_depth").is_some(), "{label}: {t:?}");
+            }
+        }
     }
 
     #[test]

@@ -242,6 +242,332 @@ impl TcaCluster {
         }
         out
     }
+
+    /// Enables periodic gauge sampling on the underlying fabric at `period`
+    /// of simulated time. Time-neutral: captures happen between events and
+    /// never schedule anything (see [`tca_pcie::Fabric::enable_sampling`]).
+    pub fn enable_sampling(&mut self, period: tca_sim::Dur) {
+        self.fabric.enable_sampling(period);
+    }
+
+    /// Arms the no-progress watchdog with `window` of simulated time (see
+    /// [`tca_pcie::Fabric::arm_watchdog`]).
+    pub fn arm_watchdog(&mut self, window: tca_sim::Dur) {
+        self.fabric.arm_watchdog(window);
+    }
+
+    /// Renders the continuous-health congestion report (`tca-top`): a
+    /// per-link utilization/stall table, per-engine occupancy gauges with
+    /// time-series means when sampling is on, and exact-integer latency
+    /// percentiles per completed root-span kind. Byte-stable across runs.
+    pub fn health_report(&mut self) -> String {
+        let snapshot = self.metrics_snapshot();
+        collect_fabric_health(&self.fabric, self.nodes(), snapshot).render()
+    }
+
+    /// The health report as JSON (schema `tca-health/v1`), for machine
+    /// consumption and the CI schema gate. Byte-stable across runs.
+    pub fn health_report_json(&mut self) -> String {
+        let snapshot = self.metrics_snapshot();
+        collect_fabric_health(&self.fabric, self.nodes(), snapshot).to_json()
+    }
+}
+
+/// Gathers everything the health report shows, as integers so both
+/// renderings are byte-stable. Shared by [`TcaCluster`] and
+/// [`crate::comm::MpiBackend`] so `--backend tca|mpi` reports compare
+/// side by side; `snapshot` must be taken from the same fabric first
+/// (backends sync their own device counters into it).
+pub(crate) fn collect_fabric_health(
+    fabric: &tca_pcie::Fabric,
+    nodes: u32,
+    snapshot: tca_sim::MetricsSnapshot,
+) -> HealthData {
+    use std::collections::BTreeMap;
+    let elapsed_ps = fabric.now().as_ps().max(1);
+    let sampler = fabric.sampler();
+    let mut links = Vec::new();
+    for i in 0..fabric.link_count() {
+        let lid = tca_pcie::LinkId(i as u32);
+        let ends = fabric.link_endpoints(lid);
+        for dir in [tca_pcie::Dir::Fwd, tca_pcie::Dir::Rev] {
+            let s = fabric.link_stats(lid, dir);
+            if s.packets == 0 && s.queued == 0 {
+                continue;
+            }
+            let (src, dst) = match dir {
+                tca_pcie::Dir::Fwd => (ends[0].0, ends[1].0),
+                tca_pcie::Dir::Rev => (ends[1].0, ends[0].0),
+            };
+            let gauge = format!("link.{i}.{dir}.queue_depth");
+            let credits_gauge = format!("link.{i}.{dir}.credits_in_use");
+            let queue_peak = match snapshot.get(&gauge) {
+                Some(tca_sim::MetricValue::Gauge { peak, .. }) => *peak,
+                _ => 0,
+            };
+            links.push(LinkHealth {
+                label: format!("{i}.{dir}"),
+                src: fabric.device_name(src).to_string(),
+                dst: fabric.device_name(dst).to_string(),
+                tlps: s.packets,
+                wire_busy_pm: s.wire_busy.as_ps() * 1000 / elapsed_ps,
+                stall_pm: s.credit_stall.as_ps() * 1000 / elapsed_ps,
+                queue_peak,
+                queue_mean: sampler.and_then(|sp| sp.mean_of(&gauge)),
+                queue_busy_pm: sampler.and_then(|sp| sp.busy_permille(&gauge)),
+                credit_busy_pm: sampler.and_then(|sp| sp.busy_permille(&credits_gauge)),
+            });
+        }
+    }
+    let mut engines = Vec::new();
+    for e in &snapshot.entries {
+        if let tca_sim::MetricValue::Gauge { current, peak } = &e.value {
+            if e.name.starts_with("link.") {
+                continue;
+            }
+            engines.push(EngineHealth {
+                name: e.name.clone(),
+                current: *current,
+                peak: *peak,
+                mean: sampler.and_then(|sp| sp.mean_of(&e.name)),
+                busy_pm: sampler.and_then(|sp| sp.busy_permille(&e.name)),
+            });
+        }
+    }
+    let spans = fabric.spans();
+    let mut latency: BTreeMap<String, tca_sim::HdrHistogram> = BTreeMap::new();
+    for (id, name, _start, end) in spans.roots() {
+        if end.is_some() {
+            latency
+                .entry(name.to_string())
+                .or_default()
+                .record(spans.root_elapsed(id).expect("completed root"));
+        }
+    }
+    HealthData {
+        nodes,
+        now: fabric.now(),
+        events: fabric.events_executed(),
+        sampling: sampler.map(|sp| (sp.period(), sp.captures())),
+        watchdog_armed: fabric.watchdog().is_some(),
+        stall: fabric.stall_report().cloned(),
+        links,
+        engines,
+        latency: latency.into_iter().collect(),
+    }
+}
+
+/// One row of the per-link congestion table.
+struct LinkHealth {
+    label: String,
+    src: String,
+    dst: String,
+    tlps: u64,
+    /// Wire occupancy as permille of elapsed simulated time.
+    wire_busy_pm: u64,
+    /// Accumulated credit-stall time as permille of elapsed time (can
+    /// exceed 1000 when several TLPs stall concurrently).
+    stall_pm: u64,
+    queue_peak: i64,
+    queue_mean: Option<i64>,
+    queue_busy_pm: Option<u64>,
+    /// Fraction of samples where at least one link credit was in use —
+    /// the sampled link-occupancy series condensed to one number.
+    credit_busy_pm: Option<u64>,
+}
+
+/// One row of the per-engine occupancy table.
+struct EngineHealth {
+    name: String,
+    current: i64,
+    peak: i64,
+    mean: Option<i64>,
+    busy_pm: Option<u64>,
+}
+
+/// Everything [`TcaCluster::health_report`] shows.
+pub(crate) struct HealthData {
+    nodes: u32,
+    now: tca_sim::SimTime,
+    events: u64,
+    sampling: Option<(tca_sim::Dur, usize)>,
+    watchdog_armed: bool,
+    stall: Option<tca_sim::StallReport>,
+    links: Vec<LinkHealth>,
+    engines: Vec<EngineHealth>,
+    latency: Vec<(String, tca_sim::HdrHistogram)>,
+}
+
+/// Formats a permille value as a percentage with one decimal.
+fn pct(pm: u64) -> String {
+    format!("{}.{}%", pm / 10, pm % 10)
+}
+
+impl HealthData {
+    pub(crate) fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "fabric health: {} nodes, {} simulated, {} events",
+            self.nodes, self.now, self.events
+        );
+        let sampling = match self.sampling {
+            Some((period, caps)) => format!("{period} period, {caps} captures"),
+            None => "off".to_string(),
+        };
+        let watchdog = if !self.watchdog_armed {
+            "not armed".to_string()
+        } else if let Some(s) = &self.stall {
+            format!("FIRED at {}", s.at)
+        } else {
+            "armed, quiet".to_string()
+        };
+        let _ = writeln!(out, "sampling: {sampling} | watchdog: {watchdog}");
+        let _ = writeln!(
+            out,
+            "links:  {:<8} {:>8} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}  route",
+            "dir", "tlps", "wire", "stall", "q-peak", "q-mean", "q-busy", "cr-busy"
+        );
+        for l in &self.links {
+            let _ = writeln!(
+                out,
+                "  {:<12} {:>8} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}  {} -> {}",
+                l.label,
+                l.tlps,
+                pct(l.wire_busy_pm),
+                pct(l.stall_pm),
+                l.queue_peak,
+                l.queue_mean.map_or("-".into(), |v| v.to_string()),
+                l.queue_busy_pm.map_or("-".into(), pct),
+                l.credit_busy_pm.map_or("-".into(), pct),
+                l.src,
+                l.dst
+            );
+        }
+        if !self.engines.is_empty() {
+            let _ = writeln!(
+                out,
+                "engines: {:<32} {:>7} {:>7} {:>7} {:>7}",
+                "gauge", "now", "peak", "mean", "busy"
+            );
+            for e in &self.engines {
+                let _ = writeln!(
+                    out,
+                    "  {:<38} {:>7} {:>7} {:>7} {:>7}",
+                    e.name,
+                    e.current,
+                    e.peak,
+                    e.mean.map_or("-".into(), |v| v.to_string()),
+                    e.busy_pm.map_or("-".into(), pct),
+                );
+            }
+        }
+        if !self.latency.is_empty() {
+            let _ = writeln!(
+                out,
+                "latency: {:<16} {:>7} {:>9} {:>9} {:>9} {:>9}  (ns)",
+                "span", "count", "p50", "p99", "p999", "max"
+            );
+            for (name, h) in &self.latency {
+                let _ = writeln!(
+                    out,
+                    "  {:<22} {:>7} {:>9} {:>9} {:>9} {:>9}",
+                    name,
+                    h.count(),
+                    h.percentile_ns(0.50),
+                    h.percentile_ns(0.99),
+                    h.percentile_ns(0.999),
+                    h.max_ns(),
+                );
+            }
+        }
+        if let Some(s) = &self.stall {
+            out.push_str(&s.render());
+        }
+        out
+    }
+
+    pub(crate) fn to_json(&self) -> String {
+        use tca_sim::JsonValue;
+        let mut root = JsonValue::object();
+        root.push("schema", JsonValue::from("tca-health/v1"));
+        root.push("nodes", JsonValue::from(self.nodes));
+        root.push("now_ns", JsonValue::from(self.now.as_ps() / 1_000));
+        root.push("events", JsonValue::from(self.events));
+        match self.sampling {
+            Some((period, caps)) => {
+                root.push(
+                    "sampling_period_ns",
+                    JsonValue::from(period.as_ps() / 1_000),
+                );
+                root.push("captures", JsonValue::from(caps as u64));
+            }
+            None => {
+                root.push("sampling_period_ns", JsonValue::Null);
+                root.push("captures", JsonValue::from(0u64));
+            }
+        }
+        root.push("watchdog_armed", JsonValue::from(self.watchdog_armed));
+        root.push("watchdog_fired", JsonValue::from(self.stall.is_some()));
+        if let Some(s) = &self.stall {
+            let mut w = JsonValue::object();
+            w.push("at_ns", JsonValue::from(s.at.as_ps() / 1_000));
+            w.push(
+                "last_progress_ns",
+                JsonValue::from(s.last_progress.as_ps() / 1_000),
+            );
+            w.push("diagnosis", JsonValue::from(s.diagnosis.clone()));
+            root.push("stall", w);
+        }
+        let mut links = JsonValue::object();
+        for l in &self.links {
+            let mut v = JsonValue::object();
+            v.push("src", JsonValue::from(l.src.clone()));
+            v.push("dst", JsonValue::from(l.dst.clone()));
+            v.push("tlps", JsonValue::from(l.tlps));
+            v.push("wire_busy_permille", JsonValue::from(l.wire_busy_pm));
+            v.push("stall_permille", JsonValue::from(l.stall_pm));
+            v.push("queue_peak", JsonValue::from(l.queue_peak));
+            if let Some(m) = l.queue_mean {
+                v.push("queue_mean", JsonValue::from(m));
+            }
+            if let Some(b) = l.queue_busy_pm {
+                v.push("queue_busy_permille", JsonValue::from(b));
+            }
+            if let Some(b) = l.credit_busy_pm {
+                v.push("credits_busy_permille", JsonValue::from(b));
+            }
+            links.push(l.label.clone(), v);
+        }
+        root.push("links", links);
+        let mut engines = JsonValue::object();
+        for e in &self.engines {
+            let mut v = JsonValue::object();
+            v.push("current", JsonValue::from(e.current));
+            v.push("peak", JsonValue::from(e.peak));
+            if let Some(m) = e.mean {
+                v.push("mean", JsonValue::from(m));
+            }
+            if let Some(b) = e.busy_pm {
+                v.push("busy_permille", JsonValue::from(b));
+            }
+            engines.push(e.name.clone(), v);
+        }
+        root.push("engines", engines);
+        let mut latency = JsonValue::object();
+        for (name, h) in &self.latency {
+            let mut v = JsonValue::object();
+            v.push("count", JsonValue::from(h.count()));
+            v.push("p50_ns", JsonValue::from(h.percentile_ns(0.50)));
+            v.push("p99_ns", JsonValue::from(h.percentile_ns(0.99)));
+            v.push("p999_ns", JsonValue::from(h.percentile_ns(0.999)));
+            v.push("max_ns", JsonValue::from(h.max_ns()));
+            latency.push(name.clone(), v);
+        }
+        root.push("latency", latency);
+        root.to_json()
+    }
 }
 
 #[cfg(test)]
@@ -280,6 +606,64 @@ mod tests {
         assert!(r.contains("2 nodes"), "{r}");
         assert!(r.contains("node 0: 1 DMA runs (1024 B)"), "{r}");
         assert!(r.contains("node 1: 0 DMA runs"), "{r}");
+    }
+
+    #[test]
+    fn health_report_shows_links_latency_and_stays_byte_stable() {
+        use crate::api::MemRef;
+        let run = || {
+            let mut c = TcaClusterBuilder::new(2).build();
+            c.enable_sampling(tca_sim::Dur::from_ns(100));
+            c.arm_watchdog(tca_sim::Dur::from_us(100));
+            c.set_span_tracing(true);
+            c.write(&MemRef::host(0, 0x4000_0000), &[1u8; 4096]);
+            for _ in 0..4 {
+                c.memcpy_peer(
+                    &MemRef::host(1, 0x5000_0000),
+                    &MemRef::host(0, 0x4000_0000),
+                    4096,
+                );
+            }
+            (c.health_report(), c.health_report_json())
+        };
+        let (text, json) = run();
+        assert!(text.contains("fabric health: 2 nodes"), "{text}");
+        assert!(text.contains("watchdog: armed, quiet"), "{text}");
+        // The DMA path crosses the inter-board cable in the fwd direction;
+        // that row must show traffic and a sampled queue mean.
+        assert!(text.contains(".fwd"), "{text}");
+        assert!(text.contains("dma"), "latency table has dma spans: {text}");
+        assert!(json.starts_with("{\"schema\":\"tca-health/v1\""), "{json}");
+        assert!(json.contains("\"watchdog_fired\":false"), "{json}");
+        assert!(json.contains("\"latency\":{\"dma\":{\"count\":4"), "{json}");
+        // Determinism: an identical run renders byte-identical reports.
+        let (text2, json2) = run();
+        assert_eq!(text, text2);
+        assert_eq!(json, json2);
+    }
+
+    #[test]
+    fn mpi_backend_health_report_compares_side_by_side() {
+        use crate::api::MemRef;
+        use crate::comm::{CommWorld, MpiBackend, MpiGpuMode};
+        let mut m = MpiBackend::new(2, MpiGpuMode::Staged);
+        m.enable_sampling(tca_sim::Dur::from_ns(100));
+        m.write(&MemRef::host(0, 0x4000_0000), &[9u8; 8192]);
+        m.put(
+            &MemRef::host(1, 0x4100_0000),
+            &MemRef::host(0, 0x4000_0000),
+            8192,
+        );
+        let snap = m.metrics_snapshot();
+        assert!(
+            snap.get("mpi.rndv_sends").is_some() || snap.get("mpi.eager_sends").is_some(),
+            "protocol counters present"
+        );
+        let text = m.health_report();
+        assert!(text.contains("fabric health: 2 nodes"), "{text}");
+        let json = m.health_report_json();
+        assert!(json.starts_with("{\"schema\":\"tca-health/v1\""), "{json}");
+        assert!(json.contains("send_q_depth"), "HCA gauges present: {json}");
     }
 
     #[test]

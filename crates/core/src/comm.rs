@@ -275,6 +275,44 @@ impl MpiBackend {
         }
     }
 
+    /// Captures a deterministic, name-sorted snapshot of every metric in
+    /// the MPI world's fabric: the `mpi.eager_sends` / `mpi.rndv_sends` /
+    /// `mpi.payload_bytes` protocol counters plus each HCA's
+    /// `*.send_q_depth` / `*.reads_in_flight` queue gauges — the same
+    /// shape [`TcaCluster::metrics_snapshot`] returns, so `--backend
+    /// tca|mpi` reports compare side by side.
+    pub fn metrics_snapshot(&mut self) -> tca_sim::MetricsSnapshot {
+        self.fabric.metrics_snapshot()
+    }
+
+    /// Enables periodic gauge sampling, exactly as
+    /// [`TcaCluster::enable_sampling`] does for the TCA backend.
+    pub fn enable_sampling(&mut self, period: Dur) {
+        self.fabric.enable_sampling(period);
+    }
+
+    /// Arms the no-progress watchdog, exactly as
+    /// [`TcaCluster::arm_watchdog`] does for the TCA backend.
+    pub fn arm_watchdog(&mut self, window: Dur) {
+        self.fabric.arm_watchdog(window);
+    }
+
+    /// The continuous-health congestion report for the MPI/IB fabric, in
+    /// the same format as [`TcaCluster::health_report`].
+    pub fn health_report(&mut self) -> String {
+        let snapshot = self.fabric.metrics_snapshot();
+        let nodes = self.world.nodes.len() as u32;
+        crate::cluster::collect_fabric_health(&self.fabric, nodes, snapshot).render()
+    }
+
+    /// The health report as JSON (schema `tca-health/v1`), in the same
+    /// format as [`TcaCluster::health_report_json`].
+    pub fn health_report_json(&mut self) -> String {
+        let snapshot = self.fabric.metrics_snapshot();
+        let nodes = self.world.nodes.len() as u32;
+        crate::cluster::collect_fabric_health(&self.fabric, nodes, snapshot).to_json()
+    }
+
     fn gpu_dev(&self, node: u32, gpu: usize) -> tca_pcie::DeviceId {
         self.world.nodes[node as usize].gpus[gpu]
     }

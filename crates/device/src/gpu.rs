@@ -294,6 +294,15 @@ impl Device for Gpu {
         let m = hub.meter(format!("{p}.write_bytes"));
         hub.meter_sync(m, self.write_meter);
     }
+
+    fn health_status(&self) -> Option<String> {
+        Some(format!(
+            "bar1 read engine {}, {} read(s) queued, {} fault(s)",
+            if self.read_busy { "busy" } else { "idle" },
+            self.read_q.len(),
+            self.faults.get(),
+        ))
+    }
 }
 
 #[cfg(test)]

@@ -22,7 +22,7 @@
 use crate::params::IbParams;
 use std::collections::HashMap;
 use tca_pcie::{Ctx, Device, DeviceId, PortIdx, ReadReassembly, TagPool, Tlp, TlpKind};
-use tca_sim::{Counter, TraceLevel};
+use tca_sim::{Counter, MetricsHub, TraceLevel};
 
 /// Bit position of the node tag in an IB wire address.
 pub const IB_NODE_SHIFT: u32 = 48;
@@ -280,6 +280,37 @@ impl Device for IbHca {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn publish_metrics(&self, hub: &mut MetricsHub) {
+        let p = &self.name;
+        // Posted work requests waiting plus the one being gathered/framed,
+        // so the gauge reads as "operations the HCA has not finished".
+        let depth =
+            self.queue.len() + usize::from(self.active.is_some()) + usize::from(self.setup_pending);
+        let g = hub.gauge(format!("{p}.send_q_depth"));
+        hub.gauge_set(g, depth as i64);
+        let c = hub.counter(format!("{p}.frames_tx"));
+        hub.counter_sync(c, self.frames_tx.get());
+        let c = hub.counter(format!("{p}.frames_rx"));
+        hub.counter_sync(c, self.frames_rx.get());
+        let g = hub.gauge(format!("{p}.reads_in_flight"));
+        hub.gauge_set(g, self.reads.len() as i64);
+    }
+
+    fn health_status(&self) -> Option<String> {
+        let state = if self.setup_pending {
+            "setting up"
+        } else if self.active.is_some() {
+            "sending"
+        } else {
+            "idle"
+        };
+        Some(format!(
+            "{state}, {} op(s) queued, {} PCIe read(s) in flight",
+            self.queue.len(),
+            self.reads.len(),
+        ))
     }
 }
 

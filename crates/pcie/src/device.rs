@@ -126,6 +126,15 @@ pub trait Device: Any {
     /// implementations must only *read* device state and *write* metrics —
     /// never schedule events — so snapshots stay time-neutral.
     fn publish_metrics(&self, _hub: &mut MetricsHub) {}
+
+    /// One-line description of the device's engine state for the stall
+    /// watchdog's diagnosis (DMA phase, queue depths, in-flight work).
+    /// `None` (the default) means the device has nothing useful to say;
+    /// idle devices should still return a line so the diagnosis shows them
+    /// as not-the-culprit. Pure read — never schedules events.
+    fn health_status(&self) -> Option<String> {
+        None
+    }
 }
 
 #[cfg(test)]

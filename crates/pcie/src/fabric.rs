@@ -24,7 +24,8 @@ use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 use tca_sim::metrics::{CounterId, GaugeId, MeterId};
 use tca_sim::{
-    Dur, EventQueue, MetricsHub, MetricsSnapshot, SimRng, SimTime, SpanStore, TraceLevel, Tracer,
+    Dur, EventQueue, MetricsHub, MetricsSnapshot, Sampler, SimRng, SimTime, SpanStore, StallReport,
+    TraceLevel, Tracer, Watchdog,
 };
 
 /// Identifier of a link within the fabric.
@@ -86,6 +87,9 @@ struct DirMetrics {
     credit_stall_ns: CounterId,
     replays: CounterId,
     queue_depth: GaugeId,
+    /// Header credits currently consumed across all three FC classes
+    /// (initial advertisement minus available), refreshed at sample time.
+    credits_in_use: GaugeId,
 }
 
 struct LinkDir {
@@ -140,6 +144,10 @@ pub struct Fabric {
     rng: SimRng,
     /// Configuration errors observed while running (packets dropped).
     config_errors: Vec<ConfigError>,
+    /// Periodic gauge recorder; `None` unless sampling is enabled.
+    sampler: Option<Sampler>,
+    /// Progress watchdog; `None` unless armed.
+    watchdog: Option<Watchdog>,
 }
 
 impl Default for Fabric {
@@ -161,6 +169,8 @@ impl Fabric {
             spans: SpanStore::new(),
             rng: SimRng::seed_from_u64(0x7ca_2013),
             config_errors: Vec::new(),
+            sampler: None,
+            watchdog: None,
         }
     }
 
@@ -183,19 +193,59 @@ impl Fabric {
     /// `name` fields, timestamps in microseconds), loadable in Perfetto or
     /// `chrome://tracing`. When span tracing is on, the causal span trees
     /// are appended as complete (`"X"`) events plus cross-device flow
-    /// (`"s"`/`"f"`) arrows in the same array.
+    /// (`"s"`/`"f"`) arrows in the same array; when sampling is enabled,
+    /// every gauge series is appended as counter (`"C"`) events so the
+    /// occupancy curves render under the spans.
     pub fn chrome_trace_json(&self) -> String {
-        let base = self.tracer.chrome_trace_json();
-        if self.spans.is_empty() {
-            return base;
+        let mut out = self.tracer.chrome_trace_json();
+        if !self.spans.is_empty() {
+            out = Self::splice_json_arrays(out, self.spans.chrome_trace_json());
         }
-        let spans = self.spans.chrome_trace_json();
-        // Both are JSON arrays; splice them into one.
-        match (base.as_str(), spans.as_str()) {
-            ("[]", _) => spans,
-            (_, "[]") => base,
-            _ => format!("{},{}", &base[..base.len() - 1], &spans[1..]),
+        if let Some(s) = &self.sampler {
+            out = Self::splice_json_arrays(out, s.chrome_counter_events_json());
         }
+        out
+    }
+
+    /// Concatenates two JSON array strings into one array.
+    fn splice_json_arrays(a: String, b: String) -> String {
+        match (a.as_str(), b.as_str()) {
+            ("[]", _) => b,
+            (_, "[]") => a,
+            _ => format!("{},{}", &a[..a.len() - 1], &b[1..]),
+        }
+    }
+
+    /// Enables periodic gauge sampling at `period` of simulated time.
+    /// Sampling is driven by the event queue (captures happen between
+    /// events, never *as* events), so it cannot shift a single timestamp;
+    /// see [`Sampler`]. Re-enabling replaces any previous series.
+    pub fn enable_sampling(&mut self, period: Dur) {
+        self.sampler = Some(Sampler::new(period));
+    }
+
+    /// The gauge time-series recorder, when sampling is enabled.
+    pub fn sampler(&self) -> Option<&Sampler> {
+        self.sampler.as_ref()
+    }
+
+    /// Arms the progress watchdog: if no DRAM commit or interrupt is
+    /// delivered for `window` of simulated time — or the event queue drains
+    /// with TLPs still blocked on credits — the watchdog captures a
+    /// [`StallReport`] diagnosing the stalled links and engines. Pure
+    /// observation: arming it never schedules events.
+    pub fn arm_watchdog(&mut self, window: Dur) {
+        self.watchdog = Some(Watchdog::new(window));
+    }
+
+    /// The armed watchdog, if any.
+    pub fn watchdog(&self) -> Option<&Watchdog> {
+        self.watchdog.as_ref()
+    }
+
+    /// The stall report, when the armed watchdog has fired.
+    pub fn stall_report(&self) -> Option<&StallReport> {
+        self.watchdog.as_ref().and_then(|w| w.report())
     }
 
     /// Enables or disables causal span tracing. Packets launched while
@@ -294,6 +344,7 @@ impl Fabric {
                     credit_stall_ns: metrics.counter(format!("{p}.credit_stall_ns")),
                     replays: metrics.counter(format!("{p}.replays")),
                     queue_depth: metrics.gauge(format!("{p}.queue_depth")),
+                    credits_in_use: metrics.gauge(format!("{p}.credits_in_use")),
                 },
             }
         };
@@ -303,6 +354,11 @@ impl Fabric {
             dirs: [mk_dir(Dir::Fwd), mk_dir(Dir::Rev)],
         });
         LinkId(id)
+    }
+
+    /// The registered name of a device (report/diagnosis convenience).
+    pub fn device_name(&self, id: DeviceId) -> &str {
+        self.devices[id.0 as usize].name()
     }
 
     /// Immutable typed access to a device.
@@ -394,8 +450,12 @@ impl Fabric {
     }
 
     /// Executes events until the queue drains; returns the final time.
+    /// With the watchdog armed, a drain that leaves TLPs blocked on credits
+    /// (a permanently starved link — nothing left to pump them) fires the
+    /// watchdog with a diagnosis instead of returning silently.
     pub fn run_until_idle(&mut self) -> SimTime {
         while self.step() {}
+        self.check_drained_stall();
         self.queue.now()
     }
 
@@ -411,6 +471,7 @@ impl Fabric {
 
     /// Executes one event. Returns `false` when the queue is idle.
     pub fn step(&mut self) -> bool {
+        self.sample_pending();
         let Some((_, ev)) = self.queue.pop() else {
             return false;
         };
@@ -430,7 +491,138 @@ impl Fabric {
                 self.pump_link(link, dir);
             }
         }
+        self.check_watchdog();
         true
+    }
+
+    /// Takes every sample due strictly before the next queued event. The
+    /// gap between events is already decided when this runs, so capturing
+    /// inside it is invisible to the simulation: no event is scheduled and
+    /// `now` does not move (captures are timestamped on the sample grid).
+    fn sample_pending(&mut self) {
+        let Some(mut sampler) = self.sampler.take() else {
+            return;
+        };
+        if let Some(next_event) = self.queue.peek_time() {
+            while sampler.due_before(next_event) {
+                let at = sampler.next_due();
+                self.refresh_live_gauges();
+                for dev in &self.devices {
+                    dev.publish_metrics(&mut self.metrics);
+                }
+                sampler.capture(at, &self.metrics);
+            }
+        }
+        self.sampler = Some(sampler);
+    }
+
+    /// Re-publishes the gauges whose live value only the fabric knows:
+    /// queued-TLP depth and consumed header credits per link direction.
+    fn refresh_live_gauges(&mut self) {
+        for l in &self.links {
+            let advertised = CreditState::from_params(&l.params);
+            for d in &l.dirs {
+                self.metrics
+                    .gauge_set(d.m.queue_depth, (d.reqq.len() + d.cplq.len()) as i64);
+                let in_use = advertised.posted_hdr.saturating_sub(d.credits.posted_hdr)
+                    + advertised
+                        .nonposted_hdr
+                        .saturating_sub(d.credits.nonposted_hdr)
+                    + advertised
+                        .completion_hdr
+                        .saturating_sub(d.credits.completion_hdr);
+                self.metrics.gauge_set(d.m.credits_in_use, in_use as i64);
+            }
+        }
+    }
+
+    /// Fires the watchdog when the no-progress window has elapsed.
+    fn check_watchdog(&mut self) {
+        let now = self.queue.now();
+        if matches!(&self.watchdog, Some(w) if w.expired(now)) {
+            let diagnosis = self.stall_diagnosis();
+            if let Some(w) = &mut self.watchdog {
+                w.fire(now, diagnosis);
+            }
+        }
+    }
+
+    /// Fires the watchdog when the queue drained with TLPs still blocked.
+    fn check_drained_stall(&mut self) {
+        let armed_quiet = matches!(&self.watchdog, Some(w) if w.report().is_none());
+        if !armed_quiet {
+            return;
+        }
+        let stuck = self.links.iter().any(|l| {
+            l.dirs
+                .iter()
+                .any(|d| !d.reqq.is_empty() || !d.cplq.is_empty())
+        });
+        if stuck {
+            let now = self.queue.now();
+            let diagnosis = self.stall_diagnosis();
+            if let Some(w) = &mut self.watchdog {
+                w.fire(now, diagnosis);
+            }
+        }
+    }
+
+    /// Renders what is known about the stall: every link direction with
+    /// blocked TLPs and its credit state, the oldest in-flight span, and
+    /// each device's self-reported engine state.
+    fn stall_diagnosis(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, l) in self.links.iter().enumerate() {
+            let advertised = CreditState::from_params(&l.params);
+            for dir in [Dir::Fwd, Dir::Rev] {
+                let d = &l.dirs[dir.index()];
+                let queued = d.reqq.len() + d.cplq.len();
+                if queued == 0 {
+                    continue;
+                }
+                let src = l.ends[dir.index()].0;
+                let dst = l.ends[dir.flip().index()].0;
+                let c = &d.credits;
+                writeln!(
+                    out,
+                    "  link {i}.{dir} {} -> {}: {queued} TLP(s) blocked on credits \
+                     (hdr avail P/NP/C {}/{}/{} of {}/{}/{}, data avail P/C {}/{} of {}/{})",
+                    self.devices[src.0 as usize].name(),
+                    self.devices[dst.0 as usize].name(),
+                    c.posted_hdr,
+                    c.nonposted_hdr,
+                    c.completion_hdr,
+                    advertised.posted_hdr,
+                    advertised.nonposted_hdr,
+                    advertised.completion_hdr,
+                    c.posted_data,
+                    c.completion_data,
+                    advertised.posted_data,
+                    advertised.completion_data,
+                )
+                .expect("write to String");
+            }
+        }
+        let oldest_open = self
+            .spans
+            .roots()
+            .into_iter()
+            .filter(|&(_, _, _, end)| end.is_none())
+            .min_by_key(|&(_, _, start, _)| start);
+        if let Some((_, name, start, _)) = oldest_open {
+            writeln!(out, "  oldest in-flight span: `{name}` open since {start}")
+                .expect("write to String");
+        }
+        for dev in &self.devices {
+            if let Some(status) = dev.health_status() {
+                writeln!(out, "  {}: {status}", dev.name()).expect("write to String");
+            }
+        }
+        if out.is_empty() {
+            out.push_str("  (no blocked link queues; all devices silent)\n");
+        }
+        out
     }
 
     fn deliver(&mut self, link: u32, dir: Dir, tlp: Tlp) {
@@ -439,6 +631,13 @@ impl Fabric {
         let class = tlp.fc_class();
         let data = tlp.data_credits();
         let credit_delay = l.params.credit_return_delay;
+        // Delivered writes (memory commits) and MSIs (interrupts) are the
+        // forward-progress signals the watchdog waits for.
+        if let Some(w) = &mut self.watchdog {
+            if matches!(tlp.kind, TlpKind::MemWrite { .. } | TlpKind::Msi { .. }) {
+                w.progress(self.queue.now());
+            }
+        }
         self.tracer.emit(TraceLevel::Packet, self.queue.now(), || {
             format!("deliver {tlp:?} -> dev{}:{port:?}", dst.0)
         });
@@ -1163,5 +1362,160 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    /// A receiver that takes the credit hold of every delivery and never
+    /// releases it — models a sink whose internal buffer never drains, the
+    /// deliberate credit-starvation case for watchdog tests.
+    struct Hoarder {
+        #[allow(dead_code)]
+        id: DeviceId,
+        holds: Vec<CreditHold>,
+    }
+    impl Device for Hoarder {
+        fn on_tlp(&mut self, _port: PortIdx, _tlp: Tlp, ctx: &mut Ctx<'_>) {
+            self.holds.push(ctx.hold_credits());
+        }
+        fn on_timer(&mut self, _tag: u64, _ctx: &mut Ctx<'_>) {}
+        fn name(&self) -> &str {
+            "hoarder"
+        }
+        fn health_status(&self) -> Option<String> {
+            Some(format!("{} credit hold(s) outstanding", self.holds.len()))
+        }
+    }
+
+    #[test]
+    fn watchdog_diagnoses_credit_starved_link() {
+        let mut f = Fabric::new();
+        let req = f.add_device(|id| Requester { id, got: vec![] });
+        let sink = f.add_device(|id| Hoarder { id, holds: vec![] });
+        let mut p = LinkParams::gen2_x8().with_latency(Dur::from_ns(10));
+        p.posted_hdr_credits = 1;
+        f.connect((req, PortIdx(0)), (sink, PortIdx(0)), p);
+        f.arm_watchdog(Dur::from_us(100));
+        f.drive::<Requester, _>(req, |_, ctx| {
+            for i in 0..3u64 {
+                ctx.send(PortIdx(0), Tlp::write(i * 256, vec![1u8; 256]));
+            }
+        });
+        // The first write consumes the only posted header credit and is
+        // delivered; the hoarder keeps the hold, so the credit never
+        // returns and the queue drains with two writes still blocked.
+        f.run_until_idle();
+        let report = f.stall_report().expect("watchdog must fire");
+        let rendered = report.render();
+        assert!(rendered.contains("WATCHDOG"), "{rendered}");
+        assert!(
+            report.diagnosis.contains("link 0.fwd"),
+            "diagnosis names the starved link: {}",
+            report.diagnosis
+        );
+        assert!(
+            report.diagnosis.contains("2 TLP(s) blocked on credits"),
+            "{}",
+            report.diagnosis
+        );
+        assert!(
+            report
+                .diagnosis
+                .contains("hoarder: 1 credit hold(s) outstanding"),
+            "diagnosis names the stalled engine: {}",
+            report.diagnosis
+        );
+    }
+
+    #[test]
+    fn watchdog_stays_quiet_on_healthy_run() {
+        let (mut f, req, _mem) = pair();
+        f.arm_watchdog(Dur::from_us(100));
+        f.drive::<Requester, _>(req, |_, ctx| {
+            for i in 0..10u64 {
+                ctx.send(PortIdx(0), Tlp::write(i * 256, vec![0u8; 256]));
+            }
+        });
+        f.run_until_idle();
+        assert!(f.stall_report().is_none());
+    }
+
+    #[test]
+    fn watchdog_fires_on_progress_free_event_churn() {
+        // Livelock shape: timers keep firing but no write/MSI ever lands.
+        struct Spinner {
+            #[allow(dead_code)]
+            id: DeviceId,
+        }
+        impl Device for Spinner {
+            fn on_tlp(&mut self, _p: PortIdx, _t: Tlp, _c: &mut Ctx<'_>) {}
+            fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_>) {
+                ctx.timer_in(Dur::from_ns(50), tag);
+            }
+            fn name(&self) -> &str {
+                "spinner"
+            }
+        }
+        let mut f = Fabric::new();
+        let s = f.add_device(|id| Spinner { id });
+        f.arm_watchdog(Dur::from_us(2));
+        f.schedule_timer(s, Dur::from_ns(50), 0);
+        f.run_until(SimTime::from_ps(10_000_000)); // 10 µs of churn
+        let report = f.stall_report().expect("no progress for 10 µs");
+        assert!(report.at <= SimTime::from_ps(10_000_000));
+        assert_eq!(report.last_progress, SimTime::ZERO);
+        assert!(
+            report.diagnosis.contains("all devices silent"),
+            "{}",
+            report.diagnosis
+        );
+    }
+
+    #[test]
+    fn sampling_records_series_without_shifting_time() {
+        let run = |sample: bool| {
+            let mut f = Fabric::new();
+            let req = f.add_device(|id| Requester { id, got: vec![] });
+            let mem = f.add_device(TestMem::new);
+            let mut p = LinkParams::gen2_x8().with_latency(Dur::from_ns(10));
+            p.posted_hdr_credits = 2;
+            p.posted_data_credits = 32;
+            f.connect((req, PortIdx(0)), (mem, PortIdx(0)), p);
+            if sample {
+                f.enable_sampling(Dur::from_ns(50));
+                f.arm_watchdog(Dur::from_ms(1));
+            }
+            f.drive::<Requester, _>(req, |_, ctx| {
+                for i in 0..20u64 {
+                    ctx.send(PortIdx(0), Tlp::write(i * 256, vec![1u8; 256]));
+                }
+            });
+            let end = f.run_until_idle();
+            (end, f.events_executed(), f)
+        };
+        let (t_plain, ev_plain, _) = run(false);
+        let (t_sampled, ev_sampled, f) = run(true);
+        assert_eq!(t_plain, t_sampled, "sampling must not move time");
+        assert_eq!(ev_plain, ev_sampled, "sampling must not add events");
+        assert!(f.stall_report().is_none());
+        let sampler = f.sampler().expect("enabled");
+        assert!(sampler.captures() > 5, "got {}", sampler.captures());
+        let depth = sampler
+            .series_by_name("link.0.fwd.queue_depth")
+            .expect("series recorded");
+        assert!(
+            depth.samples.iter().any(|&(_, v)| v > 0),
+            "credit-limited run must show nonzero queue occupancy"
+        );
+        let credits = sampler
+            .series_by_name("link.0.fwd.credits_in_use")
+            .expect("series recorded");
+        assert!(credits.samples.iter().any(|&(_, v)| v > 0));
+        // Counter events land in the Chrome trace.
+        assert!(f.chrome_trace_json().contains("\"ph\":\"C\""));
+        // Identical runs produce byte-identical series JSON.
+        let (_, _, f2) = run(true);
+        assert_eq!(
+            f.sampler().unwrap().to_json(),
+            f2.sampler().unwrap().to_json()
+        );
     }
 }

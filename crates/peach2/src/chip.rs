@@ -913,6 +913,22 @@ impl Device for Peach2 {
             let c = hub.counter(format!("{p}.port.{port}.egress"));
             hub.counter_sync(c, pc.egress);
         }
+        // Live engine state, refreshed on every publish so the sampler's
+        // periodic captures see descriptor-queue backpressure as it happens.
+        let g = hub.gauge(format!("{p}.dma.read_q_depth"));
+        hub.gauge_set(g, self.dma.read_q.len() as i64);
+        let g = hub.gauge(format!("{p}.dma.engine_active"));
+        hub.gauge_set(g, (self.dma.phase != Phase::Idle) as i64);
+    }
+
+    fn health_status(&self) -> Option<String> {
+        Some(format!(
+            "dma {:?}, {} read chunk(s) queued, {} data read(s) in flight, {} forward(s) pending",
+            self.dma.phase,
+            self.dma.read_q.len(),
+            self.dma.data_reads.len(),
+            self.pending_fwd.iter().filter(|s| s.is_some()).count(),
+        ))
     }
 }
 

@@ -38,6 +38,7 @@ pub mod engine;
 pub mod json;
 pub mod metrics;
 pub mod rng;
+pub mod sampler;
 pub mod span;
 pub mod stats;
 pub mod time;
@@ -49,7 +50,8 @@ pub use metrics::{
     CounterId, GaugeId, HistogramId, MeterId, MetricValue, MetricsHub, MetricsSnapshot,
 };
 pub use rng::SimRng;
+pub use sampler::{GaugeSeries, Sampler, StallReport, Watchdog};
 pub use span::{SpanId, SpanStore, TraceCtx, WriteRec};
-pub use stats::{fmt_gbps, BandwidthMeter, Counter, LatencyHistogram, OnlineStats};
+pub use stats::{fmt_gbps, BandwidthMeter, Counter, HdrHistogram, LatencyHistogram, OnlineStats};
 pub use time::{Dur, SimTime};
 pub use trace::{TraceEvent, TraceKind, TraceLevel, Tracer};

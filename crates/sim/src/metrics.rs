@@ -249,6 +249,16 @@ impl MetricsHub {
         }
     }
 
+    /// Iterates every registered gauge as `(name, current, peak)` in
+    /// registration order. This is the [`crate::sampler::Sampler`]'s read
+    /// path: it captures all gauge levels at one simulated instant without
+    /// paying for a full name-sorted [`MetricsHub::snapshot`].
+    pub fn gauges_iter(&self) -> impl Iterator<Item = (&str, i64, i64)> {
+        self.gauges
+            .iter()
+            .map(|(name, g)| (name.as_str(), g.current, g.peak))
+    }
+
     /// Takes a deterministic point-in-time snapshot, sorted by name.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut entries: Vec<MetricEntry> = Vec::with_capacity(self.index.len());

@@ -238,6 +238,157 @@ impl fmt::Display for LatencyHistogram {
     }
 }
 
+/// Sub-buckets per power-of-two octave in an [`HdrHistogram`]: 16, giving a
+/// worst-case relative quantization error of 1/16 (6.25 %).
+const HDR_SUBS: usize = 16;
+/// Bucket count: values `0..16` get one exact bucket each, then 60 octaves
+/// (`msb` 4..=63) of 16 sub-buckets.
+const HDR_BUCKETS: usize = HDR_SUBS + 60 * HDR_SUBS;
+
+/// Log-linear (HDR-style) latency histogram with *exact integer* bucket
+/// bounds, recorded at nanosecond granularity.
+///
+/// Unlike [`LatencyHistogram`] (one bucket per power of two, float
+/// percentiles), this keeps 16 sub-buckets per octave so percentiles are
+/// accurate to within 1/16 relative error, and every reported value is an
+/// integer number of nanoseconds — byte-stable across platforms, which is
+/// what the health report and its CI schema gate need. p50/p99/p999 are
+/// derivable without storing individual samples.
+#[derive(Clone)]
+pub struct HdrHistogram {
+    buckets: Box<[u64; HDR_BUCKETS]>,
+    count: u64,
+    sum_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for HdrHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for HdrHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HdrHistogram")
+            .field("count", &self.count)
+            .field("min_ns", &self.min_ns)
+            .field("max_ns", &self.max_ns)
+            .finish()
+    }
+}
+
+/// Maps a nanosecond value to its bucket index.
+fn hdr_index(ns: u64) -> usize {
+    if ns < HDR_SUBS as u64 {
+        return ns as usize;
+    }
+    let msb = 63 - ns.leading_zeros() as usize; // >= 4 here
+    let shift = msb - 4;
+    let sub = ((ns >> shift) & 0xf) as usize;
+    HDR_SUBS + (msb - 4) * HDR_SUBS + sub
+}
+
+/// Exact upper bound (inclusive, in ns) of bucket `i` — the value every
+/// percentile query reports for samples landing in that bucket.
+fn hdr_upper_bound(i: usize) -> u64 {
+    if i < HDR_SUBS {
+        return i as u64;
+    }
+    let msb = 4 + (i - HDR_SUBS) / HDR_SUBS;
+    let sub = ((i - HDR_SUBS) % HDR_SUBS) as u64;
+    let shift = (msb - 4) as u32;
+    let lower = (HDR_SUBS as u64 + sub) << shift;
+    lower + (1u64 << shift) - 1
+}
+
+impl HdrHistogram {
+    /// New empty histogram.
+    pub fn new() -> Self {
+        HdrHistogram {
+            buckets: Box::new([0; HDR_BUCKETS]),
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    /// Records one latency sample (truncated to whole nanoseconds).
+    pub fn record(&mut self, d: Dur) {
+        self.record_ns(d.as_ps() / 1_000);
+    }
+
+    /// Records one sample given directly in nanoseconds.
+    pub fn record_ns(&mut self, ns: u64) {
+        self.buckets[hdr_index(ns)] += 1;
+        self.count += 1;
+        self.sum_ns += ns;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Sample count.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest sample in ns (exact; 0 when empty).
+    pub fn min_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min_ns
+        }
+    }
+
+    /// Largest sample in ns (exact; 0 when empty).
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Mean in ns, rounded down (exact integer arithmetic; 0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Percentile `q` in `[0, 1]` as the exact integer upper bound of the
+    /// bucket holding the target sample, clamped to the observed max so
+    /// `percentile_ns(1.0) == max_ns()` when the max is a bucket bound.
+    /// Empty histograms report 0. `q` outside `[0, 1]` (including NaN) is
+    /// clamped.
+    pub fn percentile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0)) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return hdr_upper_bound(i).min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+}
+
+impl fmt::Display for HdrHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={}ns p50≤{}ns p99≤{}ns p999≤{}ns max={}ns",
+            self.count(),
+            self.mean_ns(),
+            self.percentile_ns(0.50),
+            self.percentile_ns(0.99),
+            self.percentile_ns(0.999),
+            self.max_ns(),
+        )
+    }
+}
+
 /// Formats a throughput in the unit convention the paper uses (Gbytes/sec,
 /// decimal giga).
 pub fn fmt_gbps(bytes_per_sec: f64) -> String {
@@ -372,5 +523,105 @@ mod tests {
     #[test]
     fn fmt_gbps_matches_paper_convention() {
         assert_eq!(fmt_gbps(3.66e9), "3.660 GB/s");
+    }
+
+    #[test]
+    fn hdr_small_values_are_exact() {
+        // Values below 16 ns each get their own bucket.
+        let mut h = HdrHistogram::new();
+        for ns in 0..16u64 {
+            h.record_ns(ns);
+        }
+        assert_eq!(h.count(), 16);
+        assert_eq!(h.min_ns(), 0);
+        assert_eq!(h.max_ns(), 15);
+        assert_eq!(h.percentile_ns(0.0), 0);
+        assert_eq!(h.percentile_ns(0.5), 7);
+        assert_eq!(h.percentile_ns(1.0), 15);
+    }
+
+    #[test]
+    fn hdr_bucket_bounds_are_exact_integers_with_bounded_error() {
+        // Every value lands in a bucket whose inclusive bounds contain it,
+        // and the quantization error is at most 1/16 of the value.
+        for v in (1..10_000_000u64).step_by(997).chain([
+            1,
+            15,
+            16,
+            17,
+            255,
+            256,
+            4095,
+            4096,
+            u64::MAX >> 1,
+        ]) {
+            let i = hdr_index(v);
+            let upper = hdr_upper_bound(i);
+            assert!(upper >= v, "upper bound {upper} below value {v}");
+            assert!(
+                upper - v <= v / 16,
+                "bucket error {} too large for {v}",
+                upper - v
+            );
+            if i > 0 {
+                assert!(hdr_upper_bound(i - 1) < v, "value {v} fits earlier bucket");
+            }
+        }
+    }
+
+    #[test]
+    fn hdr_percentiles_on_mixed_distribution() {
+        let mut h = HdrHistogram::new();
+        for _ in 0..90 {
+            h.record(Dur::from_ns(100));
+        }
+        for _ in 0..10 {
+            h.record(Dur::from_ns(10_000));
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.mean_ns(), 1090);
+        // 100 ns: msb 6, sub 9 → bucket [100, 103].
+        assert_eq!(h.percentile_ns(0.50), 103);
+        assert_eq!(h.percentile_ns(0.90), 103);
+        // 10 000 ns: bucket [9728, 10239], clamped to the observed max.
+        assert_eq!(h.percentile_ns(0.99), 10_000);
+        assert_eq!(h.percentile_ns(0.999), 10_000);
+        assert_eq!(h.max_ns(), 10_000);
+    }
+
+    #[test]
+    fn hdr_empty_and_clamped_q() {
+        let h = HdrHistogram::new();
+        assert_eq!(h.percentile_ns(0.5), 0);
+        assert_eq!(h.mean_ns(), 0);
+        assert_eq!(h.min_ns(), 0);
+        let mut h = HdrHistogram::new();
+        h.record_ns(500);
+        assert_eq!(h.percentile_ns(-1.0), h.percentile_ns(0.0));
+        assert_eq!(h.percentile_ns(7.0), h.percentile_ns(1.0));
+        assert_eq!(h.percentile_ns(f64::NAN), h.percentile_ns(0.0));
+    }
+
+    #[test]
+    fn hdr_agrees_with_log2_histogram_on_exact_samples() {
+        // When every sample is identical, the HDR percentile is the exact
+        // sample value (bucket bound clamped to the max), while the coarse
+        // log₂ histogram reports the next power-of-two upper bound. The HDR
+        // answer must never exceed the log₂ bound.
+        for ns in [1u64, 100, 128, 1_000, 4_096, 65_535] {
+            let mut hdr = HdrHistogram::new();
+            let mut log2 = LatencyHistogram::new();
+            for _ in 0..10 {
+                hdr.record(Dur::from_ns(ns));
+                log2.record(Dur::from_ns(ns));
+            }
+            for q in [0.0, 0.5, 0.99, 1.0] {
+                assert_eq!(hdr.percentile_ns(q), ns, "exact sample at q={q}");
+                assert!(
+                    (hdr.percentile_ns(q) as f64) <= log2.percentile_ns(q),
+                    "HDR bound above log2 bound for {ns} ns"
+                );
+            }
+        }
     }
 }

@@ -24,6 +24,24 @@ if [[ "$one" != "$four" ]]; then
     exit 1
 fi
 
+# Fabric-health smoke: run the tca-top report with the stall watchdog
+# armed. A healthy ping-pong must never trip the watchdog, and the report
+# schema is pinned — drift here breaks downstream dashboard consumers.
+top=$(cargo run -q --release --offline -p tca-bench --bin tca-bench -- \
+    --scenario pingpong --top --json)
+if [[ "$top" != '{"schema":"tca-health/v1"'* ]]; then
+    echo "tca-top smoke: health report schema drifted" >&2
+    exit 1
+fi
+if [[ "$top" != *'"watchdog_armed":true'* || "$top" == *'"watchdog_fired":true'* ]]; then
+    echo "tca-top smoke: stall watchdog fired on a healthy ping-pong" >&2
+    exit 1
+fi
+if [[ "$top" != *'"links":{'* || "$top" != *'"latency":{'* ]]; then
+    echo "tca-top smoke: health report is missing link or latency sections" >&2
+    exit 1
+fi
+
 # Configuration-verifier gate: statically lint every shipped preset
 # (address windows, routing cycles, credit sufficiency, descriptor chains)
 # and hazard-check a traced reference workload on each. Deny-by-default:

@@ -10,14 +10,17 @@ fn run_workload() -> (u64, Vec<u64>) {
 }
 
 /// The same workload, optionally with full telemetry: packet-level tracing,
-/// causal span tracing, plus a metrics snapshot taken *between* operations
-/// (mid-run) and another at the end. Returns the final snapshot JSON and the
-/// span-tree JSON when instrumented.
+/// causal span tracing, continuous gauge sampling, an armed stall watchdog,
+/// plus a metrics snapshot taken *between* operations (mid-run) and another
+/// at the end. Returns the final snapshot JSON and the span-tree JSON when
+/// instrumented.
 fn run_workload_telemetry(instrument: bool) -> (u64, Vec<u64>, String, String) {
     let mut c = TcaClusterBuilder::new(4).build();
     if instrument {
         c.fabric.set_trace(tca::sim::TraceLevel::Packet, 65536);
         c.set_span_tracing(true);
+        c.enable_sampling(Dur::from_ns(100));
+        c.arm_watchdog(Dur::from_ms(1));
     }
     let mut times = Vec::new();
     let a = c.alloc_gpu(0, 0, 64 * 1024);
@@ -52,8 +55,9 @@ fn identical_runs_replay_bit_identically() {
 
 #[test]
 fn telemetry_never_touches_simulated_time() {
-    // `instrument = true` turns on packet tracing, metrics snapshots AND
-    // causal span tracing — none may shift a single simulated timestamp.
+    // `instrument = true` turns on packet tracing, metrics snapshots,
+    // causal span tracing, periodic gauge sampling AND the stall watchdog
+    // — none may shift a single simulated timestamp.
     let (ev_off, t_off, ..) = run_workload_telemetry(false);
     let (ev_on, t_on, snap, _) = run_workload_telemetry(true);
     assert_eq!(ev_off, ev_on, "tracing/snapshots changed the event count");
@@ -105,10 +109,10 @@ fn sweep_runner_output_is_independent_of_job_count() {
     // The scenario runner farms points out to worker threads; every point
     // builds its own simulation and lands in its own slot, so the rendered
     // table and the sweep JSON must be byte-identical at any --jobs.
-    use tca_bench::scenario::{find, run_sweep, BackendKind};
+    use tca_bench::scenario::{find, run_sweep, BackendKind, TelemetryMode};
     let sc = find("ring-hops").expect("registered scenario");
-    let serial = run_sweep(&sc, BackendKind::Tca, 1);
-    let parallel = run_sweep(&sc, BackendKind::Tca, 8);
+    let serial = run_sweep(&sc, BackendKind::Tca, 1, TelemetryMode::Off);
+    let parallel = run_sweep(&sc, BackendKind::Tca, 8, TelemetryMode::Off);
     assert_eq!(
         serial.to_json(),
         parallel.to_json(),
@@ -121,10 +125,10 @@ fn sweep_runner_output_is_independent_of_job_count() {
 fn backend_sweeps_are_reproducible() {
     // The MPI/IB backend must replay exactly like the TCA one: two runs of
     // the same backend-aware scenario serialize to identical bytes.
-    use tca_bench::scenario::{find, run_sweep, BackendKind};
+    use tca_bench::scenario::{find, run_sweep, BackendKind, TelemetryMode};
     let sc = find("put-latency").expect("registered scenario");
-    let a = run_sweep(&sc, BackendKind::MpiStaged, 2);
-    let b = run_sweep(&sc, BackendKind::MpiStaged, 2);
+    let a = run_sweep(&sc, BackendKind::MpiStaged, 2, TelemetryMode::Off);
+    let b = run_sweep(&sc, BackendKind::MpiStaged, 2, TelemetryMode::Off);
     assert_eq!(a.to_json(), b.to_json(), "MPI sweep diverged between runs");
 }
 
@@ -170,6 +174,50 @@ fn verifier_reports_are_byte_identical() {
     assert!(errs_a > 0, "seeded route corruption must produce errors");
     assert_eq!(json_a, json_b, "verifier JSON diverged between runs");
     assert_eq!(text_a, text_b, "verifier rendering diverged between runs");
+}
+
+#[test]
+fn health_artifacts_replay_byte_identically() {
+    // The tca-top pipeline end to end: instrumented cluster, sampled
+    // series, health report, Chrome trace with counter events. Two
+    // identical runs must produce byte-identical artifacts.
+    let a = tca_bench::top_report("pingpong", tca_bench::scenario::BackendKind::Tca);
+    let b = tca_bench::top_report("pingpong", tca_bench::scenario::BackendKind::Tca);
+    assert!(a.text.contains("fabric health:"), "{}", a.text);
+    assert!(
+        a.health_json.starts_with("{\"schema\":\"tca-health/v1\""),
+        "{}",
+        a.health_json
+    );
+    assert!(
+        a.series_json.starts_with("{\"schema\":\"tca-series/v1\""),
+        "{}",
+        &a.series_json[..80.min(a.series_json.len())]
+    );
+    assert!(
+        a.trace_json.contains("\"ph\":\"C\""),
+        "counter events present"
+    );
+    assert_eq!(a.text, b.text, "health report diverged");
+    assert_eq!(a.health_json, b.health_json, "health JSON diverged");
+    assert_eq!(a.series_json, b.series_json, "series JSON diverged");
+    assert_eq!(a.trace_json, b.trace_json, "trace JSON diverged");
+}
+
+#[test]
+fn telemetry_summaries_are_independent_of_job_count() {
+    // The --json telemetry summaries ride inside sweep rows; they must be
+    // as job-count-invariant as the measurements themselves.
+    use tca_bench::scenario::{find, run_sweep, BackendKind, TelemetryMode};
+    let sc = find("put-latency").expect("registered scenario");
+    let serial = run_sweep(&sc, BackendKind::Tca, 1, TelemetryMode::Summary);
+    let parallel = run_sweep(&sc, BackendKind::Tca, 8, TelemetryMode::Summary);
+    assert_eq!(
+        serial.to_json(),
+        parallel.to_json(),
+        "telemetry-bearing sweep JSON diverged between --jobs 1 and --jobs 8"
+    );
+    assert!(serial.to_json().contains("\"telemetry\":{"));
 }
 
 #[test]
