@@ -1,0 +1,80 @@
+//! Engine-throughput regression harness (`tca-prof` layer two): drives
+//! the fixed 8-node-ring steady-state workload plus the ring-size sweep,
+//! measures host events/sec, ns/event, allocs/event, and peak heap depth,
+//! writes the schema-stable `BENCH_engine.json`, and validates every
+//! metric against its drift bound. Exits non-zero on violation, so CI
+//! catches a simulator-speed regression the moment it lands — the
+//! before/after ledger for the calendar-queue and arena-TLP optimizations
+//! ROADMAP item 1 plans.
+//!
+//! Unlike `BENCH_fabric.json` (simulated time only, byte-identical across
+//! runs), the wall-clock-derived values here vary run to run; the schema
+//! and every simulated-side counter in the report are still exactly
+//! reproducible.
+//!
+//! Usage: `bench_engine [output.json]` (default `results/BENCH_engine.json`).
+
+use std::process::ExitCode;
+use tca_bench::engine_bench;
+
+/// Accounts every heap allocation of this process, so the report's
+/// allocs/event and bytes/phase columns are live (they read as zeros in
+/// binaries that skip this opt-in).
+#[global_allocator]
+static ALLOC: tca_sim::prof::CountingAllocator = tca_sim::prof::CountingAllocator;
+
+fn main() -> ExitCode {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results/BENCH_engine.json".to_string());
+    let bench = engine_bench();
+
+    println!("engine throughput report");
+    println!(
+        "  steady      {} events in {:.1} ms  ({:.2} M events/s, {:.0} ns/event)",
+        bench.steady_events,
+        bench.steady_wall_ns as f64 / 1e6,
+        bench.events_per_sec / 1e6,
+        bench.ns_per_event
+    );
+    println!(
+        "  allocs      {:.2} per event ({})   peak heap depth {}",
+        bench.allocs_per_event,
+        if bench.alloc_counted {
+            "counting allocator installed"
+        } else {
+            "allocator not counted"
+        },
+        bench.peak_heap_depth
+    );
+    print!("  phases     ");
+    for p in &bench.profile.phases {
+        print!(" {}={:.1}ms", p.name, p.wall_ns as f64 / 1e6);
+    }
+    println!();
+    print!("  dispatch   ");
+    for k in &bench.profile.kinds {
+        print!(" {}={}", k.kind, k.events);
+    }
+    println!("  tlp_transmits={}", bench.profile.dispatch.tlp_transmits);
+
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            tca_bench::ensure_out_dir(dir);
+        }
+    }
+    std::fs::write(&out, bench.to_json()).expect("write BENCH json");
+    println!("  wrote {out}");
+
+    let violations = bench.validate();
+    if violations.is_empty() {
+        println!("  all metrics within drift bounds");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("ENGINE REGRESSION: {} bound(s) violated", violations.len());
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -41,7 +41,7 @@ fn main() -> ExitCode {
 
     if let Some(dir) = std::path::Path::new(&out).parent() {
         if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).expect("create output directory");
+            tca_bench::ensure_out_dir(dir);
         }
     }
     std::fs::write(&out, bench.to_json()).expect("write BENCH json");

@@ -54,7 +54,7 @@ fn main() {
     })
     .expect("sweep threads");
 
-    std::fs::create_dir_all(dir).expect("create out dir");
+    tca_bench::ensure_out_dir(dir);
     let mut names = Vec::new();
     for (name, body) in results.into_inner() {
         let path = dir.join(format!("{name}.json"));

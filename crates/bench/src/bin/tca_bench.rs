@@ -1,9 +1,9 @@
 //! `tca-bench` — the unified scenario runner.
 //!
 //! ```text
-//! tca-bench --list
+//! tca-bench --list [--json]
 //! tca-bench --scenario <name> [--backend tca|mpi|mpi-gpudirect] [--json] [--jobs N]
-//!           [--top] [--telemetry-dir <dir>]
+//!           [--top] [--telemetry-dir <dir>] [--profile] [--profile-dir <dir>]
 //! ```
 //!
 //! Each sweep point builds its own independent simulation, so `--jobs N`
@@ -19,14 +19,28 @@
 //! congestion table (`tca-health/v1` JSON with `--json`).
 //! `--telemetry-dir <dir>` writes the full health/series/trace JSON
 //! artifacts of that instrumented run into `<dir>`.
+//!
+//! `--profile` takes a host-side engine profile of the scenario's
+//! representative rig (tca-prof layer two: `Instant` phase timers around
+//! build/warmup/steady plus per-event-kind dispatch time) and writes
+//! `PROF_<scenario>.json` (`tca-prof/v1`) and `PROF_<scenario>.folded`
+//! (flamegraph folded stacks) into `--profile-dir` (default `results/`).
+//! Profiling is observationally neutral: stdout — sweep JSON, tables,
+//! health reports — is byte-identical with and without it, which
+//! `scripts/ci.sh` asserts on every run.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use tca_bench::scenario::{find, run_sweep, scenarios, BackendKind, TelemetryMode};
+use tca_bench::scenario::{find, list_json, run_sweep, scenarios, BackendKind, TelemetryMode};
 
-const USAGE: &str = "usage: tca-bench --list
+/// Counts this process's heap allocations so `--profile` reports live
+/// allocs/bytes per phase (tca-prof layer one; observationally neutral).
+#[global_allocator]
+static ALLOC: tca_sim::prof::CountingAllocator = tca_sim::prof::CountingAllocator;
+
+const USAGE: &str = "usage: tca-bench --list [--json]
        tca-bench --scenario <name> [--backend tca|mpi|mpi-gpudirect] [--json] [--jobs N]
-                 [--top] [--telemetry-dir <dir>]";
+                 [--top] [--telemetry-dir <dir>] [--profile] [--profile-dir <dir>]";
 
 fn list() {
     println!(
@@ -61,12 +75,19 @@ fn main() -> ExitCode {
     let mut do_list = false;
     let mut top = false;
     let mut telemetry_dir: Option<PathBuf> = None;
+    let mut profile = false;
+    let mut profile_dir = PathBuf::from("results");
 
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--list" => do_list = true,
             "--json" => json = true,
             "--top" => top = true,
+            "--profile" => profile = true,
+            "--profile-dir" => match args.next() {
+                Some(dir) => profile_dir = PathBuf::from(dir),
+                None => return fail("--profile-dir needs a directory"),
+            },
             "--telemetry-dir" => match args.next() {
                 Some(dir) => telemetry_dir = Some(PathBuf::from(dir)),
                 None => return fail("--telemetry-dir needs a directory"),
@@ -88,7 +109,11 @@ fn main() -> ExitCode {
     }
 
     if do_list {
-        list();
+        if json {
+            println!("{}", list_json());
+        } else {
+            list();
+        }
         return ExitCode::SUCCESS;
     }
     let Some(name) = scenario_name else {
@@ -102,6 +127,16 @@ fn main() -> ExitCode {
             "scenario '{name}' does not support backend '{}'",
             backend.name()
         ));
+    }
+
+    // Host-side engine profile of the representative rig. Artifacts go to
+    // files and the notice to stderr, keeping stdout byte-identical with
+    // and without --profile (asserted by the ci.sh neutrality smoke).
+    if profile {
+        let prof = tca_bench::profile_scenario(sc.name);
+        for path in prof.write_to(&profile_dir) {
+            eprintln!("tca-bench: wrote {}", path.display());
+        }
     }
 
     // The health artifacts come from one instrumented representative run,

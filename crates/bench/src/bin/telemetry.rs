@@ -9,7 +9,7 @@ fn main() -> std::io::Result<()> {
     let sizes = [256u64, 4096, 65536];
     let rep = telemetry_report(&sizes);
 
-    std::fs::create_dir_all("results")?;
+    tca_bench::ensure_out_dir(std::path::Path::new("results"));
     std::fs::write("results/metrics.json", &rep.metrics_json)?;
     std::fs::write("results/trace.json", &rep.trace_json)?;
 

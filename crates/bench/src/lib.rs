@@ -13,7 +13,12 @@
 #![warn(rust_2018_idioms)]
 
 pub mod mini_json;
+pub mod prof;
 pub mod scenario;
+
+pub use prof::{
+    engine_bench, engine_bench_with, profile_scenario, EngineBench, EngineProfile, EngineWorkload,
+};
 
 use serde::Serialize;
 use std::path::{Path, PathBuf};
@@ -1016,7 +1021,7 @@ impl TopReport {
     /// `<scenario>-<backend>.{health,series,trace}.json`, creating `dir`
     /// if needed. Returns the paths written.
     pub fn write_to(&self, dir: &Path, scenario: &str, backend: &str) -> Vec<PathBuf> {
-        std::fs::create_dir_all(dir).expect("create telemetry output dir");
+        ensure_out_dir(dir);
         let stem = format!("{scenario}-{backend}");
         let files = [
             ("health", &self.health_json),
@@ -1064,10 +1069,18 @@ pub fn gbps(x: f64) -> String {
     format!("{:8.3}", x / 1e9)
 }
 
+/// Creates `dir` (and any missing parents) or panics with a message that
+/// names the offending path — the single output-directory helper every
+/// artifact writer in this crate goes through.
+pub fn ensure_out_dir(dir: &Path) {
+    std::fs::create_dir_all(dir)
+        .unwrap_or_else(|e| panic!("cannot create output directory {}: {e}", dir.display()));
+}
+
 /// Serializes `value` with [`mini_json`] and writes it to `dir/name.json`,
 /// creating `dir` if needed. Returns the path written.
 pub fn write_json<T: Serialize>(dir: &Path, name: &str, value: &T) -> PathBuf {
-    std::fs::create_dir_all(dir).expect("create json output dir");
+    ensure_out_dir(dir);
     let path = dir.join(format!("{name}.json"));
     std::fs::write(&path, mini_json::Ser::to_string(value)).expect("write json");
     path

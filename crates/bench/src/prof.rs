@@ -1,0 +1,640 @@
+//! `tca-prof` layer two: wall-clock timing of the simulator itself.
+//!
+//! The simulation crates export pure counters (queue activity, per-kind
+//! dispatch counts, TLP constructions/clones, allocation totals — see
+//! `tca_sim::prof` and `tca_pcie::prof`); this module is the only place
+//! that pairs them with `std::time::Instant`, which the determinism lint
+//! bans from the simulation crates. The split is deliberate: counters in
+//! sim, timers in bench.
+//!
+//! Two consumers:
+//! * [`engine_bench`] — the fixed engine-throughput workload behind the
+//!   `bench_engine` binary and the CI drift gate (`BENCH_engine.json`,
+//!   schema `tca-bench-engine/v1`);
+//! * [`profile_scenario`] — the representative rig behind
+//!   `tca-bench --profile`, emitting a `tca-prof/v1` report plus
+//!   flamegraph-compatible folded stacks of per-event-kind host time.
+//!
+//! Simulated results are byte-identical whether or not a profile is
+//! taken (proved by `tests/determinism.rs` and the `ci.sh` smoke); only
+//! the host-time numbers vary run to run, so the JSON artifacts here are
+//! *schema*-stable rather than byte-stable.
+
+use crate::ensure_out_dir;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+use tca_core::prelude::*;
+use tca_pcie::{Fabric, FabricProf, StepKind, TlpCounts};
+use tca_sim::{AllocSnapshot, JsonValue, ProfCounters};
+
+/// One profiled phase: host wall time plus the engine/allocator activity
+/// that happened inside it.
+#[derive(Clone, Debug)]
+pub struct PhaseStat {
+    /// Phase name (`build`, `warmup`, `steady`, `sweep`).
+    pub name: &'static str,
+    /// Host wall time spent in the phase, ns.
+    pub wall_ns: u64,
+    /// Simulated events executed during the phase.
+    pub events: u64,
+    /// Heap allocations during the phase (0 without the counting
+    /// allocator installed).
+    pub allocs: u64,
+    /// Bytes allocated during the phase.
+    pub alloc_bytes: u64,
+}
+
+/// Host time bucketed by the kind of event dispatched.
+#[derive(Clone, Copy, Debug)]
+pub struct KindStat {
+    /// Event kind name (`deliver`, `timer`, `credit_return`).
+    pub kind: &'static str,
+    /// Events of this kind dispatched in the profiled drain.
+    pub events: u64,
+    /// Host wall time spent dispatching them, ns.
+    pub wall_ns: u64,
+}
+
+/// Scoped wall-clock timer pairing an `Instant` with snapshots of the
+/// allocation counters, so finishing it yields a complete [`PhaseStat`].
+pub struct PhaseTimer {
+    name: &'static str,
+    start: Instant,
+    alloc0: AllocSnapshot,
+    events0: u64,
+}
+
+impl PhaseTimer {
+    /// Starts timing a phase. `events_before` is the fabric's
+    /// `events_executed()` at phase entry.
+    pub fn start(name: &'static str, events_before: u64) -> PhaseTimer {
+        PhaseTimer {
+            name,
+            start: Instant::now(),
+            alloc0: tca_sim::alloc_snapshot(),
+            events0: events_before,
+        }
+    }
+
+    /// Stops the timer; `events_after` is `events_executed()` at exit.
+    pub fn finish(self, events_after: u64) -> PhaseStat {
+        let wall = self.start.elapsed();
+        let alloc = tca_sim::alloc_snapshot().since(&self.alloc0);
+        PhaseStat {
+            name: self.name,
+            wall_ns: wall.as_nanos() as u64,
+            events: events_after - self.events0,
+            allocs: alloc.allocs,
+            alloc_bytes: alloc.bytes_allocated,
+        }
+    }
+}
+
+/// Drains the fabric one event at a time, timing each dispatch and
+/// bucketing host time by event kind. Observationally identical to
+/// `run_until_idle` from the simulation's point of view — same pops in
+/// the same order — just with host timestamps taken between steps.
+pub fn profiled_drain(fabric: &mut Fabric) -> Vec<KindStat> {
+    let mut counts = [0u64; 3];
+    let mut walls = [Duration::ZERO; 3];
+    loop {
+        let t = Instant::now();
+        let Some(kind) = fabric.step_kind() else {
+            break;
+        };
+        let elapsed = t.elapsed();
+        let i = match kind {
+            StepKind::Deliver => 0,
+            StepKind::Timer => 1,
+            StepKind::CreditReturn => 2,
+        };
+        counts[i] += 1;
+        walls[i] += elapsed;
+    }
+    [StepKind::Deliver, StepKind::Timer, StepKind::CreditReturn]
+        .iter()
+        .enumerate()
+        .map(|(i, k)| KindStat {
+            kind: k.name(),
+            events: counts[i],
+            wall_ns: walls[i].as_nanos() as u64,
+        })
+        .collect()
+}
+
+/// Parameters of the engine-throughput workload. The steady phase drives
+/// an `nodes`-node ring with all-node neighbour-shift puts; the sweep
+/// phase re-runs a smaller put batch across every ring size up to the
+/// 16-node cap of the Fig. 4 address map (64 puts total at the default
+/// settings — the "64-node sweep" budget spread over the buildable ring
+/// sizes; single rings beyond 16 nodes need the hierarchical topology of
+/// ROADMAP item 2).
+#[derive(Clone, Debug)]
+pub struct EngineWorkload {
+    /// Ring size of the steady-state phase.
+    pub nodes: u32,
+    /// Warm-up rounds (excluded from the steady measurement).
+    pub warmup_rounds: u32,
+    /// Measured neighbour-shift rounds.
+    pub steady_rounds: u32,
+    /// Payload bytes per put.
+    pub put_len: u64,
+    /// Ring sizes of the sweep phase.
+    pub sweep_rings: Vec<u32>,
+    /// Puts issued per sweep ring.
+    pub sweep_puts_per_ring: u32,
+}
+
+impl Default for EngineWorkload {
+    fn default() -> EngineWorkload {
+        EngineWorkload {
+            nodes: 8,
+            warmup_rounds: 2,
+            steady_rounds: 24,
+            put_len: 64 * 1024,
+            sweep_rings: vec![2, 4, 8, 16],
+            sweep_puts_per_ring: 16,
+        }
+    }
+}
+
+impl EngineWorkload {
+    /// A small variant for tests: same shape, a fraction of the events.
+    pub fn smoke() -> EngineWorkload {
+        EngineWorkload {
+            nodes: 4,
+            warmup_rounds: 1,
+            steady_rounds: 2,
+            put_len: 4 * 1024,
+            sweep_rings: vec![2, 4],
+            sweep_puts_per_ring: 2,
+        }
+    }
+}
+
+/// The complete host-side profile of one engine workload run.
+#[derive(Clone, Debug)]
+pub struct EngineProfile {
+    /// Workload label (scenario name or `engine`).
+    pub workload: String,
+    /// The parameters that were run.
+    pub params: EngineWorkload,
+    /// Per-phase wall/event/allocation accounting.
+    pub phases: Vec<PhaseStat>,
+    /// Per-event-kind host time of the steady-state drains.
+    pub kinds: Vec<KindStat>,
+    /// Final queue counters of the steady-state fabric.
+    pub queue: ProfCounters,
+    /// Final dispatch counters of the steady-state fabric.
+    pub dispatch: FabricProf,
+    /// TLP construction/clone/relay deltas across the whole run
+    /// (process-wide counters; zeros without `host-prof`).
+    pub tlp: TlpCounts,
+    /// Allocation activity across the whole run (zeros unless the binary
+    /// installed the counting allocator).
+    pub alloc: AllocSnapshot,
+}
+
+/// One neighbour-shift round: every node puts `len` bytes to its ring
+/// successor, all asynchronously, then the fabric drains. Returns the
+/// per-kind host time of the drain.
+fn shift_round(c: &mut TcaCluster, n: u32, len: u64, profiled: bool) -> Vec<KindStat> {
+    let mut events = Vec::with_capacity(n as usize);
+    for node in 0..n {
+        let dst = MemRef::host((node + 1) % n, 0x1000_0000);
+        let src = MemRef::host(node, 0x2000_0000);
+        events.push(c.memcpy_peer_async(&dst, &src, len));
+    }
+    let kinds = if profiled {
+        profiled_drain(&mut c.fabric)
+    } else {
+        c.fabric.run_until_idle();
+        Vec::new()
+    };
+    for ev in events {
+        // Already complete after the drain; consumes the #[must_use]
+        // handle and asserts the completion interrupt really arrived.
+        let _ = c.wait(ev);
+    }
+    kinds
+}
+
+fn merge_kinds(total: &mut Vec<KindStat>, round: Vec<KindStat>) {
+    if total.is_empty() {
+        *total = round;
+        return;
+    }
+    for (t, r) in total.iter_mut().zip(round) {
+        debug_assert_eq!(t.kind, r.kind);
+        t.events += r.events;
+        t.wall_ns += r.wall_ns;
+    }
+}
+
+/// Runs the engine workload under full host profiling and returns the
+/// profile. This is the measurement core shared by [`engine_bench`] and
+/// [`profile_scenario`].
+pub fn run_engine_profile(label: &str, params: EngineWorkload) -> EngineProfile {
+    let tlp0 = tca_pcie::tlp_counts();
+    let alloc0 = tca_sim::alloc_snapshot();
+    let mut phases = Vec::new();
+
+    let t = PhaseTimer::start("build", 0);
+    let mut c = TcaClusterBuilder::new(params.nodes).build();
+    for node in 0..params.nodes {
+        c.write(
+            &MemRef::host(node, 0x2000_0000),
+            &vec![0xa5u8; params.put_len as usize],
+        );
+    }
+    phases.push(t.finish(c.fabric.events_executed()));
+
+    let t = PhaseTimer::start("warmup", c.fabric.events_executed());
+    for _ in 0..params.warmup_rounds {
+        shift_round(&mut c, params.nodes, params.put_len, false);
+    }
+    phases.push(t.finish(c.fabric.events_executed()));
+
+    let t = PhaseTimer::start("steady", c.fabric.events_executed());
+    let mut kinds = Vec::new();
+    for _ in 0..params.steady_rounds {
+        merge_kinds(
+            &mut kinds,
+            shift_round(&mut c, params.nodes, params.put_len, true),
+        );
+    }
+    phases.push(t.finish(c.fabric.events_executed()));
+    let queue = c.fabric.queue_prof();
+    let dispatch = c.fabric.prof();
+
+    let t = PhaseTimer::start("sweep", 0);
+    let mut sweep_events = 0u64;
+    for &ring in &params.sweep_rings {
+        let mut s = TcaClusterBuilder::new(ring).build();
+        for node in 0..ring {
+            s.write(
+                &MemRef::host(node, 0x2000_0000),
+                &vec![0x5au8; params.put_len as usize],
+            );
+        }
+        let mut put = 0;
+        while put < params.sweep_puts_per_ring {
+            let batch = ring.min(params.sweep_puts_per_ring - put);
+            shift_round(&mut s, batch, params.put_len, false);
+            put += batch;
+        }
+        sweep_events += s.fabric.events_executed();
+    }
+    phases.push(t.finish(sweep_events));
+
+    EngineProfile {
+        workload: label.to_string(),
+        params,
+        phases,
+        kinds,
+        queue,
+        dispatch,
+        tlp: tca_pcie::tlp_counts().since(&tlp0),
+        alloc: tca_sim::alloc_snapshot().since(&alloc0),
+    }
+}
+
+impl EngineProfile {
+    /// The steady-state phase stats (the measured window).
+    pub fn steady(&self) -> &PhaseStat {
+        self.phases
+            .iter()
+            .find(|p| p.name == "steady")
+            .expect("profile always has a steady phase")
+    }
+
+    /// Serializes the profile as a `tca-prof/v1` report. Schema-stable:
+    /// fixed keys and ordering; the wall-clock values vary run to run.
+    pub fn to_json(&self) -> String {
+        let mut root = JsonValue::object();
+        root.push("schema", JsonValue::from("tca-prof/v1"));
+        root.push("workload", JsonValue::from(self.workload.as_str()));
+        root.push("nodes", JsonValue::from(u64::from(self.params.nodes)));
+        let mut phases = Vec::new();
+        for p in &self.phases {
+            let mut o = JsonValue::object();
+            o.push("name", JsonValue::from(p.name));
+            o.push("wall_ns", JsonValue::from(p.wall_ns));
+            o.push("events", JsonValue::from(p.events));
+            o.push("allocs", JsonValue::from(p.allocs));
+            o.push("alloc_bytes", JsonValue::from(p.alloc_bytes));
+            phases.push(o);
+        }
+        root.push("phases", JsonValue::Array(phases));
+        let mut kinds = Vec::new();
+        for k in &self.kinds {
+            let mut o = JsonValue::object();
+            o.push("kind", JsonValue::from(k.kind));
+            o.push("events", JsonValue::from(k.events));
+            o.push("wall_ns", JsonValue::from(k.wall_ns));
+            kinds.push(o);
+        }
+        root.push("kinds", JsonValue::Array(kinds));
+        root.push("queue", self.queue.to_json());
+        let mut d = JsonValue::object();
+        d.push(
+            "deliver_events",
+            JsonValue::from(self.dispatch.deliver_events),
+        );
+        d.push("timer_events", JsonValue::from(self.dispatch.timer_events));
+        d.push(
+            "credit_return_events",
+            JsonValue::from(self.dispatch.credit_return_events),
+        );
+        d.push(
+            "tlp_transmits",
+            JsonValue::from(self.dispatch.tlp_transmits),
+        );
+        root.push("dispatch", d);
+        let mut t = JsonValue::object();
+        t.push("constructed", JsonValue::from(self.tlp.constructed));
+        t.push("cloned", JsonValue::from(self.tlp.cloned));
+        t.push("relay_hops", JsonValue::from(self.tlp.relay_hops));
+        root.push("tlp", t);
+        let mut a = JsonValue::object();
+        a.push("allocs", JsonValue::from(self.alloc.allocs));
+        a.push("frees", JsonValue::from(self.alloc.frees));
+        a.push(
+            "bytes_allocated",
+            JsonValue::from(self.alloc.bytes_allocated),
+        );
+        a.push("peak_bytes", JsonValue::from(self.alloc.peak_bytes));
+        a.push("counted", JsonValue::from(self.alloc.allocs > 0));
+        root.push("alloc", a);
+        root.to_json()
+    }
+
+    /// Renders the profile as flamegraph-compatible folded stacks
+    /// (`frame;frame;frame value`, value = host nanoseconds). Feed the
+    /// output straight to `flamegraph.pl` / `inferno-flamegraph`.
+    pub fn to_folded(&self) -> String {
+        let mut out = String::new();
+        let w = &self.workload;
+        for p in &self.phases {
+            if p.name == "steady" {
+                // The steady phase splits into per-event-kind dispatch
+                // time plus the issue-side API time around the drains.
+                let drained: u64 = self.kinds.iter().map(|k| k.wall_ns).sum();
+                for k in &self.kinds {
+                    out.push_str(&format!("tca_bench;{w};steady;{} {}\n", k.kind, k.wall_ns));
+                }
+                out.push_str(&format!(
+                    "tca_bench;{w};steady;issue {}\n",
+                    p.wall_ns.saturating_sub(drained)
+                ));
+            } else {
+                out.push_str(&format!("tca_bench;{w};{} {}\n", p.name, p.wall_ns));
+            }
+        }
+        out
+    }
+
+    /// Writes `PROF_<workload>.json` and `PROF_<workload>.folded` into
+    /// `dir`, creating it if needed. Returns the paths written.
+    pub fn write_to(&self, dir: &Path) -> Vec<PathBuf> {
+        ensure_out_dir(dir);
+        let json = dir.join(format!("PROF_{}.json", self.workload));
+        let folded = dir.join(format!("PROF_{}.folded", self.workload));
+        std::fs::write(&json, self.to_json()).expect("write profile json");
+        std::fs::write(&folded, self.to_folded()).expect("write folded stacks");
+        vec![json, folded]
+    }
+}
+
+/// Profiles the representative engine workload of a registered scenario:
+/// the 2-node rig for the point-to-point latency scenarios, the 8-node
+/// ring otherwise (mirroring `top_report`), at a reduced round count.
+/// TCA-backend only — the profile measures the simulator's own engine,
+/// which is shared by every backend.
+pub fn profile_scenario(scenario: &str) -> EngineProfile {
+    let two_node = matches!(
+        scenario,
+        "pingpong" | "latency" | "put-latency" | "fig7" | "fig8" | "fig9" | "fig12"
+    );
+    let params = EngineWorkload {
+        nodes: if two_node { 2 } else { 8 },
+        warmup_rounds: 1,
+        steady_rounds: 8,
+        ..EngineWorkload::default()
+    };
+    run_engine_profile(scenario, params)
+}
+
+/// The engine-throughput regression report behind `BENCH_engine.json`.
+#[derive(Clone, Debug)]
+pub struct EngineBench {
+    /// The full profile the metrics derive from.
+    pub profile: EngineProfile,
+    /// Simulated events executed in the steady phase.
+    pub steady_events: u64,
+    /// Host wall time of the steady phase, ns.
+    pub steady_wall_ns: u64,
+    /// Steady-state simulator throughput, events per host second.
+    pub events_per_sec: f64,
+    /// Mean host nanoseconds per simulated event.
+    pub ns_per_event: f64,
+    /// Heap allocations per event in the steady phase (0 when the
+    /// counting allocator is not installed).
+    pub allocs_per_event: f64,
+    /// Peak event-heap depth over the steady-state fabric's lifetime.
+    pub peak_heap_depth: u64,
+    /// True when the counting allocator produced non-zero counts, i.e.
+    /// the allocation metrics are meaningful.
+    pub alloc_counted: bool,
+}
+
+/// Runs the default engine workload and derives the throughput report.
+pub fn engine_bench() -> EngineBench {
+    engine_bench_with(EngineWorkload::default())
+}
+
+/// [`engine_bench`] with explicit workload parameters (tests use
+/// [`EngineWorkload::smoke`]).
+pub fn engine_bench_with(params: EngineWorkload) -> EngineBench {
+    let profile = run_engine_profile("engine", params);
+    let steady = profile.steady().clone();
+    let wall_s = (steady.wall_ns as f64 / 1e9).max(1e-12);
+    let events = steady.events;
+    let alloc_counted = profile.alloc.allocs > 0;
+    EngineBench {
+        steady_events: events,
+        steady_wall_ns: steady.wall_ns,
+        events_per_sec: events as f64 / wall_s,
+        ns_per_event: if events == 0 {
+            0.0
+        } else {
+            steady.wall_ns as f64 / events as f64
+        },
+        allocs_per_event: if events == 0 {
+            0.0
+        } else {
+            steady.allocs as f64 / events as f64
+        },
+        peak_heap_depth: profile.queue.peak_heap_depth,
+        alloc_counted,
+        profile,
+    }
+}
+
+impl EngineBench {
+    /// Serializes the report as `tca-bench-engine/v1` JSON. Schema-stable
+    /// (fixed keys and ordering); the event/dispatch/TLP counters are
+    /// byte-reproducible across runs, the wall-clock-derived values are
+    /// not — unlike `BENCH_fabric.json`, which is simulated-time-only and
+    /// fully byte-identical.
+    pub fn to_json(&self) -> String {
+        let p = &self.profile;
+        let mut w = JsonValue::object();
+        w.push("nodes", JsonValue::from(u64::from(p.params.nodes)));
+        w.push(
+            "warmup_rounds",
+            JsonValue::from(u64::from(p.params.warmup_rounds)),
+        );
+        w.push(
+            "steady_rounds",
+            JsonValue::from(u64::from(p.params.steady_rounds)),
+        );
+        w.push("put_len", JsonValue::from(p.params.put_len));
+        w.push(
+            "sweep_rings",
+            JsonValue::Array(
+                p.params
+                    .sweep_rings
+                    .iter()
+                    .map(|&r| JsonValue::from(u64::from(r)))
+                    .collect(),
+            ),
+        );
+        w.push(
+            "sweep_puts_per_ring",
+            JsonValue::from(u64::from(p.params.sweep_puts_per_ring)),
+        );
+        let mut s = JsonValue::object();
+        s.push("events", JsonValue::from(self.steady_events));
+        s.push("wall_ns", JsonValue::from(self.steady_wall_ns));
+        s.push("events_per_sec", JsonValue::from(self.events_per_sec));
+        s.push("ns_per_event", JsonValue::from(self.ns_per_event));
+        s.push("allocs_per_event", JsonValue::from(self.allocs_per_event));
+        s.push("peak_heap_depth", JsonValue::from(self.peak_heap_depth));
+        s.push("alloc_counted", JsonValue::from(self.alloc_counted));
+        let mut root = JsonValue::object();
+        root.push("schema", JsonValue::from("tca-bench-engine/v1"));
+        root.push("workload", w);
+        root.push("steady", s);
+        // The full profile rides along for dashboards; same sub-schema as
+        // the standalone tca-prof/v1 report.
+        root.push(
+            "profile",
+            JsonValue::parse(&p.to_json()).expect("own serialization parses"),
+        );
+        root.to_json()
+    }
+
+    /// Validates the throughput metrics against conservative drift
+    /// bounds and returns the violations (empty = healthy).
+    ///
+    /// Wall-clock gates are deliberately loose — they catch order-of-
+    /// magnitude regressions (an accidental O(n²) in the hot loop, a
+    /// debug build sneaking into CI), not scheduler noise. The
+    /// deterministic counters get tight bounds: allocation behaviour and
+    /// heap depth of a fixed workload are reproducible per build.
+    pub fn validate(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        if self.steady_events == 0 {
+            v.push("steady.events = 0: workload executed nothing".into());
+        }
+        if self.events_per_sec < 100_000.0 {
+            v.push(format!(
+                "steady.events_per_sec = {:.0} below the 100k floor \
+                 (release-build simulator should clear millions)",
+                self.events_per_sec
+            ));
+        }
+        if self.ns_per_event > 10_000.0 {
+            v.push(format!(
+                "steady.ns_per_event = {:.0} above the 10µs ceiling",
+                self.ns_per_event
+            ));
+        }
+        if self.alloc_counted && self.allocs_per_event > 64.0 {
+            v.push(format!(
+                "steady.allocs_per_event = {:.2} above the 64 ceiling",
+                self.allocs_per_event
+            ));
+        }
+        if self.peak_heap_depth == 0 || self.peak_heap_depth > 100_000 {
+            v.push(format!(
+                "steady.peak_heap_depth = {} outside (0, 100000]",
+                self.peak_heap_depth
+            ));
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_profile_phases_and_schema() {
+        let b = engine_bench_with(EngineWorkload::smoke());
+        let names: Vec<&str> = b.profile.phases.iter().map(|p| p.name).collect();
+        assert_eq!(names, ["build", "warmup", "steady", "sweep"]);
+        assert!(b.steady_events > 0);
+        assert!(b
+            .to_json()
+            .starts_with("{\"schema\":\"tca-bench-engine/v1\""));
+        assert!(b
+            .profile
+            .to_json()
+            .starts_with("{\"schema\":\"tca-prof/v1\""));
+        // Folded output: one line per leaf frame, `frames value`.
+        let folded = b.profile.to_folded();
+        assert!(folded.contains("tca_bench;engine;steady;deliver "));
+        assert!(folded.contains("tca_bench;engine;build "));
+        for line in folded.lines() {
+            let (frames, value) = line.rsplit_once(' ').expect("folded line shape");
+            assert!(frames.starts_with("tca_bench;"));
+            value.parse::<u64>().expect("folded value is integer ns");
+        }
+    }
+
+    #[test]
+    fn engine_profile_counters_are_reproducible() {
+        // The wall-clock numbers vary; every simulated-side counter must
+        // replay exactly.
+        let a = engine_bench_with(EngineWorkload::smoke());
+        let b = engine_bench_with(EngineWorkload::smoke());
+        assert_eq!(a.steady_events, b.steady_events);
+        assert_eq!(a.profile.queue, b.profile.queue);
+        assert_eq!(a.profile.dispatch, b.profile.dispatch);
+        assert_eq!(a.peak_heap_depth, b.peak_heap_depth);
+        for (x, y) in a.profile.phases.iter().zip(&b.profile.phases) {
+            assert_eq!(x.events, y.events, "phase {} event count", x.name);
+        }
+        for (x, y) in a.profile.kinds.iter().zip(&b.profile.kinds) {
+            assert_eq!(x.events, y.events, "kind {} event count", x.kind);
+        }
+    }
+
+    #[test]
+    fn dispatch_counts_match_queue_pops() {
+        let b = engine_bench_with(EngineWorkload::smoke());
+        let d = b.profile.dispatch;
+        let q = b.profile.queue;
+        assert_eq!(
+            d.deliver_events + d.timer_events + d.credit_return_events,
+            q.pops,
+            "every pop dispatches exactly one kind"
+        );
+        assert!(d.tlp_transmits > 0);
+        assert!(d.deliver_events > 0);
+        assert!(d.credit_return_events > 0);
+    }
+}

@@ -163,6 +163,38 @@ pub fn find(name: &str) -> Option<Scenario> {
     scenarios().into_iter().find(|s| s.name == name)
 }
 
+/// Machine-readable registry listing (`tca-bench --list --json`): one row
+/// per scenario with its description, figure anchor, point count, and
+/// supported backends — the same facts the human-readable `--list` table
+/// prints. Schema `tca-bench-list/v1`, stable key order.
+pub fn list_json() -> String {
+    let mut rows = Vec::new();
+    for s in scenarios() {
+        let mut o = JsonValue::object();
+        o.push("name", JsonValue::from(s.name));
+        o.push("figure", JsonValue::from(s.figure));
+        o.push("description", JsonValue::from(s.description));
+        o.push(
+            "points",
+            JsonValue::from(s.points(s.backends[0]).len() as u64),
+        );
+        o.push(
+            "backends",
+            JsonValue::Array(
+                s.backends
+                    .iter()
+                    .map(|b| JsonValue::from(b.name()))
+                    .collect(),
+            ),
+        );
+        rows.push(o);
+    }
+    let mut root = JsonValue::object();
+    root.push("schema", JsonValue::from("tca-bench-list/v1"));
+    root.push("scenarios", JsonValue::Array(rows));
+    root.to_json()
+}
+
 /// The result of one sweep: rows in point order, ready to render or dump.
 pub struct Sweep {
     /// Scenario name.

@@ -77,6 +77,60 @@ enum Ev {
     },
 }
 
+/// The kind of event one [`Fabric::step_kind`] call dispatched. Public
+/// mirror of the private event enum, so the `tca-bench` profiler can
+/// bucket host time per event kind without the fabric ever touching a
+/// wall clock itself.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StepKind {
+    /// A TLP arrived at a device.
+    Deliver,
+    /// A device timer fired.
+    Timer,
+    /// Flow-control credits returned to a link direction.
+    CreditReturn,
+}
+
+impl StepKind {
+    /// Stable lowercase name (JSON / folded-stack frame label).
+    pub fn name(self) -> &'static str {
+        match self {
+            StepKind::Deliver => "deliver",
+            StepKind::Timer => "timer",
+            StepKind::CreditReturn => "credit_return",
+        }
+    }
+}
+
+/// Host-side dispatch counters of one fabric (`tca-prof` layer one).
+/// Plain integers bumped inside [`Fabric::step`] and the transmit path;
+/// like [`tca_sim::ProfCounters`] they never schedule events and cannot
+/// perturb the event stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FabricProf {
+    /// `Ev::Deliver` events dispatched.
+    pub deliver_events: u64,
+    /// `Ev::Timer` events dispatched.
+    pub timer_events: u64,
+    /// `Ev::CreditReturn` events dispatched.
+    pub credit_return_events: u64,
+    /// Wire reservations made by the transmit path, replays included
+    /// (each one serializes a TLP onto a link hop).
+    pub tlp_transmits: u64,
+}
+
+impl FabricProf {
+    /// Counter increments since `earlier`.
+    pub fn since(&self, earlier: &FabricProf) -> FabricProf {
+        FabricProf {
+            deliver_events: self.deliver_events - earlier.deliver_events,
+            timer_events: self.timer_events - earlier.timer_events,
+            credit_return_events: self.credit_return_events - earlier.credit_return_events,
+            tlp_transmits: self.tlp_transmits - earlier.tlp_transmits,
+        }
+    }
+}
+
 /// Metric handles of one link direction, registered at [`Fabric::connect`]
 /// under `link.{id}.{fwd|rev}.*`.
 #[derive(Clone, Copy)]
@@ -148,6 +202,8 @@ pub struct Fabric {
     sampler: Option<Sampler>,
     /// Progress watchdog; `None` unless armed.
     watchdog: Option<Watchdog>,
+    /// Host-side dispatch counters (`tca-prof` layer one).
+    prof: FabricProf,
 }
 
 impl Default for Fabric {
@@ -171,6 +227,7 @@ impl Fabric {
             config_errors: Vec::new(),
             sampler: None,
             watchdog: None,
+            prof: FabricProf::default(),
         }
     }
 
@@ -471,13 +528,27 @@ impl Fabric {
 
     /// Executes one event. Returns `false` when the queue is idle.
     pub fn step(&mut self) -> bool {
+        self.step_kind().is_some()
+    }
+
+    /// Executes one event and reports its kind (`None` when idle). The
+    /// profiling entry point: a harness can wrap each call in its own
+    /// wall-clock timer and bucket host time per event kind, while the
+    /// fabric itself stays wall-clock-free.
+    pub fn step_kind(&mut self) -> Option<StepKind> {
         self.sample_pending();
-        let Some((_, ev)) = self.queue.pop() else {
-            return false;
-        };
-        match ev {
-            Ev::Deliver { link, dir, tlp } => self.deliver(link, dir, tlp),
-            Ev::Timer { dst, tag } => self.dispatch_timer(dst, tag),
+        let (_, ev) = self.queue.pop()?;
+        let kind = match ev {
+            Ev::Deliver { link, dir, tlp } => {
+                self.prof.deliver_events += 1;
+                self.deliver(link, dir, tlp);
+                StepKind::Deliver
+            }
+            Ev::Timer { dst, tag } => {
+                self.prof.timer_events += 1;
+                self.dispatch_timer(dst, tag);
+                StepKind::Timer
+            }
             Ev::CreditReturn {
                 link,
                 dir,
@@ -485,14 +556,38 @@ impl Fabric {
                 hdr,
                 data,
             } => {
+                self.prof.credit_return_events += 1;
                 self.links[link as usize].dirs[dir.index()]
                     .credits
                     .replenish(class, hdr, data);
                 self.pump_link(link, dir);
+                StepKind::CreditReturn
             }
-        }
+        };
         self.check_watchdog();
-        true
+        Some(kind)
+    }
+
+    /// Host-side dispatch counters accumulated since construction.
+    pub fn prof(&self) -> FabricProf {
+        self.prof
+    }
+
+    /// Host-side counters of the underlying event queue (pushes, pops,
+    /// cancels, tombstone drains, peak heap depth).
+    pub fn queue_prof(&self) -> tca_sim::ProfCounters {
+        *self.queue.prof()
+    }
+
+    /// Event-queue occupancy ledger as `(pending, live, tombstones)`,
+    /// where `pending` counts lazily-cancelled tombstones too. Consumers
+    /// (tests, tca-prof reports) assert `pending == live + tombstones`.
+    pub fn queue_depths(&self) -> (usize, usize, usize) {
+        (
+            self.queue.pending(),
+            self.queue.live_count(),
+            self.queue.tombstone_count(),
+        )
     }
 
     /// Takes every sample due strictly before the next queued event. The
@@ -761,6 +856,7 @@ impl Fabric {
                 &mut self.metrics,
                 &mut self.spans,
                 &mut self.rng,
+                &mut self.prof,
                 link,
                 end,
                 params,
@@ -791,6 +887,7 @@ impl Fabric {
         metrics: &mut MetricsHub,
         spans: &mut SpanStore,
         rng: &mut SimRng,
+        prof: &mut FabricProf,
         link: u32,
         dir: Dir,
         params: LinkParams,
@@ -801,6 +898,7 @@ impl Fabric {
         let corrupt_p = params.error_rate_ppm as f64 / 1e6;
         let submitted = queue.now();
         loop {
+            prof.tlp_transmits += 1;
             let wire_bytes = tlp.wire_bytes();
             let (departure, arrival) = d.wire.reserve(queue.now(), &params, wire_bytes);
             metrics.add(
@@ -879,6 +977,7 @@ impl Fabric {
                 &mut self.metrics,
                 &mut self.spans,
                 &mut self.rng,
+                &mut self.prof,
                 link,
                 dir,
                 params,

@@ -43,13 +43,15 @@ pub mod fabric;
 pub mod flow;
 pub mod link;
 pub mod memory;
+pub mod prof;
 pub mod tagpool;
 pub mod tlp;
 
 pub use addr::{align_down, align_up, is_aligned, AddrRange};
 pub use device::{CreditHold, Ctx, Device};
-pub use fabric::{ConfigError, Fabric, LinkDirStats, LinkId};
+pub use fabric::{ConfigError, Fabric, FabricProf, LinkDirStats, LinkId, StepKind};
 pub use link::{LinkParams, PcieGen, WireState};
 pub use memory::{PageMemory, PAGE_SIZE};
+pub use prof::{tlp_counts, TlpCounts};
 pub use tagpool::{ReadReassembly, TagPool};
 pub use tlp::{DeviceId, Dir, FcClass, PortIdx, Tag, Tlp, TlpKind, TLP_OVERHEAD_BYTES};

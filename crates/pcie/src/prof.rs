@@ -1,0 +1,127 @@
+//! Host-side TLP accounting for `tca-prof`: process-wide counters of TLP
+//! constructions, clones, and router relay hops.
+//!
+//! Like the queue counters in [`tca_sim::prof`], these are pure host-side
+//! integers — they never schedule events or consult wall-clock time, so
+//! the determinism lint and the byte-identity tests stay intact. The
+//! counters are compiled to no-ops unless the `host-prof` feature is on,
+//! keeping the hot constructors free even of atomic traffic in ordinary
+//! builds.
+//!
+//! They are process-wide (a `Tlp` has no back-pointer to a fabric), so
+//! consumers measure *deltas* around a workload rather than absolutes;
+//! `tca-bench`'s profiler does exactly that.
+
+/// Snapshot of the process-wide TLP accounting counters. All zeros unless
+/// the `host-prof` feature is enabled.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TlpCounts {
+    /// TLPs built through the [`crate::Tlp`] constructors
+    /// (`write`/`read`/`completion`/`msi`).
+    pub constructed: u64,
+    /// TLP clones (each one duplicates the payload handle and span).
+    pub cloned: u64,
+    /// PEACH2 router relay hops (a TLP re-built at an intermediate chip).
+    pub relay_hops: u64,
+}
+
+impl TlpCounts {
+    /// Counter increments since `earlier`.
+    pub fn since(&self, earlier: &TlpCounts) -> TlpCounts {
+        TlpCounts {
+            constructed: self.constructed - earlier.constructed,
+            cloned: self.cloned - earlier.cloned,
+            relay_hops: self.relay_hops - earlier.relay_hops,
+        }
+    }
+}
+
+#[cfg(feature = "host-prof")]
+mod counters {
+    use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+    pub(super) static CONSTRUCTED: AtomicU64 = AtomicU64::new(0);
+    pub(super) static CLONED: AtomicU64 = AtomicU64::new(0);
+    pub(super) static RELAY_HOPS: AtomicU64 = AtomicU64::new(0);
+
+    #[inline]
+    pub(super) fn bump(c: &AtomicU64) {
+        c.fetch_add(1, Relaxed);
+    }
+}
+
+/// Records one TLP construction (called by the [`crate::Tlp`] builders).
+#[inline]
+pub fn count_tlp_new() {
+    #[cfg(feature = "host-prof")]
+    counters::bump(&counters::CONSTRUCTED);
+}
+
+/// Records one TLP clone.
+#[inline]
+pub fn count_tlp_clone() {
+    #[cfg(feature = "host-prof")]
+    counters::bump(&counters::CLONED);
+}
+
+/// Records one router relay hop (called from the PEACH2 relay path).
+#[inline]
+pub fn count_relay_hop() {
+    #[cfg(feature = "host-prof")]
+    counters::bump(&counters::RELAY_HOPS);
+}
+
+/// Current process-wide TLP counters (zeros without `host-prof`).
+pub fn tlp_counts() -> TlpCounts {
+    #[cfg(feature = "host-prof")]
+    {
+        use std::sync::atomic::Ordering::Relaxed;
+        TlpCounts {
+            constructed: counters::CONSTRUCTED.load(Relaxed),
+            cloned: counters::CLONED.load(Relaxed),
+            relay_hops: counters::RELAY_HOPS.load(Relaxed),
+        }
+    }
+    #[cfg(not(feature = "host-prof"))]
+    {
+        TlpCounts::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tlp_counts_delta() {
+        let a = TlpCounts {
+            constructed: 5,
+            cloned: 2,
+            relay_hops: 1,
+        };
+        let b = TlpCounts {
+            constructed: 9,
+            cloned: 4,
+            relay_hops: 3,
+        };
+        assert_eq!(
+            b.since(&a),
+            TlpCounts {
+                constructed: 4,
+                cloned: 2,
+                relay_hops: 2,
+            }
+        );
+    }
+
+    #[cfg(feature = "host-prof")]
+    #[test]
+    fn construction_and_clone_counting_is_live() {
+        let before = tlp_counts();
+        let t = crate::Tlp::write(0x1000, vec![0u8; 64]);
+        let _c = t.clone();
+        let d = tlp_counts().since(&before);
+        assert!(d.constructed >= 1);
+        assert!(d.cloned >= 1);
+    }
+}

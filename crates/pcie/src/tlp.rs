@@ -146,7 +146,7 @@ pub enum FcClass {
 }
 
 /// One Transaction Layer Packet.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(PartialEq, Eq)]
 pub struct Tlp {
     /// What the packet is.
     pub kind: TlpKind,
@@ -157,11 +157,25 @@ pub struct Tlp {
     pub span: Option<TraceCtx>,
 }
 
+// Clone is written out (not derived) so `tca-prof` can account every TLP
+// duplication: clones copy the payload handle and span context, and their
+// count per hop is one of the host-cost signals the profiler reports.
+impl Clone for Tlp {
+    fn clone(&self) -> Tlp {
+        crate::prof::count_tlp_clone();
+        Tlp {
+            kind: self.kind.clone(),
+            span: self.span,
+        }
+    }
+}
+
 impl Tlp {
     /// Posted write of `data` to `addr`.
     pub fn write(addr: u64, data: impl Into<Bytes>) -> Tlp {
         let data = data.into();
         assert!(!data.is_empty(), "zero-length MemWrite");
+        crate::prof::count_tlp_new();
         Tlp {
             kind: TlpKind::MemWrite { addr, data },
             span: None,
@@ -171,6 +185,7 @@ impl Tlp {
     /// Read request for `len` bytes at `addr`.
     pub fn read(addr: u64, len: u32, tag: Tag, requester: DeviceId) -> Tlp {
         assert!(len > 0, "zero-length MemRead");
+        crate::prof::count_tlp_new();
         Tlp {
             kind: TlpKind::MemRead {
                 addr,
@@ -190,6 +205,7 @@ impl Tlp {
         data: impl Into<Bytes>,
         last: bool,
     ) -> Tlp {
+        crate::prof::count_tlp_new();
         Tlp {
             kind: TlpKind::Completion {
                 tag,
@@ -204,6 +220,7 @@ impl Tlp {
 
     /// MSI with the given vector.
     pub fn msi(vector: u32) -> Tlp {
+        crate::prof::count_tlp_new();
         Tlp {
             kind: TlpKind::Msi { vector },
             span: None,

@@ -787,6 +787,9 @@ impl Peach2 {
                     self.name
                 );
                 self.relayed.inc();
+                // tca-prof: a relay hop rebuilds the TLP at this chip, so
+                // the host profiler can report constructions *per hop*.
+                tca_pcie::prof::count_relay_hop();
                 if let Some(sp) = span {
                     let now = ctx.now();
                     let end = now + self.params.chip_transit;

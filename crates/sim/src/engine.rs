@@ -5,6 +5,7 @@
 //! order they were scheduled. The engine is deliberately payload-agnostic;
 //! the PCIe fabric layer defines the payload type and the dispatch loop.
 
+use crate::prof::ProfCounters;
 use crate::time::{Dur, SimTime};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -56,6 +57,10 @@ pub struct EventQueue<E> {
     now: SimTime,
     next_seq: u64,
     popped: u64,
+    /// Host-side activity counters (`tca-prof` layer one). Pure integers
+    /// bumped on the existing control paths; provably unable to perturb
+    /// the event stream.
+    prof: ProfCounters,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -74,6 +79,7 @@ impl<E> EventQueue<E> {
             now: SimTime::ZERO,
             next_seq: 0,
             popped: 0,
+            prof: ProfCounters::default(),
         }
     }
 
@@ -95,6 +101,33 @@ impl<E> EventQueue<E> {
         self.heap.len()
     }
 
+    /// Number of live (not cancelled, not yet fired) events pending.
+    #[inline]
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Number of cancelled tombstones still parked in the heap. Always
+    /// `pending() - live_count()` — the invariant the engine property
+    /// tests pin down.
+    #[inline]
+    pub fn tombstone_count(&self) -> usize {
+        self.cancelled.len()
+    }
+
+    /// True while `id` is still pending (scheduled, not fired, not
+    /// cancelled) — exact membership, never fooled by tombstones.
+    #[inline]
+    pub fn is_pending(&self, id: EventId) -> bool {
+        self.live.contains(&id.0)
+    }
+
+    /// Host-side activity counters accumulated since construction.
+    #[inline]
+    pub fn prof(&self) -> &ProfCounters {
+        &self.prof
+    }
+
     /// Schedules `payload` at absolute time `at`.
     ///
     /// # Panics
@@ -110,6 +143,8 @@ impl<E> EventQueue<E> {
         self.next_seq += 1;
         self.heap.push(Scheduled { at, seq, payload });
         self.live.insert(seq);
+        self.prof.pushes += 1;
+        self.prof.peak_heap_depth = self.prof.peak_heap_depth.max(self.heap.len() as u64);
         EventId(seq)
     }
 
@@ -128,6 +163,7 @@ impl<E> EventQueue<E> {
         if !self.live.remove(&id.0) {
             return false;
         }
+        self.prof.cancels += 1;
         self.cancelled.insert(id.0)
     }
 
@@ -135,12 +171,14 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(ev) = self.heap.pop() {
             if self.cancelled.remove(&ev.seq) {
+                self.prof.tombstone_drains += 1;
                 continue;
             }
             self.live.remove(&ev.seq);
             debug_assert!(ev.at >= self.now, "event queue went backwards");
             self.now = ev.at;
             self.popped += 1;
+            self.prof.pops += 1;
             return Some((ev.at, ev.payload));
         }
         None
@@ -153,6 +191,7 @@ impl<E> EventQueue<E> {
             if self.cancelled.contains(&top.seq) {
                 let seq = self.heap.pop().expect("peeked").seq;
                 self.cancelled.remove(&seq);
+                self.prof.tombstone_drains += 1;
             } else {
                 return Some(top.at);
             }
@@ -269,6 +308,47 @@ mod tests {
     }
 
     #[test]
+    fn prof_counters_track_queue_activity() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_ps(10), "a");
+        let b = q.schedule_at(SimTime::from_ps(20), "b");
+        q.schedule_at(SimTime::from_ps(30), "c");
+        assert_eq!(q.prof().pushes, 3);
+        assert_eq!(q.prof().peak_heap_depth, 3);
+        assert!(q.cancel(a));
+        assert!(q.cancel(b));
+        assert!(!q.cancel(b), "double cancel must not count twice");
+        assert_eq!(q.prof().cancels, 2);
+        // Popping walks over both tombstones before reaching "c".
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert_eq!(q.prof().tombstone_drains, 2);
+        assert_eq!(q.prof().pops, 1, "only live events count as pops");
+        assert!(q.pop().is_none());
+        let p = *q.prof();
+        assert_eq!(
+            (
+                p.pushes,
+                p.pops,
+                p.cancels,
+                p.tombstone_drains,
+                p.peak_heap_depth
+            ),
+            (3, 1, 2, 2, 3)
+        );
+    }
+
+    #[test]
+    fn prof_peek_drains_count_as_tombstone_drains() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_ps(10), 0);
+        q.schedule_at(SimTime::from_ps(20), 1);
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_ps(20)));
+        assert_eq!(q.prof().tombstone_drains, 1);
+        assert_eq!(q.prof().pops, 0, "peek must not count as a pop");
+    }
+
+    #[test]
     fn interleaved_schedule_and_pop_stays_deterministic() {
         // A chain of events each scheduling a successor must execute exactly.
         let mut q = EventQueue::new();
@@ -282,5 +362,100 @@ mod tests {
         }
         assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
         assert_eq!(q.now(), SimTime::from_ps(11));
+    }
+
+    // Extends `cancel_of_fired_event_returns_false_and_leaks_nothing`
+    // (the PR 4 tombstone-leak regression) from one fixed interleaving to
+    // arbitrary ones: under any schedule/cancel/pop sequence, the heap
+    // length (`pending()`, tombstones included) must equal live events
+    // plus parked tombstones, and id membership must stay exact — every
+    // id is pending iff it was scheduled and neither fired nor cancelled.
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+        use std::collections::HashSet;
+
+        proptest! {
+            #![proptest_config(ProptestConfig {
+                cases: 64,
+                .. ProptestConfig::default()
+            })]
+
+            #[test]
+            fn cancel_pop_interleavings_keep_len_and_membership_exact(
+                ops in proptest::collection::vec(any::<u8>(), 1..300),
+            ) {
+                let mut q = EventQueue::new();
+                let mut ids: Vec<EventId> = Vec::new();
+                let mut fired: HashSet<EventId> = HashSet::new();
+                let mut cancelled: HashSet<EventId> = HashSet::new();
+                let mut at = 0u64;
+                for op in ops {
+                    match op % 3 {
+                        0 => {
+                            // Schedule strictly in the future of `now`.
+                            at += 1 + (op / 3) as u64;
+                            let t = q.now().as_ps() + at;
+                            ids.push(q.schedule_at(SimTime::from_ps(t), ()));
+                        }
+                        1 if !ids.is_empty() => {
+                            let id = ids[(op as usize / 3) % ids.len()];
+                            let expect =
+                                !fired.contains(&id) && !cancelled.contains(&id);
+                            prop_assert_eq!(
+                                q.cancel(id),
+                                expect,
+                                "cancel result diverged from the model"
+                            );
+                            if expect {
+                                cancelled.insert(id);
+                            }
+                        }
+                        _ => {
+                            if let Some(_ev) = q.pop() {
+                                // Pops happen in time order; mirror by
+                                // marking the earliest un-fired,
+                                // un-cancelled id as fired.
+                                let next = ids
+                                    .iter()
+                                    .find(|i| {
+                                        !fired.contains(i) && !cancelled.contains(i)
+                                    })
+                                    .copied();
+                                prop_assert!(next.is_some(), "pop with empty model");
+                                fired.insert(next.unwrap());
+                            }
+                        }
+                    }
+                    // The tentpole invariants, checked after every op:
+                    prop_assert_eq!(
+                        q.pending(),
+                        q.live_count() + q.tombstone_count(),
+                        "heap len diverged from live + tombstones"
+                    );
+                    for id in &ids {
+                        let model_live =
+                            !fired.contains(id) && !cancelled.contains(id);
+                        prop_assert_eq!(
+                            q.is_pending(*id),
+                            model_live,
+                            "id membership diverged from the model"
+                        );
+                    }
+                }
+                // Drain: afterwards no live events and no leaked tombstones
+                // beyond those whose events never popped (pop drains them).
+                while q.pop().is_some() {}
+                prop_assert_eq!(q.live_count(), 0);
+                prop_assert_eq!(q.tombstone_count(), 0, "tombstones leaked past drain");
+                prop_assert_eq!(q.pending(), 0);
+                // Counter cross-check: every scheduled event either fired,
+                // was cancelled, or drained as a tombstone.
+                let p = *q.prof();
+                prop_assert_eq!(p.pushes, ids.len() as u64);
+                prop_assert_eq!(p.pops + p.tombstone_drains, p.pushes);
+                prop_assert_eq!(p.cancels, p.tombstone_drains);
+            }
+        }
     }
 }

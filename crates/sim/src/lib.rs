@@ -30,13 +30,18 @@
 //! assert_eq!(q.pop(), Some((SimTime::from_ps(1_100), "c")));
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is forbidden except for the one feature-gated module that
+// implements the counting `#[global_allocator]` passthrough (`prof`);
+// with `host-prof` off this crate still compiles under `forbid`.
+#![cfg_attr(not(feature = "host-prof"), forbid(unsafe_code))]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod engine;
 pub mod json;
 pub mod metrics;
+pub mod prof;
 pub mod rng;
 pub mod sampler;
 pub mod span;
@@ -49,6 +54,7 @@ pub use json::JsonValue;
 pub use metrics::{
     CounterId, GaugeId, HistogramId, MeterId, MetricValue, MetricsHub, MetricsSnapshot,
 };
+pub use prof::{alloc_snapshot, AllocSnapshot, ProfCounters};
 pub use rng::SimRng;
 pub use sampler::{GaugeSeries, Sampler, StallReport, Watchdog};
 pub use span::{SpanId, SpanStore, TraceCtx, WriteRec};

@@ -58,7 +58,46 @@ if grep -rnE 'std::time::(Instant|SystemTime)|Instant::now|SystemTime::now|threa
     exit 1
 fi
 
+# Profile-neutrality smoke (tca-prof): --profile must be observationally
+# neutral. Both stdout (health report, sweep JSON) and the on-disk trace +
+# health artifacts must be byte-identical with and without it; the profile
+# artifacts themselves go to separate files and stderr notices only.
+profdir=$(mktemp -d)
+trap 'rm -rf "$profdir"' EXIT
+top_plain=$(cargo run -q --release --offline -p tca-bench --bin tca-bench -- \
+    --scenario pingpong --top --json --telemetry-dir "$profdir/plain" 2> /dev/null)
+top_prof=$(cargo run -q --release --offline -p tca-bench --bin tca-bench -- \
+    --scenario pingpong --top --json --telemetry-dir "$profdir/prof" \
+    --profile --profile-dir "$profdir/out" 2> /dev/null)
+if [[ "$top_plain" != "$top_prof" ]]; then
+    echo "tca-prof smoke: --profile changed the tca-top stdout" >&2
+    exit 1
+fi
+if ! diff -r "$profdir/plain" "$profdir/prof" > /dev/null; then
+    echo "tca-prof smoke: --profile changed the trace/health artifacts" >&2
+    exit 1
+fi
+if [[ ! -s "$profdir/out/PROF_pingpong.json" || ! -s "$profdir/out/PROF_pingpong.folded" ]]; then
+    echo "tca-prof smoke: --profile did not write the PROF artifacts" >&2
+    exit 1
+fi
+sweep_plain=$(cargo run -q --release --offline -p tca-bench --bin tca-bench -- \
+    --scenario put-latency --json)
+sweep_prof=$(cargo run -q --release --offline -p tca-bench --bin tca-bench -- \
+    --scenario put-latency --json --profile --profile-dir "$profdir/out" 2> /dev/null)
+if [[ "$sweep_plain" != "$sweep_prof" ]]; then
+    echo "tca-prof smoke: --profile changed the sweep JSON" >&2
+    exit 1
+fi
+
 # Perf-regression gate: rerun the fabric kernels (ping-pong, hop sweep,
 # Fig. 7/8/9 bandwidth), write the schema-stable results/BENCH_fabric.json,
 # and fail the build if any metric drifts outside its paper-anchored bound.
 cargo run -q --release --offline -p tca-bench --bin bench_regression
+
+# Engine-throughput gate: drive the fixed 8-node-ring steady-state workload
+# plus the ring-size sweep under the counting allocator, write the
+# schema-stable results/BENCH_engine.json, and fail the build if host
+# events/sec, ns/event, allocs/event, or peak heap depth drifts outside its
+# bound — same contract as BENCH_fabric.json, but for simulator speed.
+cargo run -q --release --offline -p tca-bench --bin bench_engine

@@ -4,6 +4,15 @@
 
 use tca::prelude::*;
 
+/// Every test in this binary runs under the tca-prof counting allocator —
+/// the same opt-in `bench_engine` and `tca-bench --profile` make. The
+/// byte-identity assertions below therefore double as the proof that
+/// allocation accounting never perturbs a simulated timestamp, and
+/// `bench_fabric_report_is_byte_identical`'s `validate()` pins the exact
+/// paper-anchored values uninstrumented binaries produce.
+#[global_allocator]
+static ALLOC: tca::sim::prof::CountingAllocator = tca::sim::prof::CountingAllocator;
+
 fn run_workload() -> (u64, Vec<u64>) {
     let (events, times, ..) = run_workload_telemetry(false);
     (events, times)
@@ -218,6 +227,89 @@ fn telemetry_summaries_are_independent_of_job_count() {
         "telemetry-bearing sweep JSON diverged between --jobs 1 and --jobs 8"
     );
     assert!(serial.to_json().contains("\"telemetry\":{"));
+}
+
+#[test]
+fn counting_allocator_is_live_and_byte_neutral() {
+    // The allocator installed above must actually be counting this
+    // process's allocations…
+    assert!(tca::sim::prof::alloc_tracking_compiled());
+    let before = tca::sim::alloc_snapshot();
+    let (ev1, t1, snap1, spans1) = run_workload_telemetry(true);
+    let delta = tca::sim::alloc_snapshot().since(&before);
+    assert!(delta.allocs > 0, "allocator is not counting: {delta:?}");
+    assert!(delta.bytes_allocated > 0);
+    // …and counting must leave the event stream, timings, metrics
+    // snapshot, and span trace byte-identical across replays.
+    let (ev2, t2, snap2, spans2) = run_workload_telemetry(true);
+    assert_eq!(ev1, ev2, "event counts diverged under the allocator");
+    assert_eq!(t1, t2, "timings diverged under the allocator");
+    assert_eq!(snap1, snap2, "snapshots diverged under the allocator");
+    assert_eq!(spans1, spans2, "span trees diverged under the allocator");
+}
+
+#[test]
+fn prof_counters_replay_exactly_and_balance() {
+    // ProfCounters (queue) and FabricProf (dispatch) are per-instance
+    // simulated-side tallies: two identical workloads must produce the
+    // same counts, every pop must have dispatched exactly one event kind,
+    // and the queue's own ledger (pending = live + tombstones) must hold.
+    // TLP counts are process-global (shared with concurrently running
+    // tests), so only liveness is asserted here — exact replay is covered
+    // by the tca-bench unit tests.
+    let run = || {
+        let tlp_before = tca::pcie::tlp_counts();
+        let mut c = TcaClusterBuilder::new(4).build();
+        c.write(&MemRef::host(0, 0x4000_0000), &[0x5au8; 4096]);
+        c.memcpy_peer(
+            &MemRef::host(2, 0x5000_0000),
+            &MemRef::host(0, 0x4000_0000),
+            4096,
+        );
+        c.pio_put(1, &MemRef::host(3, 0x6000_0000), &[9, 9, 9, 9]);
+        let (pending, live, tombstones) = c.fabric.queue_depths();
+        assert_eq!(pending, live + tombstones, "queue ledger diverged");
+        (
+            c.fabric.queue_prof(),
+            c.fabric.prof(),
+            tca::pcie::tlp_counts().since(&tlp_before),
+        )
+    };
+    let (q1, d1, t1) = run();
+    let (q2, d2, _) = run();
+    assert_eq!(q1, q2, "queue counters diverged between identical runs");
+    assert_eq!(d1, d2, "dispatch counters diverged between identical runs");
+    assert!(q1.pops > 0 && q1.pushes >= q1.pops);
+    assert!(q1.peak_heap_depth > 0);
+    assert_eq!(
+        d1.deliver_events + d1.timer_events + d1.credit_return_events,
+        q1.pops,
+        "every pop must dispatch exactly one event kind"
+    );
+    assert!(t1.constructed > 0, "workload built TLPs: {t1:?}");
+}
+
+#[test]
+fn engine_bench_is_reproducible_and_schema_stable() {
+    // BENCH_engine.json mixes wall-clock metrics (vary run to run) with
+    // simulated-side counters (must not). Two smoke-workload runs agree on
+    // every simulated-side field, and the schema headers are pinned.
+    use tca_bench::EngineWorkload;
+    let a = tca_bench::engine_bench_with(EngineWorkload::smoke());
+    let b = tca_bench::engine_bench_with(EngineWorkload::smoke());
+    assert_eq!(a.steady_events, b.steady_events);
+    assert!(a.steady_events > 0);
+    assert_eq!(a.peak_heap_depth, b.peak_heap_depth);
+    assert_eq!(a.profile.queue, b.profile.queue);
+    assert_eq!(a.profile.dispatch, b.profile.dispatch);
+    assert!(a.alloc_counted, "this binary installs the allocator");
+    assert!(a
+        .to_json()
+        .starts_with("{\"schema\":\"tca-bench-engine/v1\""));
+    assert!(a
+        .profile
+        .to_json()
+        .starts_with("{\"schema\":\"tca-prof/v1\""));
 }
 
 #[test]
