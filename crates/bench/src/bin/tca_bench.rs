@@ -20,6 +20,13 @@
 //! `--telemetry-dir <dir>` writes the full health/series/trace JSON
 //! artifacts of that instrumented run into `<dir>`.
 //!
+//! `--flight-dir <dir>` turns on the deterministic flight recorder for
+//! that same instrumented run and writes the `tca-flight/v1` log as
+//! `FLIGHT_<scenario>-<backend>.jsonl` into `<dir>` (query it with
+//! `tca-flight`). Recording is observationally neutral: stdout and every
+//! other artifact are byte-identical with and without it, which
+//! `scripts/ci.sh` asserts on every run.
+//!
 //! `--profile` takes a host-side engine profile of the scenario's
 //! representative rig (tca-prof layer two: `Instant` phase timers around
 //! build/warmup/steady plus per-event-kind dispatch time) and writes
@@ -40,7 +47,8 @@ static ALLOC: tca_sim::prof::CountingAllocator = tca_sim::prof::CountingAllocato
 
 const USAGE: &str = "usage: tca-bench --list [--json]
        tca-bench --scenario <name> [--backend tca|mpi|mpi-gpudirect] [--json] [--jobs N]
-                 [--top] [--telemetry-dir <dir>] [--profile] [--profile-dir <dir>]";
+                 [--top] [--telemetry-dir <dir>] [--flight-dir <dir>]
+                 [--profile] [--profile-dir <dir>]";
 
 fn list() {
     println!(
@@ -75,6 +83,7 @@ fn main() -> ExitCode {
     let mut do_list = false;
     let mut top = false;
     let mut telemetry_dir: Option<PathBuf> = None;
+    let mut flight_dir: Option<PathBuf> = None;
     let mut profile = false;
     let mut profile_dir = PathBuf::from("results");
 
@@ -91,6 +100,10 @@ fn main() -> ExitCode {
             "--telemetry-dir" => match args.next() {
                 Some(dir) => telemetry_dir = Some(PathBuf::from(dir)),
                 None => return fail("--telemetry-dir needs a directory"),
+            },
+            "--flight-dir" => match args.next() {
+                Some(dir) => flight_dir = Some(PathBuf::from(dir)),
+                None => return fail("--flight-dir needs a directory"),
             },
             "--scenario" => match args.next() {
                 Some(name) => scenario_name = Some(name),
@@ -140,16 +153,25 @@ fn main() -> ExitCode {
     }
 
     // The health artifacts come from one instrumented representative run,
-    // shared between `--top` and `--telemetry-dir`.
-    let health = if top || telemetry_dir.is_some() {
-        Some(tca_bench::top_report(sc.name, backend))
+    // shared between `--top`, `--telemetry-dir`, and `--flight-dir` —
+    // flight recording rides along on the exact rig the health report
+    // measures, so the log and the artifacts describe the same run.
+    let (health, flight) = if top || telemetry_dir.is_some() || flight_dir.is_some() {
+        let (rep, log) = tca_bench::top_report_with_flight(sc.name, backend, flight_dir.is_some());
+        (Some(rep), log)
     } else {
-        None
+        (None, None)
     };
     if let (Some(rep), Some(dir)) = (&health, &telemetry_dir) {
         for path in rep.write_to(dir, sc.name, backend.name()) {
             eprintln!("tca-bench: wrote {}", path.display());
         }
+    }
+    if let (Some(log), Some(dir)) = (&flight, &flight_dir) {
+        tca_bench::ensure_out_dir(dir);
+        let path = dir.join(format!("FLIGHT_{}-{}.jsonl", sc.name, backend.name()));
+        std::fs::write(&path, log).expect("write flight log");
+        eprintln!("tca-bench: wrote {}", path.display());
     }
     if top {
         let rep = health.expect("built above");

@@ -61,6 +61,7 @@ pub struct Rig {
 /// Builds a fresh ring rig of `n` nodes.
 pub fn rig(n: u32) -> Rig {
     let mut fabric = Fabric::new();
+    apply_env_flight(&mut fabric);
     let sc = build_ring(
         &mut fabric,
         n,
@@ -77,6 +78,22 @@ pub fn rig(n: u32) -> Rig {
         fabric,
         sc,
         drivers,
+    }
+}
+
+/// Honours `TCA_FLIGHT_RING=<capacity>`: the one-switch flight-recording
+/// audit the CI neutrality smoke uses. Mirrors the gate in the
+/// `tca-core` backend constructors so the `bench_regression` rigs (which
+/// build fabrics directly) also record under the audit — recording must
+/// leave `BENCH_fabric.json` byte-identical. Host configuration, like a
+/// CLI flag; the fabric itself stays env-free.
+fn apply_env_flight(fabric: &mut Fabric) {
+    if let Ok(v) = std::env::var("TCA_FLIGHT_RING") {
+        if let Ok(cap) = v.trim().parse::<usize>() {
+            if cap > 0 {
+                fabric.enable_flight(cap, false);
+            }
+        }
     }
 }
 
@@ -972,6 +989,26 @@ fn drive_health_traffic(c: &mut impl tca_core::CommWorld, n: u32) {
 /// latency scenarios, the 8-node ring otherwise (`ring-hops` &co. — the
 /// all-to-all neighbour shift of the EXPERIMENTS.md worked example).
 pub fn top_report(scenario: &str, backend: scenario::BackendKind) -> TopReport {
+    top_report_with_flight(scenario, backend, false).0
+}
+
+/// Ring capacity for flight recording of the representative health
+/// run — large enough that nothing is evicted on the 8-node ring, so
+/// the log covers every step from simulation start.
+pub const FLIGHT_RING_CAPACITY: usize = 65536;
+
+/// [`top_report`] with an optional `tca-flight/v1` recording of the
+/// *same* instrumented run. When `flight` is true the returned log
+/// covers exactly the traffic that produced the health artifacts, so a
+/// byte-compare of the [`TopReport`] with recording off vs on is a
+/// genuine neutrality claim on a shared rig (the CI flight smoke relies
+/// on this). The log ends with the run's span records, letting
+/// `tca-flight path`/`flight diff` reconstruct span trees offline.
+pub fn top_report_with_flight(
+    scenario: &str,
+    backend: scenario::BackendKind,
+    flight: bool,
+) -> (TopReport, Option<String>) {
     use scenario::BackendKind;
     use tca_core::prelude::*;
     const PERIOD: Dur = Dur::from_ns(250);
@@ -993,11 +1030,15 @@ pub fn top_report(scenario: &str, backend: scenario::BackendKind) -> TopReport {
         BackendKind::Tca => {
             let mut c = TcaClusterBuilder::new(n).build();
             c.fabric.set_span_tracing(true);
+            if flight {
+                c.enable_flight(FLIGHT_RING_CAPACITY, true);
+            }
             c.enable_sampling(PERIOD);
             c.arm_watchdog(WINDOW);
             drive_health_traffic(&mut c, n);
             let (text, health_json) = (c.health_report(), c.health_report_json());
-            capture(&mut c.fabric, text, health_json)
+            let log = c.flight_jsonl();
+            (capture(&mut c.fabric, text, health_json), log)
         }
         BackendKind::MpiStaged | BackendKind::MpiGpuDirect => {
             let mode = if backend == BackendKind::MpiStaged {
@@ -1007,13 +1048,27 @@ pub fn top_report(scenario: &str, backend: scenario::BackendKind) -> TopReport {
             };
             let mut m = MpiBackend::new(n, mode);
             m.fabric.set_span_tracing(true);
+            if flight {
+                m.enable_flight(FLIGHT_RING_CAPACITY, true);
+            }
             m.enable_sampling(PERIOD);
             m.arm_watchdog(WINDOW);
             drive_health_traffic(&mut m, n);
             let (text, health_json) = (m.health_report(), m.health_report_json());
-            capture(&mut m.fabric, text, health_json)
+            let log = m.flight_jsonl();
+            (capture(&mut m.fabric, text, health_json), log)
         }
     }
+}
+
+/// Records a `tca-flight/v1` log of the representative health run for
+/// `scenario` on `backend` (the [`top_report`] rig with flight recording
+/// on). Returns `None` only if the backend produced no recorder — it
+/// always records here, so callers can `.expect()` the log. This is the
+/// one-call entry the determinism suite and the `tca-flight` CLI use to
+/// obtain comparable same-rig logs across backends.
+pub fn flight_log(scenario: &str, backend: scenario::BackendKind) -> Option<String> {
+    top_report_with_flight(scenario, backend, true).1
 }
 
 impl TopReport {
@@ -1438,6 +1493,138 @@ impl FabricBench {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The indented rows of one section of the `--top` text report
+    /// (everything under the line starting with `header`).
+    fn report_section<'a>(text: &'a str, header: &str) -> Vec<&'a str> {
+        text.lines()
+            .skip_while(|l| !l.starts_with(header))
+            .skip(1)
+            .take_while(|l| l.starts_with("  "))
+            .collect()
+    }
+
+    /// `tca-bench --top` and `--top --json` must agree field for field:
+    /// both renderings come from one `HealthData` collection, the text
+    /// elides zero-traffic links and so does the JSON, so every JSON link
+    /// key has exactly one text row carrying the same numbers (and vice
+    /// versa — the row counts are compared both ways).
+    #[test]
+    fn top_text_and_json_agree_field_for_field() {
+        let rep = top_report("ring-hops", scenario::BackendKind::Tca);
+        let json = tca_sim::JsonValue::parse(&rep.health_json).expect("health json parses");
+        let text = &rep.text;
+        let get_u64 = |v: &tca_sim::JsonValue, key: &str| {
+            v.get(key)
+                .and_then(tca_sim::JsonValue::as_f64)
+                .map(|f| f as u64)
+        };
+        let fmt_pct = |pm: u64| format!("{}.{}%", pm / 10, pm % 10);
+        let fmt_opt = |v: Option<u64>, f: &dyn Fn(u64) -> String| v.map_or("-".to_string(), f);
+
+        let nodes = get_u64(&json, "nodes").expect("nodes");
+        let events = get_u64(&json, "events").expect("events");
+        assert!(
+            text.contains(&format!("fabric health: {nodes} nodes")),
+            "{text}"
+        );
+        assert!(text.contains(&format!("{events} events")), "{text}");
+
+        let links = json
+            .get("links")
+            .and_then(|v| v.as_object())
+            .expect("links");
+        let link_rows = report_section(text, "links:");
+        assert!(!links.is_empty(), "instrumented run lit links");
+        assert_eq!(
+            link_rows.len(),
+            links.len(),
+            "one text row per JSON link:\n{text}"
+        );
+        for (label, v) in links {
+            let cols: Vec<&str> = link_rows
+                .iter()
+                .map(|r| r.split_whitespace().collect::<Vec<_>>())
+                .find(|c| c.first() == Some(&label.as_str()))
+                .unwrap_or_else(|| panic!("link {label} missing from text:\n{text}"));
+            assert_eq!(cols[1], get_u64(v, "tlps").expect("tlps").to_string());
+            assert_eq!(
+                cols[2],
+                fmt_pct(get_u64(v, "wire_busy_permille").expect("wire"))
+            );
+            assert_eq!(
+                cols[3],
+                fmt_pct(get_u64(v, "stall_permille").expect("stall"))
+            );
+            assert_eq!(cols[4], get_u64(v, "queue_peak").expect("peak").to_string());
+            assert_eq!(
+                cols[5],
+                fmt_opt(get_u64(v, "queue_mean"), &|m| m.to_string())
+            );
+            assert_eq!(
+                cols[6],
+                fmt_opt(get_u64(v, "queue_busy_permille"), &fmt_pct)
+            );
+            assert_eq!(
+                cols[7],
+                fmt_opt(get_u64(v, "credits_busy_permille"), &fmt_pct)
+            );
+            let src = v.get("src").and_then(|s| s.as_str()).expect("src");
+            let dst = v.get("dst").and_then(|s| s.as_str()).expect("dst");
+            assert_eq!(cols[8..], [src, "->", dst], "route for {label}");
+        }
+
+        let engines = json
+            .get("engines")
+            .and_then(|v| v.as_object())
+            .expect("engines");
+        let engine_rows = report_section(text, "engines:");
+        assert_eq!(
+            engine_rows.len(),
+            engines.len(),
+            "one text row per engine:\n{text}"
+        );
+        for (name, v) in engines {
+            let cols: Vec<&str> = engine_rows
+                .iter()
+                .map(|r| r.split_whitespace().collect::<Vec<_>>())
+                .find(|c| c.first() == Some(&name.as_str()))
+                .unwrap_or_else(|| panic!("engine {name} missing from text:\n{text}"));
+            assert_eq!(cols[1], get_u64(v, "current").expect("current").to_string());
+            assert_eq!(cols[2], get_u64(v, "peak").expect("peak").to_string());
+            assert_eq!(cols[3], fmt_opt(get_u64(v, "mean"), &|m| m.to_string()));
+            assert_eq!(cols[4], fmt_opt(get_u64(v, "busy_permille"), &fmt_pct));
+        }
+
+        let latency = json
+            .get("latency")
+            .and_then(|v| v.as_object())
+            .expect("latency");
+        let latency_rows = report_section(text, "latency:");
+        assert!(!latency.is_empty(), "root spans recorded");
+        assert_eq!(
+            latency_rows.len(),
+            latency.len(),
+            "one text row per span kind"
+        );
+        for (name, v) in latency {
+            let cols: Vec<&str> = latency_rows
+                .iter()
+                .map(|r| r.split_whitespace().collect::<Vec<_>>())
+                .find(|c| c.first() == Some(&name.as_str()))
+                .unwrap_or_else(|| panic!("span {name} missing from text:\n{text}"));
+            for (i, key) in ["count", "p50_ns", "p99_ns", "p999_ns", "max_ns"]
+                .iter()
+                .enumerate()
+            {
+                assert_eq!(
+                    cols[i + 1],
+                    get_u64(v, key).expect(key).to_string(),
+                    "{name}.{key}"
+                );
+            }
+        }
+    }
 
     #[test]
     fn fig7_anchor_points() {

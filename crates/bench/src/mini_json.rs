@@ -129,7 +129,10 @@ impl<'a> ser::Serializer for &'a mut Ser {
         Ok(())
     }
     fn serialize_str(self, v: &str) -> Result<(), Err> {
-        write!(self.out, "{v:?}").expect("fmt");
+        // One escaper for the whole workspace: Rust's `{v:?}` is close to
+        // JSON but not identical (`\u{7f}` forms), so defer to the shared
+        // `tca_sim` JSON escaper instead of a private near-copy.
+        tca_sim::write_escaped(v, &mut self.out);
         Ok(())
     }
     fn serialize_seq(self, _len: Option<usize>) -> Result<Seq<'a>, Err> {

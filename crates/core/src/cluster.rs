@@ -65,6 +65,7 @@ impl TcaClusterBuilder {
     /// Builds the cluster.
     pub fn build(self) -> TcaCluster {
         let mut fabric = Fabric::new();
+        crate::apply_env_flight(&mut fabric);
         let mut sub = match self.topology {
             Topology::Ring => build_ring(&mut fabric, self.nodes, &self.node_cfg, self.peach2),
             Topology::DualRing => {
@@ -254,6 +255,21 @@ impl TcaCluster {
     /// [`tca_pcie::Fabric::arm_watchdog`]).
     pub fn arm_watchdog(&mut self, window: tca_sim::Dur) {
         self.fabric.arm_watchdog(window);
+    }
+
+    /// Enables the deterministic flight recorder on the underlying fabric
+    /// (see [`tca_pcie::Fabric::enable_flight`]): a bounded ring of
+    /// dispatch events, with optional spill of evicted events so the full
+    /// log is retained. Pure observation — recording never shifts
+    /// simulated time.
+    pub fn enable_flight(&mut self, ring_capacity: usize, spill: bool) {
+        self.fabric.enable_flight(ring_capacity, spill);
+    }
+
+    /// The `tca-flight/v1` JSONL log (events plus span records), when
+    /// recording is enabled.
+    pub fn flight_jsonl(&self) -> Option<String> {
+        self.fabric.flight_jsonl()
     }
 
     /// Renders the continuous-health congestion report (`tca-top`): a

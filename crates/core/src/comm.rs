@@ -264,6 +264,7 @@ impl MpiBackend {
     /// Builds with explicit node and network parameters.
     pub fn with_params(nodes: u32, gpu_mode: MpiGpuMode, cfg: NodeConfig, ib: IbParams) -> Self {
         let mut fabric = Fabric::new();
+        crate::apply_env_flight(&mut fabric);
         let mut ns: Vec<Node> = (0..nodes)
             .map(|i| build_node(&mut fabric, &format!("n{i}"), &cfg))
             .collect();
@@ -295,6 +296,18 @@ impl MpiBackend {
     /// [`TcaCluster::arm_watchdog`] does for the TCA backend.
     pub fn arm_watchdog(&mut self, window: Dur) {
         self.fabric.arm_watchdog(window);
+    }
+
+    /// Enables the deterministic flight recorder, exactly as
+    /// [`TcaCluster::enable_flight`] does for the TCA backend.
+    pub fn enable_flight(&mut self, ring_capacity: usize, spill: bool) {
+        self.fabric.enable_flight(ring_capacity, spill);
+    }
+
+    /// The `tca-flight/v1` JSONL log (events plus span records), when
+    /// recording is enabled.
+    pub fn flight_jsonl(&self) -> Option<String> {
+        self.fabric.flight_jsonl()
     }
 
     /// The continuous-health congestion report for the MPI/IB fabric, in

@@ -38,6 +38,27 @@ pub mod presets;
 
 pub use api::{GpuAlloc, MemRef, MemSpace, TcaEvent};
 pub use cluster::{TcaCluster, TcaClusterBuilder, Topology};
+
+/// Applies the `TCA_FLIGHT_RING` environment opt-in: when the variable
+/// holds a positive event count, the fabric records its dispatch stream
+/// into a flight ring of that capacity (no spill). Both backend
+/// constructors ([`TcaClusterBuilder::build`] and [`MpiBackend::new`])
+/// call this, which gives CI one switch to re-run *any* existing harness
+/// — `bench_regression`, `bench_engine`, the scenario sweeps — with
+/// recording on and diff the artifacts against a plain run, proving the
+/// recorder is byte-neutral end to end. Reading the environment here (host
+/// configuration, fixed for the process, like a CLI flag) keeps the
+/// simulation crates themselves entirely host-state-free.
+pub(crate) fn apply_env_flight(fabric: &mut tca_pcie::Fabric) {
+    let Ok(v) = std::env::var("TCA_FLIGHT_RING") else {
+        return;
+    };
+    if let Ok(cap) = v.parse::<usize>() {
+        if cap > 0 {
+            fabric.enable_flight(cap, false);
+        }
+    }
+}
 pub use collectives::Collectives;
 pub use comm::{CommWorld, MpiBackend, MpiGpuMode, PutSpec, TcaBackend};
 pub use hierarchy::{HierarchicalCluster, Route};

@@ -135,6 +135,14 @@ pub trait Device: Any {
     fn health_status(&self) -> Option<String> {
         None
     }
+
+    /// Stable short name for a device-private timer `tag` encoding, used
+    /// by the flight recorder to label timer events (`"relay_forward"`,
+    /// `"desc_decode"`) instead of printing an opaque integer. `None` (the
+    /// default) renders as the raw tag. Pure read — never schedules events.
+    fn timer_kind(&self, _tag: u64) -> Option<&'static str> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -24,8 +24,8 @@ use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 use tca_sim::metrics::{CounterId, GaugeId, MeterId};
 use tca_sim::{
-    Dur, EventQueue, MetricsHub, MetricsSnapshot, Sampler, SimRng, SimTime, SpanStore, StallReport,
-    TraceLevel, Tracer, Watchdog,
+    Dur, EventQueue, FlightRecorder, Fnv64, MetricsHub, MetricsSnapshot, Sampler, SimRng, SimTime,
+    SpanStore, StallReport, TraceLevel, Tracer, Watchdog,
 };
 
 /// Identifier of a link within the fabric.
@@ -204,6 +204,8 @@ pub struct Fabric {
     watchdog: Option<Watchdog>,
     /// Host-side dispatch counters (`tca-prof` layer one).
     prof: FabricProf,
+    /// Flight recorder; `None` unless enabled.
+    flight: Option<FlightRecorder>,
 }
 
 impl Default for Fabric {
@@ -228,6 +230,7 @@ impl Fabric {
             sampler: None,
             watchdog: None,
             prof: FabricProf::default(),
+            flight: None,
         }
     }
 
@@ -303,6 +306,37 @@ impl Fabric {
     /// The stall report, when the armed watchdog has fired.
     pub fn stall_report(&self) -> Option<&StallReport> {
         self.watchdog.as_ref().and_then(|w| w.report())
+    }
+
+    /// Enables the deterministic flight recorder, keeping the most recent
+    /// `ring_capacity` dispatched events; with `spill`, events evicted
+    /// from the ring are retained as pre-serialized JSONL lines so the
+    /// full log survives. Like the sampler and watchdog, the recorder is
+    /// a pure data sink driven from the dispatch loop — it never schedules
+    /// events and never reads a wall clock, so a recorded run replays the
+    /// exact event stream of an unrecorded one (proven byte-for-byte by
+    /// `tests/determinism.rs`). Re-enabling replaces any previous log.
+    pub fn enable_flight(&mut self, ring_capacity: usize, spill: bool) {
+        self.flight = Some(if spill {
+            FlightRecorder::with_spill(ring_capacity)
+        } else {
+            FlightRecorder::new(ring_capacity)
+        });
+    }
+
+    /// The flight recorder, when enabled.
+    pub fn flight(&self) -> Option<&FlightRecorder> {
+        self.flight.as_ref()
+    }
+
+    /// The full flight log as `tca-flight/v1` JSONL — header, event lines,
+    /// then the run's span records (so span trees can be bisected from the
+    /// log alone) — or `None` when recording is off.
+    pub fn flight_jsonl(&self) -> Option<String> {
+        let fl = self.flight.as_ref()?;
+        let mut out = fl.jsonl();
+        out.push_str(&self.spans.jsonl());
+        Some(out)
     }
 
     /// Enables or disables causal span tracing. Packets launched while
@@ -538,6 +572,7 @@ impl Fabric {
     pub fn step_kind(&mut self) -> Option<StepKind> {
         self.sample_pending();
         let (_, ev) = self.queue.pop()?;
+        self.record_flight(&ev);
         let kind = match ev {
             Ev::Deliver { link, dir, tlp } => {
                 self.prof.deliver_events += 1;
@@ -588,6 +623,63 @@ impl Fabric {
             self.queue.live_count(),
             self.queue.tombstone_count(),
         )
+    }
+
+    /// Appends the just-popped event to the flight recorder, if enabled.
+    /// Runs between pop and dispatch so the log order *is* the dispatch
+    /// order; pure data capture — nothing here schedules events or touches
+    /// link state, so recording cannot shift simulated time.
+    fn record_flight(&mut self, ev: &Ev) {
+        let Some(fl) = &mut self.flight else {
+            return;
+        };
+        let at = self.queue.now();
+        match ev {
+            Ev::Deliver { link, dir, tlp } => {
+                let (dst, port) = self.links[*link as usize].ends[dir.flip().index()];
+                fl.record(
+                    at,
+                    StepKind::Deliver.name(),
+                    dst.0,
+                    Some(port.0),
+                    tlp.span.map(|s| s.root.raw()),
+                    tlp.digest(),
+                    format!("{tlp:?}"),
+                );
+            }
+            Ev::Timer { dst, tag } => {
+                let label = match self.devices[dst.0 as usize].timer_kind(*tag) {
+                    Some(kind) => format!("{kind} tag={tag:#x}"),
+                    None => format!("timer tag={tag:#x}"),
+                };
+                fl.record(at, StepKind::Timer.name(), dst.0, None, None, *tag, label);
+            }
+            Ev::CreditReturn {
+                link,
+                dir,
+                class,
+                hdr,
+                data,
+            } => {
+                let (src, port) = self.links[*link as usize].ends[dir.index()];
+                let digest = Fnv64::new()
+                    .write_u64(u64::from(*link))
+                    .write_u64(dir.index() as u64)
+                    .write_u64(*class as u64)
+                    .write_u64(u64::from(*hdr))
+                    .write_u64(u64::from(*data))
+                    .finish();
+                fl.record(
+                    at,
+                    StepKind::CreditReturn.name(),
+                    src.0,
+                    Some(port.0),
+                    None,
+                    digest,
+                    format!("credits link{link}.{dir} {class:?} +{hdr}h/+{data}d"),
+                );
+            }
+        }
     }
 
     /// Takes every sample due strictly before the next queued event. The
@@ -1520,6 +1612,48 @@ mod tests {
                 .diagnosis
                 .contains("hoarder: 1 credit hold(s) outstanding"),
             "diagnosis names the stalled engine: {}",
+            report.diagnosis
+        );
+    }
+
+    #[test]
+    fn watchdog_drained_stall_names_oldest_in_flight_span() {
+        // The drained-stall path with span tracing on: the queue empties
+        // with TLPs still blocked AND a transfer tree still open, so the
+        // diagnosis must name that oldest in-flight span — the line an
+        // operator greps for to learn *which* transfer never completed.
+        let mut f = Fabric::new();
+        let req = f.add_device(|id| Requester { id, got: vec![] });
+        let sink = f.add_device(|id| Hoarder { id, holds: vec![] });
+        let mut p = LinkParams::gen2_x8().with_latency(Dur::from_ns(10));
+        p.posted_hdr_credits = 1;
+        f.connect((req, PortIdx(0)), (sink, PortIdx(0)), p);
+        f.set_span_tracing(true);
+        f.arm_watchdog(Dur::from_us(100));
+        f.spans_mut()
+            .start_root("stuck_put", SimTime::ZERO, Some(0))
+            .expect("tracing enabled");
+        f.drive::<Requester, _>(req, |_, ctx| {
+            for i in 0..3u64 {
+                ctx.send(PortIdx(0), Tlp::write(i * 256, vec![1u8; 256]));
+            }
+        });
+        // Drains long before the 100 µs window: only `check_drained_stall`
+        // (not the periodic in-run check) can have fired the watchdog.
+        let end = f.run_until_idle();
+        assert!(end < SimTime::from_ps(100_000_000), "drained early: {end}");
+        let report = f.stall_report().expect("drained stall must fire");
+        assert_eq!(report.at, end, "fired at the drain instant");
+        assert!(
+            report
+                .diagnosis
+                .contains("oldest in-flight span: `stuck_put`"),
+            "diagnosis names the open transfer: {}",
+            report.diagnosis
+        );
+        assert!(
+            report.diagnosis.contains("blocked on credits"),
+            "{}",
             report.diagnosis
         );
     }

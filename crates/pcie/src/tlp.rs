@@ -261,6 +261,51 @@ impl Tlp {
         (self.payload_len().div_ceil(16)) as u32
     }
 
+    /// FNV-1a content digest over the packet's kind, header fields, and
+    /// payload bytes — the flight recorder's packet identity. Two TLPs
+    /// digest equal iff they would be indistinguishable on the wire
+    /// (span context excluded: identity is *what* is sent, not the
+    /// observability metadata riding along), so a run-to-run diff catches
+    /// payload corruption even when every timestamp agrees.
+    pub fn digest(&self) -> u64 {
+        let mut h = tca_sim::Fnv64::new();
+        match &self.kind {
+            TlpKind::MemWrite { addr, data } => {
+                h.update(&[0]).write_u64(*addr).update(data);
+            }
+            TlpKind::MemRead {
+                addr,
+                len,
+                tag,
+                requester,
+            } => {
+                h.update(&[1])
+                    .write_u64(*addr)
+                    .write_u64(u64::from(*len))
+                    .write_u64(u64::from(tag.0))
+                    .write_u64(u64::from(requester.0));
+            }
+            TlpKind::Completion {
+                tag,
+                requester,
+                offset,
+                data,
+                last,
+            } => {
+                h.update(&[2])
+                    .write_u64(u64::from(tag.0))
+                    .write_u64(u64::from(requester.0))
+                    .write_u64(u64::from(*offset))
+                    .update(&[u8::from(*last)])
+                    .update(data);
+            }
+            TlpKind::Msi { vector } => {
+                h.update(&[3]).write_u64(u64::from(*vector));
+            }
+        }
+        h.finish()
+    }
+
     /// Target address for address-routed kinds, `None` for ID-routed
     /// completions and MSIs.
     pub fn route_addr(&self) -> Option<u64> {
@@ -364,5 +409,32 @@ mod tests {
     #[should_panic(expected = "zero-length")]
     fn zero_write_rejected() {
         let _ = Tlp::write(0, Vec::<u8>::new());
+    }
+
+    #[test]
+    fn digest_separates_content_not_span() {
+        let a = Tlp::write(0x1000, vec![1, 2, 3]);
+        let b = Tlp::write(0x1000, vec![1, 2, 3]);
+        assert_eq!(a.digest(), b.digest(), "equal content, equal digest");
+        assert_ne!(
+            a.digest(),
+            Tlp::write(0x1000, vec![1, 2, 4]).digest(),
+            "payload corruption must change the digest"
+        );
+        assert_ne!(
+            a.digest(),
+            Tlp::write(0x1008, vec![1, 2, 3]).digest(),
+            "address must change the digest"
+        );
+        assert_ne!(
+            Tlp::read(0, 4, Tag(1), DeviceId(0)).digest(),
+            Tlp::read(0, 4, Tag(2), DeviceId(0)).digest()
+        );
+        assert_ne!(Tlp::msi(1).digest(), Tlp::msi(2).digest());
+        // Kinds never collide on the discriminant byte.
+        assert_ne!(
+            Tlp::write(0, vec![0]).digest(),
+            Tlp::completion(Tag(0), DeviceId(0), 0, vec![0], false).digest()
+        );
     }
 }

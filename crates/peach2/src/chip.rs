@@ -933,6 +933,22 @@ impl Device for Peach2 {
             self.pending_fwd.iter().filter(|s| s.is_some()).count(),
         ))
     }
+
+    // Names the chip's private timer encodings for the flight recorder, so
+    // a relay hop shows up in the log as `relay_forward` rather than an
+    // opaque tag — the event-kind vocabulary run-to-run diffs align on.
+    fn timer_kind(&self, tag: u64) -> Option<&'static str> {
+        Some(match tag & KIND_MASK {
+            T_ENGINE_START => "engine_start",
+            T_DESC_DECODE => "desc_decode",
+            T_WCHUNK => "write_chunk",
+            T_DESC_GAP => "desc_gap",
+            T_FLUSH => "flush",
+            T_FWD => "relay_forward",
+            T_RECONFIG => "reconfig",
+            _ => return None,
+        })
+    }
 }
 
 /// Copies the fabric's per-port link statistics into a chip's NIOS

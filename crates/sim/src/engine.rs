@@ -205,6 +205,37 @@ impl<E> EventQueue<E> {
     }
 }
 
+// Counter-independent invariant audit at end of life: whatever sequence of
+// schedule/cancel/pop/peek calls ran, the ledger must close — the heap
+// holds exactly the live events plus the parked tombstones, and a drained
+// heap implies no live entry survived in the side sets. These re-derive
+// the tombstone-leak regression (PR 4) from set sizes alone, without
+// trusting the `ProfCounters` arithmetic. Debug builds only; skipped while
+// unwinding so a panicking test reports its own failure, not this one.
+impl<E> Drop for EventQueue<E> {
+    fn drop(&mut self) {
+        if cfg!(debug_assertions) && !std::thread::panicking() {
+            debug_assert_eq!(
+                self.heap.len(),
+                self.live.len() + self.cancelled.len(),
+                "EventQueue dropped with heap len != live + tombstones"
+            );
+            if self.heap.is_empty() {
+                debug_assert!(
+                    self.live.is_empty(),
+                    "EventQueue drained but {} live id(s) leaked",
+                    self.live.len()
+                );
+                debug_assert!(
+                    self.cancelled.is_empty(),
+                    "EventQueue drained but {} tombstone(s) leaked",
+                    self.cancelled.len()
+                );
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -362,6 +393,38 @@ mod tests {
         }
         assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
         assert_eq!(q.now(), SimTime::from_ps(11));
+    }
+
+    #[test]
+    fn drop_audit_passes_on_clean_drain_and_on_pending_events() {
+        // Drained queue with cancel traffic: ledger closes, drop is silent.
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_ps(10), "a");
+        q.schedule_at(SimTime::from_ps(20), "b");
+        assert!(q.cancel(a));
+        while q.pop().is_some() {}
+        drop(q);
+        // Undrained queue (run_until-style early exit): still consistent.
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_ps(10), "a");
+        let b = q.schedule_at(SimTime::from_ps(20), "b");
+        assert!(q.cancel(b));
+        drop(q);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn drop_audit_catches_forged_live_leak() {
+        // Forge the exact corruption the audit exists for: a live id that
+        // survived a full drain. The drop must panic (caught here) instead
+        // of letting the leak escape the test unnoticed.
+        let caught = std::panic::catch_unwind(|| {
+            let mut q = EventQueue::new();
+            q.schedule_at(SimTime::from_ps(1), ());
+            while q.pop().is_some() {}
+            q.live.insert(99);
+        });
+        assert!(caught.is_err(), "drop audit must flag live != heap ledger");
     }
 
     // Extends `cancel_of_fired_event_returns_false_and_leaks_nothing`

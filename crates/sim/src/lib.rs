@@ -39,6 +39,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod engine;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod prof;
@@ -50,7 +51,8 @@ pub mod time;
 pub mod trace;
 
 pub use engine::{EventId, EventQueue};
-pub use json::JsonValue;
+pub use flight::{FlightEvent, FlightRecorder, Fnv64, FLIGHT_SCHEMA};
+pub use json::{write_escaped, JsonValue};
 pub use metrics::{
     CounterId, GaugeId, HistogramId, MeterId, MetricValue, MetricsHub, MetricsSnapshot,
 };

@@ -380,30 +380,49 @@ impl SpanStore {
     /// end_ps}`.
     pub fn to_json(&self) -> String {
         let mut arr = Vec::with_capacity(self.spans.len());
-        for (i, s) in self.spans.iter().enumerate() {
-            let mut obj = JsonValue::object();
-            obj.push("id", JsonValue::from(i as u64 + 1));
-            obj.push("root", JsonValue::from(s.root.raw()));
-            obj.push(
-                "parent",
-                s.parent
-                    .map_or(JsonValue::Null, |p| JsonValue::from(p.raw())),
-            );
-            obj.push("name", JsonValue::from(s.name.as_str()));
-            obj.push(
-                "device",
-                s.device
-                    .map_or(JsonValue::Null, |d| JsonValue::from(u64::from(d))),
-            );
-            obj.push("start_ps", JsonValue::from(s.start.as_ps()));
-            obj.push(
-                "end_ps",
-                s.end
-                    .map_or(JsonValue::Null, |e| JsonValue::from(e.as_ps())),
-            );
-            arr.push(obj);
+        for i in 0..self.spans.len() {
+            arr.push(self.span_json(i));
         }
         JsonValue::Array(arr).to_json()
+    }
+
+    /// Serializes every span as one JSON object per line (same objects and
+    /// order as [`SpanStore::to_json`], newline-terminated). Flight-log
+    /// writers append these lines after the event records so the
+    /// divergence engine can bisect span trees from the log alone.
+    pub fn jsonl(&self) -> String {
+        let mut out = String::new();
+        for i in 0..self.spans.len() {
+            out.push_str(&self.span_json(i).to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The JSON object of span index `i` (0-based; ids are 1-based).
+    fn span_json(&self, i: usize) -> JsonValue {
+        let s = &self.spans[i];
+        let mut obj = JsonValue::object();
+        obj.push("id", JsonValue::from(i as u64 + 1));
+        obj.push("root", JsonValue::from(s.root.raw()));
+        obj.push(
+            "parent",
+            s.parent
+                .map_or(JsonValue::Null, |p| JsonValue::from(p.raw())),
+        );
+        obj.push("name", JsonValue::from(s.name.as_str()));
+        obj.push(
+            "device",
+            s.device
+                .map_or(JsonValue::Null, |d| JsonValue::from(u64::from(d))),
+        );
+        obj.push("start_ps", JsonValue::from(s.start.as_ps()));
+        obj.push(
+            "end_ps",
+            s.end
+                .map_or(JsonValue::Null, |e| JsonValue::from(e.as_ps())),
+        );
+        obj
     }
 
     /// Chrome trace-event JSON for the span forest: every closed span

@@ -1,0 +1,506 @@
+//! Run-to-run divergence engine over `tca-flight/v1` logs.
+//!
+//! Two runs of the same seeded workload must produce byte-identical flight
+//! logs — that is the simulator's determinism contract. When they don't
+//! (a nondeterminism bug, a corrupted log, or two deliberately different
+//! configurations under comparison), this module answers the only question
+//! that matters: *where did they first part ways?*
+//!
+//! The engine aligns two logs by dispatch sequence number and reports the
+//! **first divergent event** with a rustc-style two-sided rendering, then
+//! bisects the span records appended to each log to name the **earliest
+//! pipeline stage whose attribution differs** — "the runs split at
+//! `wire` under root `dma`", not a thousand-line JSON diff.
+//!
+//! Codes (stable, CI-gateable like every other `TCA-*` family):
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | `TCA-X001` | log unreadable: parse error or schema mismatch |
+//! | `TCA-X002` | first divergent event (same seq, different content) |
+//! | `TCA-X003` | one log is a strict prefix of the other |
+//! | `TCA-X004` | span trees diverge (earliest differing stage named) |
+
+use crate::diag::{DiagSpan, Diagnostic, Report};
+use tca_sim::{JsonValue, FLIGHT_SCHEMA};
+
+/// One parsed event line of a flight log. Field names mirror the JSONL
+/// schema; `digest` stays the 16-hex-digit string form so comparison is
+/// exact without u64-in-f64 concerns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlightEventRec {
+    /// Dispatch sequence number (alignment key).
+    pub seq: u64,
+    /// Simulated time in picoseconds.
+    pub t_ps: u64,
+    /// Event kind (`deliver` / `timer` / `credit_return`).
+    pub kind: String,
+    /// Acting device id.
+    pub node: u64,
+    /// Device-local port, when port-scoped.
+    pub port: Option<u64>,
+    /// Root span id, when span tracing attached one.
+    pub span: Option<u64>,
+    /// FNV-1a content digest (16 hex digits).
+    pub digest: String,
+    /// Human-readable description.
+    pub label: String,
+}
+
+impl FlightEventRec {
+    /// One-line rendering used in diagnostics: time, kind, locus, payload.
+    pub fn describe(&self) -> String {
+        let port = self.port.map_or_else(String::new, |p| format!(" port {p}"));
+        format!(
+            "t={} ps {} @ node {}{}: {} (digest {})",
+            self.t_ps, self.kind, self.node, port, self.label, self.digest
+        )
+    }
+}
+
+/// One parsed span record line (the `SpanStore` serialization appended
+/// after the events).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRec {
+    /// 1-based span id.
+    pub id: u64,
+    /// Root span id of the tree this span belongs to.
+    pub root: u64,
+    /// Parent span id (`None` for roots).
+    pub parent: Option<u64>,
+    /// Stage name (`wire`, `stall`, `relay`, `dma_read`, …).
+    pub name: String,
+    /// Device that executed the stage, when device-scoped.
+    pub device: Option<u64>,
+    /// Stage start, picoseconds.
+    pub start_ps: u64,
+    /// Stage end, picoseconds (`None` while open).
+    pub end_ps: Option<u64>,
+}
+
+impl SpanRec {
+    fn describe(&self) -> String {
+        let end = self
+            .end_ps
+            .map_or_else(|| "open".to_owned(), |e| format!("{e}"));
+        let dev = self
+            .device
+            .map_or_else(String::new, |d| format!(" dev {d}"));
+        format!(
+            "`{}` (span {}, root {}){dev} [{}..{} ps]",
+            self.name, self.id, self.root, self.start_ps, end
+        )
+    }
+}
+
+/// A parsed `tca-flight/v1` log: header, events in dispatch order, and the
+/// appended span records.
+#[derive(Clone, Debug, Default)]
+pub struct FlightLog {
+    /// Schema tag from the header line.
+    pub schema: String,
+    /// Total events the recorder dispatched (header `events` field; may
+    /// exceed `events.len()` when the ring dropped unspilled entries).
+    pub recorded: u64,
+    /// Events evicted without spill.
+    pub dropped: u64,
+    /// The event lines, in sequence order.
+    pub events: Vec<FlightEventRec>,
+    /// The span record lines, in id order.
+    pub spans: Vec<SpanRec>,
+}
+
+fn field_u64(v: &JsonValue, key: &str) -> Option<u64> {
+    v.get(key).and_then(JsonValue::as_u64)
+}
+
+fn field_opt_u64(v: &JsonValue, key: &str) -> Option<u64> {
+    match v.get(key) {
+        Some(JsonValue::Null) | None => None,
+        Some(other) => other.as_u64(),
+    }
+}
+
+fn field_str(v: &JsonValue, key: &str) -> Option<String> {
+    v.get(key).and_then(JsonValue::as_str).map(str::to_owned)
+}
+
+impl FlightLog {
+    /// Parses a JSONL flight log. Errors carry the 1-based line number and
+    /// the underlying problem; the caller usually wraps them in `TCA-X001`.
+    pub fn parse(text: &str) -> Result<FlightLog, String> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines.next().ok_or("empty log: no header line")?;
+        let hv = JsonValue::parse(header).map_err(|e| format!("line 1: {e}"))?;
+        let schema = field_str(&hv, "schema").ok_or("line 1: header has no \"schema\"")?;
+        if schema != FLIGHT_SCHEMA {
+            return Err(format!(
+                "line 1: schema is {schema:?}, expected {FLIGHT_SCHEMA:?}"
+            ));
+        }
+        let mut log = FlightLog {
+            schema,
+            recorded: field_u64(&hv, "events").unwrap_or(0),
+            dropped: field_u64(&hv, "dropped").unwrap_or(0),
+            events: Vec::new(),
+            spans: Vec::new(),
+        };
+        for (i, line) in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let n = i + 1; // 1-based for humans
+            let v = JsonValue::parse(line).map_err(|e| format!("line {n}: {e}"))?;
+            if v.get("seq").is_some() {
+                let bad = |f: &str| format!("line {n}: event missing/invalid \"{f}\"");
+                log.events.push(FlightEventRec {
+                    seq: field_u64(&v, "seq").ok_or_else(|| bad("seq"))?,
+                    t_ps: field_u64(&v, "t_ps").ok_or_else(|| bad("t_ps"))?,
+                    kind: field_str(&v, "kind").ok_or_else(|| bad("kind"))?,
+                    node: field_u64(&v, "node").ok_or_else(|| bad("node"))?,
+                    port: field_opt_u64(&v, "port"),
+                    span: field_opt_u64(&v, "span"),
+                    digest: field_str(&v, "digest").ok_or_else(|| bad("digest"))?,
+                    label: field_str(&v, "label").ok_or_else(|| bad("label"))?,
+                });
+            } else if v.get("id").is_some() {
+                let bad = |f: &str| format!("line {n}: span missing/invalid \"{f}\"");
+                log.spans.push(SpanRec {
+                    id: field_u64(&v, "id").ok_or_else(|| bad("id"))?,
+                    root: field_u64(&v, "root").ok_or_else(|| bad("root"))?,
+                    parent: field_opt_u64(&v, "parent"),
+                    name: field_str(&v, "name").ok_or_else(|| bad("name"))?,
+                    device: field_opt_u64(&v, "device"),
+                    start_ps: field_u64(&v, "start_ps").ok_or_else(|| bad("start_ps"))?,
+                    end_ps: field_opt_u64(&v, "end_ps"),
+                });
+            } else {
+                return Err(format!(
+                    "line {n}: neither an event (\"seq\") nor a span record (\"id\")"
+                ));
+            }
+        }
+        Ok(log)
+    }
+}
+
+/// Diffs two parsed logs. Clean report ⇔ the runs are indistinguishable
+/// (same events in the same order, same span trees). Order of findings:
+/// the first divergent event (the root cause candidate), then the span
+/// bisection (the stage-level explanation).
+pub fn diff_flight_logs(a: &FlightLog, b: &FlightLog) -> Report {
+    let mut out = Vec::new();
+    // --- event stream alignment, by sequence ---
+    let mut diverged_at = None;
+    for (ea, eb) in a.events.iter().zip(&b.events) {
+        if ea != eb {
+            diverged_at = Some((ea, eb));
+            break;
+        }
+    }
+    if let Some((ea, eb)) = diverged_at {
+        out.push(Diagnostic::error(
+            "TCA-X002",
+            DiagSpan::fabric(format!("event seq {}", ea.seq)),
+            format!(
+                "runs diverge at dispatch {}: run A dispatched {} but run B dispatched {}",
+                ea.seq,
+                summarize(ea),
+                summarize(eb)
+            ),
+            format!(
+                "run A: {}\n          run B: {}",
+                ea.describe(),
+                eb.describe()
+            ),
+        ));
+    } else if a.events.len() != b.events.len() {
+        let (longer, name, other_len) = if a.events.len() > b.events.len() {
+            (a, "A", b.events.len())
+        } else {
+            (b, "B", a.events.len())
+        };
+        let extra = &longer.events[other_len];
+        out.push(Diagnostic::error(
+            "TCA-X003",
+            DiagSpan::fabric(format!("event seq {}", extra.seq)),
+            format!(
+                "run {name} continues past the other ({} vs {} events); first extra event: {}",
+                longer.events.len(),
+                other_len,
+                summarize(extra)
+            ),
+            format!("run {name}: {}", extra.describe()),
+        ));
+    }
+    // --- span-tree bisection ---
+    if let Some(d) = first_span_divergence(&a.spans, &b.spans) {
+        out.push(d);
+    }
+    Report::from_diagnostics(out)
+}
+
+/// Short event summary for the one-line message (kind + label).
+fn summarize(e: &FlightEventRec) -> String {
+    format!("{} `{}`", e.kind, e.label)
+}
+
+/// Walks two span-record lists in id order and names the earliest stage
+/// whose attribution differs — the stage-level answer to "where did the
+/// runs split?". Records are compared field-for-field (name, tree shape,
+/// device, exact picosecond window); the first mismatching id wins because
+/// span ids are allocated in creation order, so the lowest differing id is
+/// the earliest point where the two runs' causal trees disagree.
+pub fn first_span_divergence(a: &[SpanRec], b: &[SpanRec]) -> Option<Diagnostic> {
+    for (sa, sb) in a.iter().zip(b) {
+        if sa == sb {
+            continue;
+        }
+        // Name the owning root: the transfer whose pipeline split.
+        let root_name = a
+            .iter()
+            .find(|s| s.id == sa.root)
+            .map_or("?", |s| s.name.as_str());
+        let what = if sa.name != sb.name {
+            format!(
+                "stage name differs: run A ran `{}` where run B ran `{}`",
+                sa.name, sb.name
+            )
+        } else {
+            format!("stage `{}` is attributed differently", sa.name)
+        };
+        return Some(Diagnostic::error(
+            "TCA-X004",
+            DiagSpan::fabric(format!("span {} under root `{root_name}`", sa.id)),
+            format!("span trees diverge at span {}: {what}", sa.id),
+            format!(
+                "run A: {}\n          run B: {}",
+                sa.describe(),
+                sb.describe()
+            ),
+        ));
+    }
+    match a.len().cmp(&b.len()) {
+        std::cmp::Ordering::Equal => None,
+        ord => {
+            let (longer, name, other_len) = if ord == std::cmp::Ordering::Greater {
+                (a, "A", b.len())
+            } else {
+                (b, "B", a.len())
+            };
+            let extra = &longer[other_len];
+            Some(Diagnostic::error(
+                "TCA-X004",
+                DiagSpan::fabric(format!("span {}", extra.id)),
+                format!(
+                    "span trees diverge: run {name} recorded {} span(s), the other {}; first extra: {}",
+                    longer.len(),
+                    other_len,
+                    extra.describe()
+                ),
+                String::new(),
+            ))
+        }
+    }
+}
+
+/// Parses and diffs two raw JSONL logs. Parse failures become `TCA-X001`
+/// findings (one per unreadable side) instead of panics, so the CLI and CI
+/// can gate on the report alone.
+pub fn diff_flight_texts(a: &str, b: &str) -> Report {
+    let mut out = Vec::new();
+    let pa = FlightLog::parse(a);
+    let pb = FlightLog::parse(b);
+    for (side, res) in [("A", &pa), ("B", &pb)] {
+        if let Err(e) = res {
+            out.push(Diagnostic::error(
+                "TCA-X001",
+                DiagSpan::fabric(format!("run {side}")),
+                format!("flight log is unreadable: {e}"),
+                format!("re-record run {side} with `tca-bench --flight-dir` or check the file for truncation/corruption"),
+            ));
+        }
+    }
+    if !out.is_empty() {
+        return Report::from_diagnostics(out);
+    }
+    diff_flight_logs(&pa.expect("checked"), &pb.expect("checked"))
+}
+
+/// Diffs two `SpanStore::to_json()` arrays (no flight events involved) and
+/// names the first divergent stage. This is the hook `tests/determinism.rs`
+/// uses: when two supposedly identical runs disagree, the assertion prints
+/// this report instead of two multi-kilobyte JSON dumps.
+pub fn diff_span_json(a: &str, b: &str) -> Report {
+    let parse = |side: &'static str, text: &str| -> Result<Vec<SpanRec>, Diagnostic> {
+        let v = JsonValue::parse(text).map_err(|e| {
+            Diagnostic::error(
+                "TCA-X001",
+                DiagSpan::fabric(format!("run {side}")),
+                format!("span JSON is unreadable: {e}"),
+                String::new(),
+            )
+        })?;
+        let arr = v.as_array().ok_or_else(|| {
+            Diagnostic::error(
+                "TCA-X001",
+                DiagSpan::fabric(format!("run {side}")),
+                "span JSON is not an array".to_owned(),
+                String::new(),
+            )
+        })?;
+        let mut spans = Vec::with_capacity(arr.len());
+        for s in arr {
+            spans.push(SpanRec {
+                id: field_u64(s, "id").unwrap_or(0),
+                root: field_u64(s, "root").unwrap_or(0),
+                parent: field_opt_u64(s, "parent"),
+                name: field_str(s, "name").unwrap_or_default(),
+                device: field_opt_u64(s, "device"),
+                start_ps: field_u64(s, "start_ps").unwrap_or(0),
+                end_ps: field_opt_u64(s, "end_ps"),
+            });
+        }
+        Ok(spans)
+    };
+    match (parse("A", a), parse("B", b)) {
+        (Ok(sa), Ok(sb)) => {
+            Report::from_diagnostics(first_span_divergence(&sa, &sb).into_iter().collect())
+        }
+        (ra, rb) => Report::from_diagnostics([ra.err(), rb.err()].into_iter().flatten().collect()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk_log(events: &[(u64, &str)], spans: &[(u64, &str, u64)]) -> String {
+        let mut out = format!(
+            "{{\"schema\":\"tca-flight/v1\",\"events\":{},\"dropped\":0}}\n",
+            events.len()
+        );
+        for (seq, label) in events {
+            out.push_str(&format!(
+                "{{\"seq\":{seq},\"t_ps\":{},\"kind\":\"deliver\",\"node\":1,\"port\":0,\"span\":1,\"digest\":\"00000000000000aa\",\"label\":\"{label}\"}}\n",
+                seq * 100
+            ));
+        }
+        for (id, name, end) in spans {
+            out.push_str(&format!(
+                "{{\"id\":{id},\"root\":1,\"parent\":{},\"name\":\"{name}\",\"device\":0,\"start_ps\":0,\"end_ps\":{end}}}\n",
+                if *id == 1 { "null".to_owned() } else { "1".to_owned() }
+            ));
+        }
+        out
+    }
+
+    #[test]
+    fn identical_logs_are_clean() {
+        let log = mk_log(&[(1, "a"), (2, "b")], &[(1, "pio_put", 500)]);
+        let rep = diff_flight_texts(&log, &log);
+        assert!(rep.is_clean(), "{}", rep.render());
+    }
+
+    #[test]
+    fn first_divergent_event_is_named_with_both_sides() {
+        let a = mk_log(&[(1, "same"), (2, "alpha"), (3, "tail")], &[]);
+        let b = mk_log(&[(1, "same"), (2, "beta"), (3, "tail")], &[]);
+        let rep = diff_flight_texts(&a, &b);
+        assert_eq!(rep.error_count(), 1);
+        let d = &rep.diagnostics[0];
+        assert_eq!(d.code, "TCA-X002");
+        assert!(d.message.contains("dispatch 2"), "{}", d.message);
+        assert!(
+            d.help.contains("alpha") && d.help.contains("beta"),
+            "{}",
+            d.help
+        );
+        // Rendering is rustc-style.
+        assert!(
+            rep.render().starts_with("error[TCA-X002]"),
+            "{}",
+            rep.render()
+        );
+    }
+
+    #[test]
+    fn prefix_log_reports_first_extra_event() {
+        let a = mk_log(&[(1, "a"), (2, "b")], &[]);
+        let b = mk_log(&[(1, "a"), (2, "b"), (3, "extra")], &[]);
+        let rep = diff_flight_texts(&a, &b);
+        assert_eq!(rep.diagnostics[0].code, "TCA-X003");
+        assert!(
+            rep.diagnostics[0].message.contains("extra"),
+            "{}",
+            rep.render()
+        );
+    }
+
+    #[test]
+    fn span_bisection_names_earliest_differing_stage() {
+        let a = mk_log(&[], &[(1, "dma", 900), (2, "wire", 300), (3, "flush", 900)]);
+        let b = mk_log(
+            &[],
+            &[(1, "dma", 900), (2, "stall", 300), (3, "flush", 900)],
+        );
+        let rep = diff_flight_texts(&a, &b);
+        assert_eq!(rep.diagnostics[0].code, "TCA-X004");
+        let d = &rep.diagnostics[0];
+        assert!(
+            d.message.contains("`wire`") && d.message.contains("`stall`"),
+            "{}",
+            d.message
+        );
+        assert!(d.span.site.contains("root `dma`"), "{}", d.span.site);
+    }
+
+    #[test]
+    fn corrupt_log_reports_a_tca_x_code_not_panic() {
+        let good = mk_log(&[(1, "a")], &[]);
+        // Corrupt one byte inside a value: still parses, content differs.
+        let bad = good.replace("deliver", "deliXer");
+        let rep = diff_flight_texts(&good, &bad);
+        assert!(!rep.is_clean() && rep.fails(false));
+        assert_eq!(rep.diagnostics[0].code, "TCA-X002");
+        // Corrupt one structural byte: the log stops parsing entirely.
+        let idx = good.rfind('"').unwrap();
+        let mut mangled = good.clone();
+        mangled.replace_range(idx..idx + 1, "X");
+        let rep = diff_flight_texts(&good, &mangled);
+        assert!(!rep.is_clean() && rep.fails(false));
+        assert_eq!(rep.diagnostics[0].code, "TCA-X001");
+        assert!(
+            rep.diagnostics[0].message.contains("line 2"),
+            "{}",
+            rep.render()
+        );
+    }
+
+    #[test]
+    fn schema_mismatch_is_x001() {
+        let good = mk_log(&[], &[]);
+        let other = good.replace("tca-flight/v1", "tca-flight/v9");
+        let rep = diff_flight_texts(&good, &other);
+        assert_eq!(rep.diagnostics[0].code, "TCA-X001");
+        assert!(
+            rep.diagnostics[0].message.contains("v9"),
+            "{}",
+            rep.render()
+        );
+    }
+
+    #[test]
+    fn diff_span_json_pinpoints_stage() {
+        let a = r#"[{"id":1,"root":1,"parent":null,"name":"dma","device":0,"start_ps":0,"end_ps":100},{"id":2,"root":1,"parent":1,"name":"wire","device":1,"start_ps":10,"end_ps":40}]"#;
+        let b = a.replace("\"start_ps\":10", "\"start_ps\":12");
+        assert!(diff_span_json(a, a).is_clean());
+        let rep = diff_span_json(a, &b);
+        assert_eq!(rep.diagnostics[0].code, "TCA-X004");
+        assert!(
+            rep.diagnostics[0].message.contains("`wire`"),
+            "{}",
+            rep.render()
+        );
+    }
+}

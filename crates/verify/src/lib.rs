@@ -32,10 +32,12 @@
 #![warn(rust_2018_idioms)]
 
 pub mod diag;
+pub mod diff;
 pub mod hazard;
 pub mod lint;
 
 pub use diag::{DiagSpan, Diagnostic, Report, Severity};
+pub use diff::{diff_flight_texts, diff_span_json, FlightLog};
 pub use hazard::detect_hazards;
 pub use lint::{
     collect_chain, lint_chain, lint_cluster, lint_links, lint_reachability, lint_routes,

@@ -90,6 +90,53 @@ if [[ "$sweep_plain" != "$sweep_prof" ]]; then
     exit 1
 fi
 
+# Flight-recorder smoke (tca-flight): recording the 8-node ring twice must
+# produce byte-identical logs that the divergence engine confirms as zero
+# findings, and a single corrupted byte must be caught with a TCA-X code
+# and a non-zero exit.
+flightdir="$profdir/flight"
+top_fl=$(cargo run -q --release --offline -p tca-bench --bin tca-bench -- \
+    --scenario ring-hops --top --json --telemetry-dir "$profdir/tel_fl" \
+    --flight-dir "$flightdir/a" 2> /dev/null)
+cargo run -q --release --offline -p tca-bench --bin tca-bench -- \
+    --scenario ring-hops --top --flight-dir "$flightdir/b" > /dev/null 2>&1
+log_a="$flightdir/a/FLIGHT_ring-hops-tca.jsonl"
+log_b="$flightdir/b/FLIGHT_ring-hops-tca.jsonl"
+if ! cmp -s "$log_a" "$log_b"; then
+    echo "tca-flight smoke: two identical runs recorded different logs" >&2
+    exit 1
+fi
+if ! cargo run -q --release --offline -p tca-bench --bin tca-flight -- \
+    diff "$log_a" "$log_b" > /dev/null; then
+    echo "tca-flight smoke: diff found divergences between identical runs" >&2
+    exit 1
+fi
+sed '2s/deliver/deliXer/' "$log_a" > "$flightdir/corrupt.jsonl"
+if flight_out=$(cargo run -q --release --offline -p tca-bench --bin tca-flight -- \
+    diff "$log_a" "$flightdir/corrupt.jsonl" 2>&1); then
+    echo "tca-flight smoke: diff missed a corrupted byte" >&2
+    exit 1
+fi
+if [[ "$flight_out" != *"TCA-X"* ]]; then
+    echo "tca-flight smoke: corruption report carries no TCA-X code" >&2
+    echo "$flight_out" >&2
+    exit 1
+fi
+
+# Flight-neutrality smoke: recording must be a pure observer. The tca-top
+# stdout and the on-disk health/series/trace artifacts of the same
+# instrumented run must be byte-identical with and without --flight-dir.
+top_nofl=$(cargo run -q --release --offline -p tca-bench --bin tca-bench -- \
+    --scenario ring-hops --top --json --telemetry-dir "$profdir/tel_nofl" 2> /dev/null)
+if [[ "$top_fl" != "$top_nofl" ]]; then
+    echo "tca-flight smoke: --flight-dir changed the tca-top stdout" >&2
+    exit 1
+fi
+if ! diff -r "$profdir/tel_fl" "$profdir/tel_nofl" > /dev/null; then
+    echo "tca-flight smoke: --flight-dir changed the trace/health artifacts" >&2
+    exit 1
+fi
+
 # Perf-regression gate: rerun the fabric kernels (ping-pong, hop sweep,
 # Fig. 7/8/9 bandwidth), write the schema-stable results/BENCH_fabric.json,
 # and fail the build if any metric drifts outside its paper-anchored bound.
@@ -101,3 +148,28 @@ cargo run -q --release --offline -p tca-bench --bin bench_regression
 # events/sec, ns/event, allocs/event, or peak heap depth drifts outside its
 # bound — same contract as BENCH_fabric.json, but for simulator speed.
 cargo run -q --release --offline -p tca-bench --bin bench_engine
+
+# BENCH-artifact neutrality under flight recording: re-run both gates with
+# the TCA_FLIGHT_RING env gate enabling a 4096-slot recorder inside every
+# backend rig. BENCH_fabric.json is fully deterministic, so it must come
+# back byte-identical; BENCH_engine.json mixes wall-clock fields that vary
+# run-to-run with sim-side counters, so only the deterministic fields are
+# compared (events, heap depth, queue/dispatch/TLP counters).
+cp results/BENCH_fabric.json "$profdir/fabric_plain.json"
+cp results/BENCH_engine.json "$profdir/engine_plain.json"
+TCA_FLIGHT_RING=4096 cargo run -q --release --offline -p tca-bench --bin bench_regression
+TCA_FLIGHT_RING=4096 cargo run -q --release --offline -p tca-bench --bin bench_engine
+if ! diff results/BENCH_fabric.json "$profdir/fabric_plain.json" > /dev/null; then
+    echo "tca-flight smoke: recording changed BENCH_fabric.json" >&2
+    exit 1
+fi
+sim_fields() {
+    grep -oE '"(events|peak_heap_depth|pushes|pops|cancels|tombstone_drains|deliver_events|timer_events|credit_return_events|tlp_transmits|constructed|cloned|relay_hops)":[0-9]+' "$1"
+}
+if [[ "$(sim_fields results/BENCH_engine.json)" != "$(sim_fields "$profdir/engine_plain.json")" ]]; then
+    echo "tca-flight smoke: recording changed BENCH_engine.json sim-side counters" >&2
+    exit 1
+fi
+# Restore the unrecorded artifacts so the checked-in results/ stay canonical.
+cp "$profdir/fabric_plain.json" results/BENCH_fabric.json
+cp "$profdir/engine_plain.json" results/BENCH_engine.json

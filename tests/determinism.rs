@@ -87,7 +87,98 @@ fn span_trees_replay_byte_identically() {
     let (_, _, _, s1) = run_workload_telemetry(true);
     let (_, _, _, s2) = run_workload_telemetry(true);
     assert!(s1.len() > 2, "workload recorded spans: {s1}");
-    assert_eq!(s1, s2, "span trees diverged between identical runs");
+    if s1 != s2 {
+        // Don't dump two multi-kilobyte JSON arrays: bisect the span trees
+        // and fail with the first divergent stage, rustc-style.
+        let rep = tca::verify::diff_span_json(&s1, &s2);
+        panic!(
+            "span trees diverged between identical runs; first divergence:\n{}",
+            rep.render()
+        );
+    }
+}
+
+/// The telemetry workload with the flight recorder on (full-log spill),
+/// returning the recorded `tca-flight/v1` JSONL alongside the timings.
+fn run_workload_flight() -> (u64, Vec<u64>, String, u64) {
+    let mut c = TcaClusterBuilder::new(4).build();
+    c.set_span_tracing(true);
+    c.enable_flight(65536, true);
+    // Driver init during `build()` already executed events; the recorder
+    // only sees what dispatches after it is enabled.
+    let base = c.fabric.events_executed();
+    let mut times = Vec::new();
+    let a = c.alloc_gpu(0, 0, 64 * 1024);
+    let b = c.alloc_gpu(2, 1, 64 * 1024);
+    c.write(&a.at(0), &vec![7u8; 64 * 1024]);
+    for len in [64u64, 4096, 65536] {
+        times.push(c.memcpy_peer(&b.at(0), &a.at(0), len).as_ps());
+    }
+    times.push(
+        c.pio_put(1, &MemRef::host(3, 0x4000_0000), &[1, 2, 3, 4])
+            .as_ps(),
+    );
+    times.push(c.now().as_ps());
+    let log = c.flight_jsonl().expect("recording enabled");
+    (c.fabric.events_executed(), times, log, base)
+}
+
+#[test]
+fn flight_recording_is_time_neutral_and_replays_byte_identically() {
+    // Recording must not shift a single simulated timestamp…
+    let (ev_off, t_off) = run_workload();
+    let (ev_on, t_on, log1, base) = run_workload_flight();
+    assert_eq!(ev_off, ev_on, "flight recording changed the event count");
+    assert_eq!(t_off, t_on, "flight recording changed the timing");
+    // …the log must cover every event dispatched after recording was
+    // enabled (full-log spill retains all of them)…
+    assert!(
+        log1.starts_with("{\"schema\":\"tca-flight/v1\""),
+        "{}",
+        &log1[..60.min(log1.len())]
+    );
+    assert!(
+        log1.contains(&format!("\"events\":{}", ev_on - base)),
+        "header count"
+    );
+    // …and two identical runs must record byte-identical logs, which the
+    // divergence engine confirms as zero findings.
+    let (_, _, log2, _) = run_workload_flight();
+    assert_eq!(log1, log2, "flight logs diverged between identical runs");
+    let rep = tca::verify::diff_flight_texts(&log1, &log2);
+    assert!(rep.is_clean(), "{}", rep.render());
+}
+
+#[test]
+fn flight_diff_names_first_divergent_stage_across_backends() {
+    // The ISSUE's acceptance scenario: record the pingpong rig on the TCA
+    // backend and on MPI, then ask the diff where they part ways. The
+    // engine must point at the first divergent event and name the earliest
+    // span stage whose attribution differs — backends are different
+    // machines, so the very first dispatch already disagrees.
+    use tca_bench::scenario::BackendKind;
+    let a = tca_bench::flight_log("pingpong", BackendKind::Tca).expect("tca flight log");
+    let b = tca_bench::flight_log("pingpong", BackendKind::MpiStaged).expect("mpi flight log");
+    let rep = tca::verify::diff_flight_texts(&a, &b);
+    assert!(rep.fails(false), "backends must diverge");
+    let codes: Vec<&str> = rep.diagnostics.iter().map(|d| d.code).collect();
+    assert!(
+        codes.contains(&"TCA-X002") || codes.contains(&"TCA-X003"),
+        "first divergent event reported: {codes:?}"
+    );
+    assert!(
+        codes.contains(&"TCA-X004"),
+        "divergent span stage named: {codes:?}"
+    );
+    let rendered = rep.render();
+    assert!(
+        rendered.contains("span trees diverge"),
+        "stage-level explanation present:\n{rendered}"
+    );
+    // Same-backend control: identical seeds, zero divergences.
+    let a2 = tca_bench::flight_log("pingpong", BackendKind::Tca).expect("tca flight log");
+    let control = tca::verify::diff_flight_texts(&a, &a2);
+    assert!(control.is_clean(), "{}", control.render());
 }
 
 #[test]
