@@ -782,6 +782,39 @@ pub fn scenarios() -> Vec<Scenario> {
                     .collect()
             },
         },
+        Scenario {
+            name: "topo-registry",
+            description: "static CDG + route metrics over every registry topology",
+            figure: "§III-D scaling",
+            backends: TCA_ONLY,
+            points: |_| {
+                tca_core::presets::topology_registry()
+                    .into_iter()
+                    .map(|entry| {
+                        Point::new(entry.name, move || {
+                            let spec = (entry.build)();
+                            let an = tca_verify::analyze(&spec);
+                            let m = tca_verify::topo_metrics(&spec, &an);
+                            let rep = tca_verify::lint_topo(&spec);
+                            row(vec![
+                                ("nodes", JsonValue::from(u64::from(m.nodes))),
+                                ("cables", JsonValue::from(m.cables as u64)),
+                                ("channels", JsonValue::from(m.channels as u64)),
+                                ("cdg_edges", JsonValue::from(m.cdg_edges as u64)),
+                                ("cdg_cycles", JsonValue::from(m.cycles as u64)),
+                                ("diameter_hops", JsonValue::from(m.diameter_hops as u64)),
+                                (
+                                    "avg_hops",
+                                    jf(m.hop_sum as f64 / m.delivered_pairs.max(1) as f64),
+                                ),
+                                ("errors", JsonValue::from(rep.error_count() as u64)),
+                                ("warnings", JsonValue::from(rep.warning_count() as u64)),
+                            ])
+                        })
+                    })
+                    .collect()
+            },
+        },
     ]
 }
 

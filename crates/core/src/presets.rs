@@ -7,7 +7,7 @@
 use std::fmt;
 use tca_device::{GpuParams, HostParams, NodeConfig};
 use tca_net::{IbParams, IbSpeed};
-use tca_peach2::Peach2Params;
+use tca_peach2::{Peach2Params, TopoSpec};
 
 /// One row of a specification table.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -180,9 +180,152 @@ pub fn table_i_ib_params() -> IbParams {
     }
 }
 
+/// One registry entry: a named topology the prover must accept before it
+/// ships, built on demand (specs up to 256 nodes are cheap but not free).
+#[derive(Clone, Copy)]
+pub struct TopoEntry {
+    /// Registry key (`tca-verify --topo <name>`).
+    pub name: &'static str,
+    /// One-line description for listings.
+    pub description: &'static str,
+    /// Node count, for listings without building the spec.
+    pub nodes: u32,
+    /// Builds the spec.
+    pub build: fn() -> TopoSpec,
+}
+
+/// Every declarative topology that ships: the paper's rings, the §III-D
+/// S-coupled configurations scaled out, and the APEnet+-style 2D/3D tori
+/// at 64–256 nodes. `tca-verify --all-presets` proves each one
+/// deadlock-free and route-complete in CI; `tca-bench --scenario
+/// topo-registry` sweeps their structural metrics.
+pub fn topology_registry() -> Vec<TopoEntry> {
+    vec![
+        TopoEntry {
+            name: "ring-8",
+            description: "paper's 8-node single ring",
+            nodes: 8,
+            build: || TopoSpec::ring(8),
+        },
+        TopoEntry {
+            name: "ring-16",
+            description: "16-node single ring (HA-PACS/TCA sub-cluster)",
+            nodes: 16,
+            build: || TopoSpec::ring(16),
+        },
+        TopoEntry {
+            name: "ring-64",
+            description: "64-node single ring (scaling stress)",
+            nodes: 64,
+            build: || TopoSpec::ring(64),
+        },
+        TopoEntry {
+            name: "dual-ring-16",
+            description: "two 8-node rings coupled pairwise through port S",
+            nodes: 16,
+            build: || TopoSpec::dual_ring(16),
+        },
+        TopoEntry {
+            name: "dual-ring-64",
+            description: "two 32-node rings coupled pairwise through port S",
+            nodes: 64,
+            build: || TopoSpec::dual_ring(64),
+        },
+        TopoEntry {
+            name: "multi-ring-s-4x16",
+            description: "four 16-node rings chained by parity S coupling",
+            nodes: 64,
+            build: || TopoSpec::multi_ring_s(4, 16),
+        },
+        TopoEntry {
+            name: "torus2d-8x8",
+            description: "8x8 2D torus, dimension-order routing",
+            nodes: 64,
+            build: || TopoSpec::torus2d(8, 8),
+        },
+        TopoEntry {
+            name: "torus2d-16x16",
+            description: "16x16 2D torus, dimension-order routing",
+            nodes: 256,
+            build: || TopoSpec::torus2d(16, 16),
+        },
+        TopoEntry {
+            name: "torus3d-4x4x4",
+            description: "4x4x4 3D torus (APEnet+ network shape)",
+            nodes: 64,
+            build: || TopoSpec::torus3d(4, 4, 4),
+        },
+        TopoEntry {
+            name: "torus3d-8x8x4",
+            description: "8x8x4 3D torus at 256 nodes",
+            nodes: 256,
+            build: || TopoSpec::torus3d(8, 8, 4),
+        },
+    ]
+}
+
+/// Looks a registry topology up by name.
+pub fn find_topology(name: &str) -> Option<TopoEntry> {
+    topology_registry().into_iter().find(|t| t.name == name)
+}
+
+/// Builds a topology by name: registry entries first, then the parametric
+/// generator grammar the registry names follow — `ring-N`, `dual-ring-N`,
+/// `multi-ring-s-RxP`, `torus2d-WxH`, `torus3d-WxHxD` — so ad-hoc sizes
+/// (`tca-verify --topo torus2d-3x3`) work without a registry entry.
+pub fn build_topology(name: &str) -> Option<TopoSpec> {
+    if let Some(entry) = find_topology(name) {
+        return Some((entry.build)());
+    }
+    let dims = |s: &str| -> Option<Vec<u32>> { s.split('x').map(|p| p.parse().ok()).collect() };
+    if let Some(rest) = name.strip_prefix("torus2d-") {
+        let d = dims(rest)?;
+        if d.len() == 2 && d.iter().all(|&v| v >= 2) {
+            return Some(TopoSpec::torus2d(d[0], d[1]));
+        }
+    } else if let Some(rest) = name.strip_prefix("torus3d-") {
+        let d = dims(rest)?;
+        if d.len() == 3 && d.iter().all(|&v| v >= 2) {
+            return Some(TopoSpec::torus3d(d[0], d[1], d[2]));
+        }
+    } else if let Some(rest) = name.strip_prefix("multi-ring-s-") {
+        let d = dims(rest)?;
+        if d.len() == 2 && d[0] >= 2 && d[1] >= 4 && d[1].is_multiple_of(2) {
+            return Some(TopoSpec::multi_ring_s(d[0], d[1]));
+        }
+    } else if let Some(rest) = name.strip_prefix("dual-ring-") {
+        let n: u32 = rest.parse().ok()?;
+        if n >= 4 && n.is_multiple_of(2) {
+            return Some(TopoSpec::dual_ring(n));
+        }
+    } else if let Some(rest) = name.strip_prefix("ring-") {
+        let n: u32 = rest.parse().ok()?;
+        if n >= 2 {
+            return Some(TopoSpec::ring(n));
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let reg = topology_registry();
+        let mut names: Vec<_> = reg.iter().map(|t| t.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), reg.len(), "duplicate registry names");
+        for entry in &reg {
+            let spec = (entry.build)();
+            assert_eq!(spec.nodes, entry.nodes, "{}", entry.name);
+            spec.validate().expect(entry.name);
+            assert!(find_topology(entry.name).is_some());
+        }
+        assert!(find_topology("no-such-topo").is_none());
+    }
 
     #[test]
     fn tables_render_every_row() {

@@ -199,6 +199,7 @@ impl Device for Gpu {
                 let dev_addr = addr - self.bar.base();
                 if self.is_pinned(dev_addr, data.len() as u64) {
                     self.gddr.write(dev_addr, data);
+                    ctx.note_progress();
                     self.write_meter
                         .record(ctx.now() + self.params.write_latency, data.len() as u64);
                 } else {

@@ -340,6 +340,7 @@ impl Device for HostBridge {
                         );
                     }
                     self.core.mem.write(addr, data);
+                    ctx.note_progress();
                     let n = data.len();
                     let hit_before = self
                         .core

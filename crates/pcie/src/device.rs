@@ -43,6 +43,9 @@ pub struct Ctx<'a> {
     pub(crate) actions: Vec<Action>,
     /// Credits of the in-flight delivery; `Some` only inside `on_tlp`.
     pub(crate) delivery_credits: Option<CreditHold>,
+    /// Set by [`Ctx::note_progress`]; the fabric reads it after the handler
+    /// returns to feed the stall watchdog.
+    pub(crate) progress: bool,
     pub(crate) tracer: &'a mut tca_sim::Tracer,
     pub(crate) spans: &'a mut SpanStore,
 }
@@ -90,6 +93,17 @@ impl Ctx<'_> {
     /// packets of the matching class.
     pub fn release_credits(&mut self, hold: CreditHold) {
         self.actions.push(Action::Release { hold });
+    }
+
+    /// Reports end-to-end forward progress — a memory commit or an
+    /// equivalent externally visible effect — to the stall watchdog.
+    ///
+    /// Only *commits* count: a chip relaying a packet another hop must NOT
+    /// call this, or routing livelock (packets circulating forever without
+    /// ever landing) would look like progress and the watchdog could never
+    /// diagnose it.
+    pub fn note_progress(&mut self) {
+        self.progress = true;
     }
 
     /// Emits a trace line at the given level.
@@ -165,6 +179,7 @@ mod tests {
             self_id: DeviceId(3),
             actions: vec![],
             delivery_credits: None,
+            progress: false,
             tracer: &mut tracer,
             spans: &mut spans,
         };
@@ -186,6 +201,7 @@ mod tests {
             self_id: DeviceId(0),
             actions: vec![],
             delivery_credits: None,
+            progress: false,
             tracer: &mut tracer,
             spans: &mut spans,
         };

@@ -481,6 +481,7 @@ impl Fabric {
             self_id: id,
             actions: Vec::new(),
             delivery_credits: None,
+            progress: false,
             tracer: &mut self.tracer,
             spans: &mut self.spans,
         };
@@ -818,10 +819,13 @@ impl Fabric {
         let class = tlp.fc_class();
         let data = tlp.data_credits();
         let credit_delay = l.params.credit_return_delay;
-        // Delivered writes (memory commits) and MSIs (interrupts) are the
-        // forward-progress signals the watchdog waits for.
+        // Interrupts are forward progress in their own right. Writes count
+        // only when the receiving device reports a commit via
+        // `Ctx::note_progress` — a chip relaying a packet another hop is
+        // NOT progress, or routing loops would keep the watchdog quiet
+        // while packets circulate forever without ever landing in DRAM.
         if let Some(w) = &mut self.watchdog {
-            if matches!(tlp.kind, TlpKind::MemWrite { .. } | TlpKind::Msi { .. }) {
+            if matches!(tlp.kind, TlpKind::Msi { .. }) {
                 w.progress(self.queue.now());
             }
         }
@@ -840,11 +844,17 @@ impl Fabric {
                 hdr: 1,
                 data,
             }),
+            progress: false,
             tracer: &mut self.tracer,
             spans: &mut self.spans,
         };
         self.devices[dst.0 as usize].on_tlp(port, tlp, &mut ctx);
         let actions = std::mem::take(&mut ctx.actions);
+        if ctx.progress {
+            if let Some(w) = &mut self.watchdog {
+                w.progress(self.queue.now());
+            }
+        }
         let auto_release = ctx.delivery_credits.take();
         if let Some(hold) = auto_release {
             // Receiver consumed the packet inline; return credits after the
@@ -869,11 +879,17 @@ impl Fabric {
             self_id: dst,
             actions: Vec::new(),
             delivery_credits: None,
+            progress: false,
             tracer: &mut self.tracer,
             spans: &mut self.spans,
         };
         self.devices[dst.0 as usize].on_timer(tag, &mut ctx);
         let actions = std::mem::take(&mut ctx.actions);
+        if ctx.progress {
+            if let Some(w) = &mut self.watchdog {
+                w.progress(self.queue.now());
+            }
+        }
         self.apply_actions(dst, actions);
     }
 

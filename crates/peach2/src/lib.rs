@@ -46,5 +46,6 @@ pub use nios::{LinkHealth, MgmtEvent, Nios, PortCounters, PortLinkStats, PortRol
 pub use params::Peach2Params;
 pub use regs::{RegEffect, RegError, RegFile, RouteRule, ROUTE_RULES, SRAM_OFFSET};
 pub use topology::{
-    attach_peach2, build_dual_ring, build_loopback, build_ring, LoopbackRig, SubCluster,
+    attach_peach2, build_dual_ring, build_loopback, build_ring, Cable, LoopbackRig, SubCluster,
+    TopoParseError, TopoSpec,
 };

@@ -247,6 +247,693 @@ pub fn build_loopback(fabric: &mut Fabric, cfg: &NodeConfig, params: Peach2Param
     }
 }
 
+// ---------------------------------------------------------------------------
+// Declarative topology specifications.
+// ---------------------------------------------------------------------------
+
+/// One bidirectional cable between two `(node, port)` endpoints of a
+/// [`TopoSpec`].
+///
+/// `dateline` marks the cable as a Dally dateline: a packet crossing it is
+/// promoted to the next buffer class, which is how rings and torus wrap
+/// links are made provably deadlock-free (see `tca-verify`'s channel
+/// dependency graph). `escape` marks a cable whose receive buffering is
+/// deep enough to absorb a whole blocked cycle — an escape resource that
+/// downgrades a routing cycle from a guaranteed credit deadlock
+/// (`TCA-C003`) to a structural finding (`TCA-R002`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Cable {
+    /// First endpoint, `(node id, port index)`.
+    pub a: (u32, u8),
+    /// Second endpoint, `(node id, port index)`.
+    pub b: (u32, u8),
+    /// Crossing this cable bumps the packet's buffer class.
+    pub dateline: bool,
+    /// This cable's receiver is an escape resource (unbounded buffering).
+    pub escape: bool,
+}
+
+/// A parse failure with its 1-based source line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TopoParseError {
+    /// 1-based line number the error points at.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for TopoParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TopoParseError {}
+
+/// A declarative topology: nodes, named ports, cables, and a total static
+/// route table — pure data, no fabric required.
+///
+/// This is the layer `tca-verify` proves things about. Unlike the builders
+/// above it is not limited to 16 nodes or 4 physical ports, so the same
+/// machinery describes the paper's 8-node ring and a 256-node 3D torus
+/// (the APEnet+ scaling direction). Small ring/dual-ring instances
+/// correspond one-to-one to what [`build_ring`] / [`build_dual_ring`]
+/// cable into a real fabric.
+///
+/// Route semantics mirror the chip: at *every* node — including the
+/// destination — the route table is consulted first; a hit forwards the
+/// packet, a miss delivers it if the node is the destination and drops it
+/// otherwise. A self-route entry is therefore expressible (and is exactly
+/// the kind of corruption the prover exists to catch).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TopoSpec {
+    /// Topology name (registry key / file header).
+    pub name: String,
+    /// Number of nodes.
+    pub nodes: u32,
+    /// Port names; a port index everywhere else indexes this list.
+    pub ports: Vec<String>,
+    /// Cables in insertion order.
+    pub cables: Vec<Cable>,
+    /// `routes[node][dst]` = out-port index, `None` = no route (local
+    /// delivery when `node == dst`).
+    pub routes: Vec<Vec<Option<u8>>>,
+}
+
+impl TopoSpec {
+    /// An empty (cable-less, route-less) spec over `nodes` nodes.
+    pub fn new(name: impl Into<String>, nodes: u32, ports: &[&str]) -> TopoSpec {
+        assert!(nodes >= 1, "a topology needs at least one node");
+        assert!(!ports.is_empty() && ports.len() <= u8::MAX as usize);
+        TopoSpec {
+            name: name.into(),
+            nodes,
+            ports: ports.iter().map(|p| p.to_string()).collect(),
+            cables: Vec::new(),
+            routes: vec![vec![None; nodes as usize]; nodes as usize],
+        }
+    }
+
+    /// Adds a cable between `(a, ap)` and `(b, bp)`.
+    pub fn connect(&mut self, a: u32, ap: u8, b: u32, bp: u8, dateline: bool) {
+        self.cables.push(Cable {
+            a: (a, ap),
+            b: (b, bp),
+            dateline,
+            escape: false,
+        });
+    }
+
+    /// Programs `node`'s route for `dst`'s traffic to leave via `port`.
+    pub fn set_route(&mut self, node: u32, dst: u32, port: u8) {
+        self.routes[node as usize][dst as usize] = Some(port);
+    }
+
+    /// The out-port `node` forwards `dst`-bound traffic to, if any.
+    pub fn route(&self, node: u32, dst: u32) -> Option<u8> {
+        self.routes[node as usize][dst as usize]
+    }
+
+    /// The port's display name (`"?"` when out of range).
+    pub fn port_name(&self, port: u8) -> &str {
+        self.ports
+            .get(port as usize)
+            .map(String::as_str)
+            .unwrap_or("?")
+    }
+
+    /// Index of a named port.
+    pub fn port_id(&self, name: &str) -> Option<u8> {
+        self.ports.iter().position(|p| p == name).map(|i| i as u8)
+    }
+
+    /// `adjacency()[node][port]` = `(cable index, travelling a→b?)` for
+    /// the cable plugged into that port, if any.
+    pub fn adjacency(&self) -> Vec<Vec<Option<(usize, bool)>>> {
+        let mut adj = vec![vec![None; self.ports.len()]; self.nodes as usize];
+        for (i, c) in self.cables.iter().enumerate() {
+            adj[c.a.0 as usize][c.a.1 as usize] = Some((i, true));
+            adj[c.b.0 as usize][c.b.1 as usize] = Some((i, false));
+        }
+        adj
+    }
+
+    /// Structural sanity: endpoints in range, no port double-cabled, route
+    /// table total over in-range ports. (Routing *correctness* — cycles,
+    /// completeness — is `tca-verify`'s job, not a validity condition.)
+    pub fn validate(&self) -> Result<(), String> {
+        let mut used = std::collections::BTreeSet::new();
+        for (i, c) in self.cables.iter().enumerate() {
+            for (node, port) in [c.a, c.b] {
+                if node >= self.nodes {
+                    return Err(format!("cable {i}: node {node} out of range"));
+                }
+                if usize::from(port) >= self.ports.len() {
+                    return Err(format!("cable {i}: port index {port} out of range"));
+                }
+                if !used.insert((node, port)) {
+                    return Err(format!(
+                        "cable {i}: n{node}:{} is already cabled",
+                        self.port_name(port)
+                    ));
+                }
+            }
+        }
+        if self.routes.len() != self.nodes as usize {
+            return Err("route table row count != node count".into());
+        }
+        for (n, row) in self.routes.iter().enumerate() {
+            if row.len() != self.nodes as usize {
+                return Err(format!("node {n}: route row width != node count"));
+            }
+            for (d, p) in row.iter().enumerate() {
+                if let Some(p) = p {
+                    if usize::from(*p) >= self.ports.len() {
+                        return Err(format!("node {n}: route for n{d} uses bad port {p}"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // -- generators ---------------------------------------------------------
+
+    /// An `n`-node ring with shortest-path E/W routing (ties go east, like
+    /// [`ring_routing`]) and the wrap cable `n-1 → 0` as the dateline.
+    pub fn ring(n: u32) -> TopoSpec {
+        assert!(n >= 2, "a ring needs at least two nodes");
+        let mut t = TopoSpec::new(format!("ring-{n}"), n, &["E", "W"]);
+        for i in 0..n {
+            t.connect(i, 0, (i + 1) % n, 1, i == n - 1);
+        }
+        for me in 0..n {
+            for d in 0..n {
+                if d == me {
+                    continue;
+                }
+                let fwd = (d + n - me) % n;
+                t.set_route(me, d, if fwd <= n - fwd { 0 } else { 1 });
+            }
+        }
+        t
+    }
+
+    /// The dual ring of [`build_dual_ring`]: two rings of `n/2` nodes
+    /// coupled pairwise through port S. Traffic for the other ring crosses
+    /// S *first* (dimension order: S before ring), then rides the
+    /// destination ring; every wrap and S cable is a dateline.
+    pub fn dual_ring(n: u32) -> TopoSpec {
+        assert!(
+            n >= 4 && n.is_multiple_of(2),
+            "dual ring needs an even node count ≥ 4"
+        );
+        let half = n / 2;
+        let mut t = TopoSpec::new(format!("dual-ring-{n}"), n, &["E", "W", "S"]);
+        for ring in 0..2u32 {
+            let base = ring * half;
+            for i in 0..half {
+                t.connect(base + i, 0, base + (i + 1) % half, 1, i == half - 1);
+            }
+        }
+        for i in 0..half {
+            t.connect(i, 2, i + half, 2, true);
+        }
+        for me in 0..n {
+            let my_ring = me / half;
+            let ring_base = my_ring * half;
+            let local = me - ring_base;
+            for d in 0..n {
+                if d == me {
+                    continue;
+                }
+                if d / half != my_ring {
+                    t.set_route(me, d, 2); // the other ring: S first
+                } else {
+                    let dl = d - ring_base;
+                    let fwd = (dl + half - local) % half;
+                    t.set_route(me, d, if fwd <= half - fwd { 0 } else { 1 });
+                }
+            }
+        }
+        t
+    }
+
+    /// `rings` rings of `per_ring` nodes each, chained by S-port coupling
+    /// (§III-D's "combine two rings" scaled out): ring `r` couples to ring
+    /// `r+1` at every node whose index has parity `r mod 2`, so each
+    /// node's single S port is used at most once. Routes are shortest
+    /// paths (per-destination BFS, lowest-port tie-break), which makes
+    /// forward and return hop counts equal; all S and wrap cables are
+    /// datelines, keeping the channel dependency graph acyclic.
+    pub fn multi_ring_s(rings: u32, per_ring: u32) -> TopoSpec {
+        assert!(rings >= 2, "need at least two rings to couple");
+        assert!(
+            per_ring >= 4 && per_ring.is_multiple_of(2),
+            "each ring needs an even node count ≥ 4"
+        );
+        let n = rings * per_ring;
+        let mut t = TopoSpec::new(
+            format!("multi-ring-s-{rings}x{per_ring}"),
+            n,
+            &["E", "W", "S"],
+        );
+        let id = |r: u32, i: u32| r * per_ring + i;
+        for r in 0..rings {
+            for i in 0..per_ring {
+                t.connect(id(r, i), 0, id(r, (i + 1) % per_ring), 1, i == per_ring - 1);
+            }
+        }
+        for r in 0..rings - 1 {
+            for i in 0..per_ring {
+                if i % 2 == r % 2 {
+                    t.connect(id(r, i), 2, id(r + 1, i), 2, true);
+                }
+            }
+        }
+        t.route_shortest_paths();
+        t
+    }
+
+    /// Fills the route table with shortest paths over the cable graph:
+    /// per-destination BFS, each node forwarding out its lowest-indexed
+    /// port that lies on a shortest path. Hop counts are then symmetric
+    /// (undirected distance) and every walk strictly approaches the
+    /// destination, so the walks always converge.
+    pub fn route_shortest_paths(&mut self) {
+        let adj = self.adjacency();
+        let n = self.nodes as usize;
+        // nbr[node][port] = the node at the far end of that port's cable.
+        let nbr: Vec<Vec<Option<u32>>> = adj
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|slot| {
+                        slot.map(|(c, fwd)| {
+                            let cable = &self.cables[c];
+                            if fwd {
+                                cable.b.0
+                            } else {
+                                cable.a.0
+                            }
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+        let peer = |node: usize, port: usize| nbr[node][port];
+        for dst in 0..self.nodes {
+            let mut dist = vec![u32::MAX; n];
+            dist[dst as usize] = 0;
+            let mut queue = std::collections::VecDeque::from([dst]);
+            while let Some(v) = queue.pop_front() {
+                for port in 0..self.ports.len() {
+                    if let Some(u) = peer(v as usize, port) {
+                        if dist[u as usize] == u32::MAX {
+                            dist[u as usize] = dist[v as usize] + 1;
+                            queue.push_back(u);
+                        }
+                    }
+                }
+            }
+            for me in 0..self.nodes {
+                if me == dst || dist[me as usize] == u32::MAX {
+                    continue;
+                }
+                let port = (0..self.ports.len()).find(|&p| {
+                    peer(me as usize, p).is_some_and(|u| dist[u as usize] + 1 == dist[me as usize])
+                });
+                if let Some(p) = port {
+                    self.set_route(me, dst, p as u8);
+                }
+            }
+        }
+    }
+
+    /// A `w`×`h` 2D torus with dimension-order (X then Y) shortest-path
+    /// routing; ties go in the `+` direction, wrap cables are datelines.
+    pub fn torus2d(w: u32, h: u32) -> TopoSpec {
+        assert!(w >= 2 && h >= 2, "torus dimensions must be ≥ 2");
+        let mut t = TopoSpec::new(format!("torus2d-{w}x{h}"), w * h, &["X+", "X-", "Y+", "Y-"]);
+        let id = |x: u32, y: u32| y * w + x;
+        for y in 0..h {
+            for x in 0..w {
+                t.connect(id(x, y), 0, id((x + 1) % w, y), 1, x == w - 1);
+                t.connect(id(x, y), 2, id(x, (y + 1) % h), 3, y == h - 1);
+            }
+        }
+        for me in 0..w * h {
+            let (mx, my) = (me % w, me / w);
+            for d in 0..w * h {
+                if d == me {
+                    continue;
+                }
+                let (dx, dy) = (d % w, d / w);
+                let port = if dx != mx {
+                    let fwd = (dx + w - mx) % w;
+                    if fwd <= w - fwd {
+                        0
+                    } else {
+                        1
+                    }
+                } else {
+                    let fwd = (dy + h - my) % h;
+                    if fwd <= h - fwd {
+                        2
+                    } else {
+                        3
+                    }
+                };
+                t.set_route(me, d, port);
+            }
+        }
+        t
+    }
+
+    /// A `w`×`h`×`d` 3D torus with dimension-order (X, Y, then Z)
+    /// shortest-path routing — the APEnet+ network shape.
+    pub fn torus3d(w: u32, h: u32, d: u32) -> TopoSpec {
+        assert!(w >= 2 && h >= 2 && d >= 2, "torus dimensions must be ≥ 2");
+        let mut t = TopoSpec::new(
+            format!("torus3d-{w}x{h}x{d}"),
+            w * h * d,
+            &["X+", "X-", "Y+", "Y-", "Z+", "Z-"],
+        );
+        let id = |x: u32, y: u32, z: u32| (z * h + y) * w + x;
+        for z in 0..d {
+            for y in 0..h {
+                for x in 0..w {
+                    t.connect(id(x, y, z), 0, id((x + 1) % w, y, z), 1, x == w - 1);
+                    t.connect(id(x, y, z), 2, id(x, (y + 1) % h, z), 3, y == h - 1);
+                    t.connect(id(x, y, z), 4, id(x, y, (z + 1) % d), 5, z == d - 1);
+                }
+            }
+        }
+        let dim = |from: u32, to: u32, len: u32, plus: u8| -> Option<u8> {
+            if from == to {
+                return None;
+            }
+            let fwd = (to + len - from) % len;
+            Some(if fwd <= len - fwd { plus } else { plus + 1 })
+        };
+        for me in 0..w * h * d {
+            let (mx, my, mz) = (me % w, (me / w) % h, me / (w * h));
+            for dst in 0..w * h * d {
+                if dst == me {
+                    continue;
+                }
+                let (dx, dy, dz) = (dst % w, (dst / w) % h, dst / (w * h));
+                let port = dim(mx, dx, w, 0)
+                    .or_else(|| dim(my, dy, h, 2))
+                    .or_else(|| dim(mz, dz, d, 4))
+                    .expect("dst != me implies some coordinate differs");
+                t.set_route(me, dst, port);
+            }
+        }
+        t
+    }
+
+    // -- text format --------------------------------------------------------
+
+    /// Serializes the spec in the `.topo` text format [`TopoSpec::parse`]
+    /// reads back; `parse(to_text(t)) == t`.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("topology {}\n", self.name));
+        out.push_str(&format!("ports {}\n", self.ports.join(" ")));
+        out.push_str(&format!("nodes {}\n", self.nodes));
+        for c in &self.cables {
+            out.push_str(&format!(
+                "cable n{}:{} n{}:{}",
+                c.a.0,
+                self.port_name(c.a.1),
+                c.b.0,
+                self.port_name(c.b.1)
+            ));
+            if c.dateline {
+                out.push_str(" dateline");
+            }
+            if c.escape {
+                out.push_str(" escape");
+            }
+            out.push('\n');
+        }
+        for (node, row) in self.routes.iter().enumerate() {
+            for (dst, port) in row.iter().enumerate() {
+                if let Some(p) = port {
+                    out.push_str(&format!("route n{node} n{dst} {}\n", self.port_name(*p)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses the `.topo` text format, reporting the first problem with
+    /// its 1-based line number:
+    ///
+    /// ```text
+    /// # a 2-node ring
+    /// topology tiny
+    /// ports E W
+    /// nodes 2
+    /// cable n0:E n1:W
+    /// cable n1:E n0:W dateline
+    /// route n0 n1 E
+    /// route n1 n0 E
+    /// ```
+    pub fn parse(text: &str) -> Result<TopoSpec, TopoParseError> {
+        let err = |line: usize, message: String| TopoParseError { line, message };
+        let mut spec: Option<TopoSpec> = None;
+        let mut name: Option<String> = None;
+        let mut ports: Option<Vec<String>> = None;
+        for (i, raw) in text.lines().enumerate() {
+            let lno = i + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut words = line.split_whitespace();
+            let kw = words.next().expect("non-empty line has a first word");
+            let rest: Vec<&str> = words.collect();
+            match kw {
+                "topology" => {
+                    if rest.len() != 1 {
+                        return Err(err(lno, "expected: topology <name>".into()));
+                    }
+                    name = Some(rest[0].to_string());
+                }
+                "ports" => {
+                    if rest.is_empty() {
+                        return Err(err(lno, "expected: ports <name>...".into()));
+                    }
+                    ports = Some(rest.iter().map(|p| p.to_string()).collect());
+                }
+                "nodes" => {
+                    let n: u32 = rest
+                        .first()
+                        .and_then(|w| w.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| err(lno, "expected: nodes <count ≥ 1>".into()))?;
+                    let name = name
+                        .clone()
+                        .ok_or_else(|| err(lno, "`topology <name>` must come first".into()))?;
+                    let ports = ports
+                        .clone()
+                        .ok_or_else(|| err(lno, "`ports ...` must come before `nodes`".into()))?;
+                    let refs: Vec<&str> = ports.iter().map(String::as_str).collect();
+                    spec = Some(TopoSpec::new(name, n, &refs));
+                }
+                "cable" => {
+                    let t = spec
+                        .as_mut()
+                        .ok_or_else(|| err(lno, "`nodes` must come before `cable`".into()))?;
+                    if rest.len() < 2 {
+                        return Err(err(
+                            lno,
+                            "expected: cable nA:P nB:P [dateline] [escape]".into(),
+                        ));
+                    }
+                    let endpoint = |w: &str| -> Result<(u32, u8), TopoParseError> {
+                        let (n, p) = w.split_once(':').ok_or_else(|| {
+                            err(lno, format!("bad endpoint {w:?}: want n<id>:<port>"))
+                        })?;
+                        let node: u32 = n
+                            .strip_prefix('n')
+                            .and_then(|s| s.parse().ok())
+                            .filter(|&id| id < t.nodes)
+                            .ok_or_else(|| {
+                                err(lno, format!("bad or out-of-range node in {w:?}"))
+                            })?;
+                        let port = t
+                            .port_id(p)
+                            .ok_or_else(|| err(lno, format!("unknown port {p:?} in {w:?}")))?;
+                        Ok((node, port))
+                    };
+                    let a = endpoint(rest[0])?;
+                    let b = endpoint(rest[1])?;
+                    let mut dateline = false;
+                    let mut escape = false;
+                    for attr in &rest[2..] {
+                        match *attr {
+                            "dateline" => dateline = true,
+                            "escape" => escape = true,
+                            other => {
+                                return Err(err(lno, format!("unknown cable attribute {other:?}")))
+                            }
+                        }
+                    }
+                    t.cables.push(Cable {
+                        a,
+                        b,
+                        dateline,
+                        escape,
+                    });
+                }
+                "route" => {
+                    let t = spec
+                        .as_mut()
+                        .ok_or_else(|| err(lno, "`nodes` must come before `route`".into()))?;
+                    if rest.len() != 3 {
+                        return Err(err(lno, "expected: route n<src> n<dst> <port>".into()));
+                    }
+                    let node_id = |w: &str| -> Result<u32, TopoParseError> {
+                        w.strip_prefix('n')
+                            .and_then(|s| s.parse().ok())
+                            .filter(|&id| id < t.nodes)
+                            .ok_or_else(|| err(lno, format!("bad or out-of-range node {w:?}")))
+                    };
+                    let node = node_id(rest[0])?;
+                    let dst = node_id(rest[1])?;
+                    let port = t
+                        .port_id(rest[2])
+                        .ok_or_else(|| err(lno, format!("unknown port {:?}", rest[2])))?;
+                    if t.routes[node as usize][dst as usize].is_some() {
+                        return Err(err(lno, format!("duplicate route n{node} -> n{dst}")));
+                    }
+                    t.set_route(node, dst, port);
+                }
+                other => return Err(err(lno, format!("unknown keyword {other:?}"))),
+            }
+        }
+        let spec = spec.ok_or_else(|| {
+            err(
+                text.lines().count().max(1),
+                "missing `nodes` declaration".into(),
+            )
+        })?;
+        spec.validate()
+            .map_err(|m| err(text.lines().count().max(1), m))?;
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod spec_tests {
+    use super::*;
+
+    #[test]
+    fn ring_spec_matches_ring_routing() {
+        // The declarative ring and the register generator agree on every
+        // (me, dest) decision, tie-break included.
+        for n in [2u32, 4, 5, 8, 16] {
+            let spec = TopoSpec::ring(n);
+            let map = TcaMap::new(n.next_power_of_two());
+            for me in 0..n {
+                let rules = ring_routing(map, me, n);
+                for d in 0..n {
+                    if d == me {
+                        continue;
+                    }
+                    let addr = map.node_slice(d).base();
+                    let hw = rules.iter().find(|r| r.matches(addr)).and_then(|r| r.port);
+                    let sw = spec
+                        .route(me, d)
+                        .map(|p| if p == 0 { PORT_E } else { PORT_W });
+                    assert_eq!(hw, sw, "ring-{n} {me}->{d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generators_validate_and_are_total() {
+        for spec in [
+            TopoSpec::ring(8),
+            TopoSpec::dual_ring(16),
+            TopoSpec::multi_ring_s(4, 16),
+            TopoSpec::torus2d(8, 8),
+            TopoSpec::torus3d(4, 4, 4),
+        ] {
+            spec.validate().expect("generator output is well-formed");
+            for s in 0..spec.nodes {
+                for d in 0..spec.nodes {
+                    if s == d {
+                        assert_eq!(spec.route(s, d), None, "{}: self-route", spec.name);
+                    } else {
+                        assert!(
+                            spec.route(s, d).is_some(),
+                            "{}: {s}->{d} unrouted",
+                            spec.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn text_round_trips() {
+        for spec in [
+            TopoSpec::ring(4),
+            TopoSpec::dual_ring(8),
+            TopoSpec::torus2d(3, 3),
+        ] {
+            let text = spec.to_text();
+            let back = TopoSpec::parse(&text).expect("emitted text parses");
+            assert_eq!(back, spec);
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_one_based_lines() {
+        // Unknown keyword on line 5 (line 1 is a comment).
+        let text = "# hdr\ntopology t\nports E W\nnodes 2\nfrobnicate n0\n";
+        let e = TopoSpec::parse(text).expect_err("bad keyword");
+        assert_eq!(e.line, 5);
+        assert!(e.message.contains("frobnicate"), "{e}");
+
+        // Out-of-range node id.
+        let e = TopoSpec::parse("topology t\nports E W\nnodes 2\ncable n0:E n9:W\n")
+            .expect_err("bad node");
+        assert_eq!(e.line, 4);
+
+        // Cable before nodes.
+        let e = TopoSpec::parse("topology t\nports E W\ncable n0:E n1:W\n").expect_err("order");
+        assert_eq!(e.line, 3);
+
+        // Duplicate route.
+        let e = TopoSpec::parse("topology t\nports E W\nnodes 2\nroute n0 n1 E\nroute n0 n1 W\n")
+            .expect_err("dup route");
+        assert_eq!(e.line, 5);
+        assert!(e.message.contains("duplicate"), "{e}");
+
+        // Double-cabled port caught by validate, reported at end of file.
+        let e =
+            TopoSpec::parse("topology t\nports E W\nnodes 2\ncable n0:E n1:W\ncable n0:E n1:W\n")
+                .expect_err("dup cable");
+        assert!(e.message.contains("already cabled"), "{e}");
+    }
+
+    #[test]
+    fn display_of_parse_error_is_line_prefixed() {
+        let e = TopoParseError {
+            line: 7,
+            message: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "line 7: boom");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -31,11 +31,17 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cdg;
 pub mod diag;
 pub mod diff;
 pub mod hazard;
 pub mod lint;
+pub mod reach;
 
+pub use cdg::{
+    analyze, cdg_dot, cycle_diagnostics, extract_topo, lint_topo_cycles, topo_metrics, Cdg,
+    Channel, TopoAnalysis, TopoMetrics, Walk, WalkEnd,
+};
 pub use diag::{DiagSpan, Diagnostic, Report, Severity};
 pub use diff::{diff_flight_texts, diff_span_json, FlightLog};
 pub use hazard::detect_hazards;
@@ -43,3 +49,4 @@ pub use lint::{
     collect_chain, lint_chain, lint_cluster, lint_links, lint_reachability, lint_routes,
     runtime_diagnostics, ChainContext,
 };
+pub use reach::{credit_diagnostics, lint_topo, reach_diagnostics};

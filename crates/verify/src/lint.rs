@@ -47,6 +47,16 @@ pub fn lint_cluster(fabric: &Fabric, sub: &SubCluster) -> Report {
     let mut rep = Report::new();
     rep.extend(lint_routes(fabric, sub));
     rep.extend(lint_reachability(fabric, sub));
+    // Whole-fabric channel-dependency proof over the extracted topology.
+    // R001 (node revisit) is already reported per-walk above, so only the
+    // general cycle finding is taken from the CDG pass here.
+    let topo = crate::cdg::extract_topo(fabric, sub);
+    rep.extend(
+        crate::cdg::lint_topo_cycles(&topo)
+            .into_iter()
+            .filter(|d| d.code == "TCA-R002")
+            .collect(),
+    );
     rep.extend(lint_links(fabric));
     rep.extend(runtime_diagnostics(fabric, sub));
     rep

@@ -43,18 +43,51 @@ if [[ "$top" != *'"links":{'* || "$top" != *'"latency":{'* ]]; then
 fi
 
 # Configuration-verifier gate: statically lint every shipped preset
-# (address windows, routing cycles, credit sufficiency, descriptor chains)
-# and hazard-check a traced reference workload on each. Deny-by-default:
-# even a warning fails the build.
+# (address windows, routing cycles, credit sufficiency, descriptor chains),
+# hazard-check a traced reference workload on each, and prove every
+# registry topology deadlock-free (CDG acyclicity) and route-complete.
+# Deny-by-default: even a warning fails the build.
 cargo run -q --release --offline --bin tca-verify -- --all-presets --deny warnings
+
+# Topology-file gates: the checked-in clean fixture must prove out, and the
+# intentionally cycle-injected fixture must fail with the CDG cycle code —
+# if it ever passes, the prover has lost its teeth.
+cargo run -q --release --offline --bin tca-verify -- \
+    --topo-file configs/topologies/torus2d-3x3.topo --deny warnings
+if broken=$(cargo run -q --release --offline --bin tca-verify -- \
+    --topo-file configs/topologies/cycle-injected.topo 2>&1); then
+    echo "tca-verify gate: cycle-injected fixture passed the prover" >&2
+    exit 1
+fi
+if [[ "$broken" != *"TCA-R002"* ]]; then
+    echo "tca-verify gate: cycle-injected fixture failed without TCA-R002" >&2
+    echo "$broken" >&2
+    exit 1
+fi
 
 # Determinism lint: the simulation crates must never consult wall-clock
 # time or OS entropy — a single call would silently break bit-identical
-# replay. (TraceKind::Instant is a span event name, hence the precise
-# patterns rather than a bare "Instant".)
-if grep -rnE 'std::time::(Instant|SystemTime)|Instant::now|SystemTime::now|thread_rng' \
-    crates/sim/src crates/pcie/src crates/peach2/src; then
-    echo "determinism lint: wall-clock or OS-entropy use in simulation crates" >&2
+# replay. Allowlist and patterns live in the script.
+bash scripts/lint_determinism.sh
+
+# Unsafe audit: every simulation crate forbids `unsafe` outright; tca-sim
+# alone carries a documented deny + one feature-gated exception (the
+# counting allocator in prof.rs). Any other unsafe token fails the build.
+for lib in crates/apps crates/bench crates/core crates/device crates/net \
+    crates/pcie crates/peach2 crates/verify; do
+    if ! grep -q '^#!\[forbid(unsafe_code)\]' "$lib/src/lib.rs"; then
+        echo "unsafe audit: $lib/src/lib.rs lost #![forbid(unsafe_code)]" >&2
+        exit 1
+    fi
+done
+if ! grep -q 'cfg_attr(not(feature = "host-prof"), forbid(unsafe_code))' crates/sim/src/lib.rs ||
+    ! grep -q '^#!\[deny(unsafe_code)\]' crates/sim/src/lib.rs; then
+    echo "unsafe audit: crates/sim/src/lib.rs lost its deny/forbid pair" >&2
+    exit 1
+fi
+if grep -rn 'unsafe fn\|unsafe impl\|unsafe {' crates/*/src src \
+    --include='*.rs' | grep -v '^crates/sim/src/prof\.rs:'; then
+    echo "unsafe audit: unsafe token outside the allowlisted crates/sim/src/prof.rs" >&2
     exit 1
 fi
 

@@ -1,19 +1,27 @@
-//! `tca-verify` — lint every shipped cluster preset and hazard-check a
-//! traced reference workload on each.
+//! `tca-verify` — lint every shipped cluster preset, hazard-check a
+//! traced reference workload on each, and statically prove every registry
+//! topology deadlock-free and route-complete.
 //!
 //! ```text
 //! tca-verify --all-presets --deny warnings        # the CI gate
 //! tca-verify --preset ring-4 --json               # one preset, JSON out
+//! tca-verify --topo torus3d-4x4x4                 # one registry topology
+//! tca-verify --topo-file my.topo                  # a .topo file on disk
+//! tca-verify --topo ring-8 --cdg-dot              # Graphviz CDG export
+//! tca-verify --emit-topo torus2d-8x8              # print the .topo text
 //! ```
 //!
-//! Exit status is 0 when every selected preset is clean (or carries only
-//! warnings without `--deny warnings`), 1 otherwise. Output is fully
-//! deterministic: two runs of the same binary print identical bytes.
+//! Exit status is 0 when every selected preset/topology is clean (or
+//! carries only warnings without `--deny warnings`), 1 otherwise. Output
+//! is fully deterministic: two runs of the same binary print identical
+//! bytes.
 
 use std::process::ExitCode;
 use tca::core::prelude::*;
+use tca::core::presets::{build_topology, topology_registry};
 use tca::pcie::AddrRange;
-use tca::verify::{lint_chain, ChainContext, Report};
+use tca::peach2::TopoSpec;
+use tca::verify::{lint_chain, lint_topo, ChainContext, DiagSpan, Diagnostic, Report};
 
 /// One shipped configuration the gate covers.
 struct Preset {
@@ -127,32 +135,82 @@ fn check_preset(p: &Preset) -> Report {
     rep
 }
 
+/// The static proof for one declarative topology, optionally emitting the
+/// CDG as Graphviz instead of the report text.
+fn report_topo(label: &str, spec: &TopoSpec, json: bool, dot: bool) -> Report {
+    let rep = lint_topo(spec);
+    if dot {
+        let an = tca::verify::analyze(spec);
+        print!("{}", tca::verify::cdg_dot(spec, &an.cdg));
+    } else if json {
+        println!("{{\"topology\":\"{label}\",\"report\":{}}}", rep.to_json());
+    } else if rep.is_clean() {
+        println!("topo:{label}: clean");
+    } else {
+        print!("topo:{label}:\n{}", rep.render());
+    }
+    rep
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut deny_warnings = false;
     let mut json = false;
-    let mut only: Option<String> = None;
+    let mut dot = false;
+    let mut only_preset: Option<String> = None;
+    let mut only_topo: Option<String> = None;
+    let mut topo_files: Vec<String> = Vec::new();
+    let mut all = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--all-presets" => only = None,
+            "--all-presets" => all = true,
             "--deny" if args.get(i + 1).map(String::as_str) == Some("warnings") => {
                 deny_warnings = true;
                 i += 1;
             }
             "--deny-warnings" => deny_warnings = true,
             "--json" => json = true,
+            "--cdg-dot" => dot = true,
             "--preset" => {
-                only = args.get(i + 1).cloned();
+                only_preset = args.get(i + 1).cloned();
                 i += 1;
+            }
+            "--topo" => {
+                only_topo = args.get(i + 1).cloned();
+                i += 1;
+            }
+            "--topo-file" => {
+                let Some(path) = args.get(i + 1).cloned() else {
+                    eprintln!("tca-verify: --topo-file needs a path");
+                    return ExitCode::FAILURE;
+                };
+                topo_files.push(path);
+                i += 1;
+            }
+            "--emit-topo" => {
+                let Some(spec) = args.get(i + 1).and_then(|n| build_topology(n)) else {
+                    eprintln!("tca-verify: --emit-topo needs a topology name (try --help)");
+                    return ExitCode::FAILURE;
+                };
+                print!("{}", spec.to_text());
+                return ExitCode::SUCCESS;
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: tca-verify [--all-presets] [--preset NAME] [--deny warnings] [--json]\n\
-                     presets: {}",
+                    "usage: tca-verify [--all-presets] [--preset NAME] [--topo NAME]\n\
+                     \x20                 [--topo-file PATH] [--emit-topo NAME] [--cdg-dot]\n\
+                     \x20                 [--deny warnings] [--json]\n\
+                     presets: {}\n\
+                     topologies: {}",
                     PRESETS
                         .iter()
                         .map(|p| p.name)
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    topology_registry()
+                        .iter()
+                        .map(|t| t.name)
                         .collect::<Vec<_>>()
                         .join(", ")
                 );
@@ -165,30 +223,91 @@ fn main() -> ExitCode {
         }
         i += 1;
     }
-    // No selection means everything, same as --all-presets.
+    // No explicit selection means everything, same as --all-presets.
+    if only_preset.is_none() && only_topo.is_none() && topo_files.is_empty() {
+        all = true;
+    }
     let mut failed = false;
     let mut matched = false;
-    for p in PRESETS {
-        if let Some(name) = &only {
-            if p.name != *name {
+    if only_topo.is_none() && topo_files.is_empty() {
+        for p in PRESETS {
+            if !all && only_preset.as_deref() != Some(p.name) {
                 continue;
             }
+            matched = true;
+            let rep = check_preset(p);
+            if json {
+                println!("{{\"preset\":\"{}\",\"report\":{}}}", p.name, rep.to_json());
+            } else if rep.is_clean() {
+                println!("{}: clean", p.name);
+            } else {
+                print!("{}:\n{}", p.name, rep.render());
+            }
+            if rep.fails(deny_warnings) {
+                failed = true;
+            }
         }
+    }
+    if only_preset.is_none() && topo_files.is_empty() {
+        for entry in topology_registry() {
+            if !all && only_topo.as_deref() != Some(entry.name) {
+                continue;
+            }
+            matched = true;
+            let spec = (entry.build)();
+            if report_topo(entry.name, &spec, json, dot).fails(deny_warnings) {
+                failed = true;
+            }
+        }
+        if let Some(name) = &only_topo {
+            if !matched {
+                // Not in the registry: accept the parametric generator
+                // grammar (ring-N, torus2d-WxH, ...) for ad-hoc sizes.
+                let Some(spec) = build_topology(name) else {
+                    eprintln!("tca-verify: no topology named {name:?} (try --help)");
+                    return ExitCode::FAILURE;
+                };
+                matched = true;
+                if report_topo(name, &spec, json, dot).fails(deny_warnings) {
+                    failed = true;
+                }
+            }
+        }
+    }
+    for path in &topo_files {
         matched = true;
-        let rep = check_preset(p);
-        if json {
-            println!("{{\"preset\":\"{}\",\"report\":{}}}", p.name, rep.to_json());
-        } else if rep.is_clean() {
-            println!("{}: clean", p.name);
-        } else {
-            print!("{}:\n{}", p.name, rep.render());
-        }
-        if rep.fails(deny_warnings) {
-            failed = true;
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("tca-verify: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match TopoSpec::parse(&text) {
+            Ok(spec) => {
+                if report_topo(path, &spec, json, dot).fails(deny_warnings) {
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                let mut rep = Report::new();
+                rep.extend(vec![Diagnostic::error(
+                    "TCA-T001",
+                    DiagSpan::fabric(format!("{path}:{}", e.line)),
+                    format!("topology file does not parse: {}", e.message),
+                    "fix the line; see `tca-verify --emit-topo <name>` for a reference file",
+                )]);
+                if json {
+                    println!("{{\"topology\":\"{path}\",\"report\":{}}}", rep.to_json());
+                } else {
+                    print!("topo:{path}:\n{}", rep.render());
+                }
+                failed = true;
+            }
         }
     }
     if !matched {
-        eprintln!("tca-verify: no preset matched (try --help)");
+        eprintln!("tca-verify: nothing selected (try --help)");
         return ExitCode::FAILURE;
     }
     if failed {
