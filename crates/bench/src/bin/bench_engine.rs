@@ -1,11 +1,12 @@
 //! Engine-throughput regression harness (`tca-prof` layer two): drives
 //! the fixed 8-node-ring steady-state workload plus the ring-size sweep,
-//! measures host events/sec, ns/event, allocs/event, and peak heap depth,
-//! writes the schema-stable `BENCH_engine.json`, and validates every
-//! metric against its drift bound. Exits non-zero on violation, so CI
-//! catches a simulator-speed regression the moment it lands — the
-//! before/after ledger for the calendar-queue and arena-TLP optimizations
-//! ROADMAP item 1 plans.
+//! measures host events/sec, ns/event, allocs/event, and peak pending
+//! depth; races the timing-wheel queue against the pre-rewrite reference
+//! heap (identical pop streams, ≥ 2× speedup required); runs the
+//! 256-node `torus2d-16x16` all-to-all scale point; writes the
+//! schema-stable `BENCH_engine.json`; and validates every metric against
+//! its drift bound. Exits non-zero on violation, so CI catches a
+//! simulator-speed regression the moment it lands.
 //!
 //! Unlike `BENCH_fabric.json` (simulated time only, byte-identical across
 //! runs), the wall-clock-derived values here vary run to run; the schema
@@ -38,14 +39,30 @@ fn main() -> ExitCode {
         bench.ns_per_event
     );
     println!(
-        "  allocs      {:.2} per event ({})   peak heap depth {}",
+        "  allocs      {:.2} per event ({})   peak pending {}",
         bench.allocs_per_event,
         if bench.alloc_counted {
             "counting allocator installed"
         } else {
             "allocator not counted"
         },
-        bench.peak_heap_depth
+        bench.peak_pending
+    );
+    println!(
+        "  queue race  {} events  wheel {:.2} M/s vs reference heap {:.2} M/s  ({:.2}x)",
+        bench.race.events,
+        bench.race.wheel_events_per_sec / 1e6,
+        bench.race.ref_events_per_sec / 1e6,
+        bench.race.speedup
+    );
+    println!(
+        "  torus       {} all-to-all: {} msgs, {} relay hops, {} events in {:.1} ms ({:.2} M events/s)",
+        bench.torus.report.name,
+        bench.torus.report.messages,
+        bench.torus.report.relay_hops,
+        bench.torus.report.events,
+        bench.torus.wall_ns as f64 / 1e6,
+        bench.torus.events_per_sec / 1e6
     );
     print!("  phases     ");
     for p in &bench.profile.phases {

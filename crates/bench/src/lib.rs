@@ -14,10 +14,13 @@
 
 pub mod mini_json;
 pub mod prof;
+pub mod refqueue;
 pub mod scenario;
+pub mod topo_fabric;
 
 pub use prof::{
-    engine_bench, engine_bench_with, profile_scenario, EngineBench, EngineProfile, EngineWorkload,
+    engine_bench, engine_bench_with, profile_scenario, queue_race, EngineBench, EngineProfile,
+    EngineWorkload, QueueRace,
 };
 
 use serde::Serialize;

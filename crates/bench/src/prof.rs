@@ -7,13 +7,18 @@
 //! bans from the simulation crates. The split is deliberate: counters in
 //! sim, timers in bench.
 //!
-//! Two consumers:
+//! Three consumers:
 //! * [`engine_bench`] — the fixed engine-throughput workload behind the
 //!   `bench_engine` binary and the CI drift gate (`BENCH_engine.json`,
-//!   schema `tca-bench-engine/v1`);
+//!   schema `tca-bench-engine/v2`): the 8-node-ring steady state, the
+//!   [`queue_race`] (timing wheel vs. the pre-rewrite reference heap on
+//!   one deterministic workload, ≥ 2× or CI fails), and the 256-node
+//!   `torus2d-16x16` all-to-all point;
 //! * [`profile_scenario`] — the representative rig behind
 //!   `tca-bench --profile`, emitting a `tca-prof/v1` report plus
-//!   flamegraph-compatible folded stacks of per-event-kind host time.
+//!   flamegraph-compatible folded stacks of per-event-kind host time;
+//! * the `topo-registry` scenario's host-cost columns
+//!   ([`timed_topo_run`]).
 //!
 //! Simulated results are byte-identical whether or not a profile is
 //! taken (proved by `tests/determinism.rs` and the `ci.sh` smoke); only
@@ -21,11 +26,14 @@
 //! *schema*-stable rather than byte-stable.
 
 use crate::ensure_out_dir;
+use crate::refqueue::RefQueue;
+use crate::topo_fabric::{self, TopoRunReport};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 use tca_core::prelude::*;
 use tca_pcie::{Fabric, FabricProf, StepKind, TlpCounts};
-use tca_sim::{AllocSnapshot, JsonValue, ProfCounters};
+use tca_peach2::TopoSpec;
+use tca_sim::{AllocSnapshot, EventQueue, Fnv64, JsonValue, ProfCounters, SimRng};
 
 /// One profiled phase: host wall time plus the engine/allocator activity
 /// that happened inside it.
@@ -143,6 +151,10 @@ pub struct EngineWorkload {
     pub sweep_rings: Vec<u32>,
     /// Puts issued per sweep ring.
     pub sweep_puts_per_ring: u32,
+    /// Events replayed through the wheel-vs-reference [`queue_race`].
+    pub race_events: u64,
+    /// Registry topology of the all-to-all scale point.
+    pub torus_topo: String,
 }
 
 impl Default for EngineWorkload {
@@ -154,6 +166,8 @@ impl Default for EngineWorkload {
             put_len: 64 * 1024,
             sweep_rings: vec![2, 4, 8, 16],
             sweep_puts_per_ring: 16,
+            race_events: 200_000,
+            torus_topo: "torus2d-16x16".to_string(),
         }
     }
 }
@@ -168,6 +182,8 @@ impl EngineWorkload {
             put_len: 4 * 1024,
             sweep_rings: vec![2, 4],
             sweep_puts_per_ring: 2,
+            race_events: 10_000,
+            torus_topo: "torus2d-4x4".to_string(),
         }
     }
 }
@@ -425,6 +441,197 @@ pub fn profile_scenario(scenario: &str) -> EngineProfile {
     run_engine_profile(scenario, params)
 }
 
+/// Adapter over the two queue implementations the [`queue_race`] compares,
+/// so one deterministic workload replays through both.
+trait RaceQueue {
+    /// Implementation-specific pending-event handle.
+    type Id: Copy;
+    fn schedule_at(&mut self, at: SimTime, payload: u64) -> Self::Id;
+    fn cancel(&mut self, id: Self::Id) -> bool;
+    fn pop(&mut self) -> Option<(SimTime, u64)>;
+    fn now(&self) -> SimTime;
+    fn executed(&self) -> u64;
+}
+
+impl RaceQueue for EventQueue<u64> {
+    type Id = tca_sim::EventId;
+    fn schedule_at(&mut self, at: SimTime, payload: u64) -> Self::Id {
+        EventQueue::schedule_at(self, at, payload)
+    }
+    fn cancel(&mut self, id: Self::Id) -> bool {
+        EventQueue::cancel(self, id)
+    }
+    fn pop(&mut self) -> Option<(SimTime, u64)> {
+        EventQueue::pop(self)
+    }
+    fn now(&self) -> SimTime {
+        EventQueue::now(self)
+    }
+    fn executed(&self) -> u64 {
+        EventQueue::events_executed(self)
+    }
+}
+
+impl RaceQueue for RefQueue<u64> {
+    type Id = crate::refqueue::RefEventId;
+    fn schedule_at(&mut self, at: SimTime, payload: u64) -> Self::Id {
+        RefQueue::schedule_at(self, at, payload)
+    }
+    fn cancel(&mut self, id: Self::Id) -> bool {
+        RefQueue::cancel(self, id)
+    }
+    fn pop(&mut self) -> Option<(SimTime, u64)> {
+        RefQueue::pop(self)
+    }
+    fn now(&self) -> SimTime {
+        RefQueue::now(self)
+    }
+    fn executed(&self) -> u64 {
+        RefQueue::events_executed(self)
+    }
+}
+
+/// Replays the deterministic race workload through one queue and returns
+/// the FNV-1a checksum of the popped `(time, payload)` stream.
+///
+/// The shape mirrors the fabric's steady state: ~400 events primed up
+/// front (the ring rig's typical pending depth), then each pop schedules
+/// follow-ons — mostly single near-future events (wire/credit chains),
+/// sometimes a same-instant burst of four (batched deliveries), sometimes
+/// a schedule-then-cancel pair (timer re-arms). Both queues pop the
+/// identical stream, so the seeded RNG stays in lockstep and the checksum
+/// proves it.
+fn replay_race_workload<Q: RaceQueue>(q: &mut Q, total_events: u64) -> u64 {
+    let mut rng = SimRng::seed_from_u64(0x7ca_ace);
+    let mut h = Fnv64::new();
+    let mut scheduled = 0u64;
+    let mut pending_cancel: Option<Q::Id> = None;
+    while scheduled < total_events.min(400) {
+        let at = SimTime::from_ps(1 + rng.gen_range(1_000_000));
+        q.schedule_at(at, scheduled);
+        scheduled += 1;
+    }
+    while let Some((at, payload)) = q.pop() {
+        h.write_u64(at.as_ps()).write_u64(payload);
+        let roll = rng.gen_range(10);
+        if scheduled >= total_events {
+            continue;
+        }
+        if roll == 0 {
+            let at = q.now() + Dur::from_ps(1_000 + rng.gen_range(100_000));
+            for _ in 0..(total_events - scheduled).min(4) {
+                q.schedule_at(at, scheduled);
+                scheduled += 1;
+            }
+        } else if roll <= 2 {
+            let at = q.now() + Dur::from_ps(1 + rng.gen_range(500_000));
+            let id = q.schedule_at(at, scheduled);
+            scheduled += 1;
+            if let Some(old) = pending_cancel.replace(id) {
+                q.cancel(old);
+            }
+        } else {
+            let at = q.now() + Dur::from_ps(1 + rng.gen_range(1_000_000));
+            q.schedule_at(at, scheduled);
+            scheduled += 1;
+        }
+    }
+    h.finish()
+}
+
+/// Outcome of racing the timing wheel against the reference heap.
+#[derive(Clone, Copy, Debug)]
+pub struct QueueRace {
+    /// Events popped by each queue (identical by construction).
+    pub events: u64,
+    /// Wheel throughput, pops per host second.
+    pub wheel_events_per_sec: f64,
+    /// Reference-heap throughput, pops per host second.
+    pub ref_events_per_sec: f64,
+    /// `wheel_events_per_sec / ref_events_per_sec`.
+    pub speedup: f64,
+    /// FNV-1a checksum of the popped stream (equal across both queues —
+    /// asserted before this struct is built).
+    pub checksum: u64,
+}
+
+/// Races `tca_sim::EventQueue` (the timing wheel) against
+/// [`RefQueue`] (the pre-rewrite heap) on the identical deterministic
+/// workload and asserts their pop streams match exactly.
+///
+/// # Panics
+/// Panics if the two queues disagree on the popped stream — the wheel
+/// would no longer be a drop-in replacement for the heap.
+pub fn queue_race(total_events: u64) -> QueueRace {
+    let mut wheel = EventQueue::<u64>::new();
+    let t = Instant::now();
+    let wheel_sum = replay_race_workload(&mut wheel, total_events);
+    let wheel_wall = t.elapsed().as_secs_f64().max(1e-12);
+
+    let mut reference = RefQueue::<u64>::new();
+    let t = Instant::now();
+    let ref_sum = replay_race_workload(&mut reference, total_events);
+    let ref_wall = t.elapsed().as_secs_f64().max(1e-12);
+
+    assert_eq!(
+        wheel.executed(),
+        reference.executed(),
+        "wheel and reference popped different event counts"
+    );
+    assert_eq!(
+        wheel_sum, ref_sum,
+        "wheel and reference pop streams diverged"
+    );
+    let events = wheel.executed();
+    let wheel_eps = events as f64 / wheel_wall;
+    let ref_eps = events as f64 / ref_wall;
+    QueueRace {
+        events,
+        wheel_events_per_sec: wheel_eps,
+        ref_events_per_sec: ref_eps,
+        speedup: wheel_eps / ref_eps.max(1e-12),
+        checksum: wheel_sum,
+    }
+}
+
+/// The all-to-all scale point: one registry topology driven to
+/// completion, with the host cost of doing so.
+#[derive(Clone, Debug)]
+pub struct TorusPoint {
+    /// Simulated-side run counters (byte-reproducible).
+    pub report: TopoRunReport,
+    /// Host wall time of the run, ns.
+    pub wall_ns: u64,
+    /// Engine throughput over the run, events per host second.
+    pub events_per_sec: f64,
+}
+
+/// Runs the all-to-all workload on registry topology `topo` under the
+/// wall clock.
+pub fn torus_point(topo: &str) -> TorusPoint {
+    let spec = tca_core::presets::build_topology(topo)
+        .unwrap_or_else(|| panic!("unknown topology {topo}"));
+    let t = Instant::now();
+    let report = topo_fabric::all_to_all(&spec);
+    let wall = t.elapsed();
+    TorusPoint {
+        events_per_sec: report.events as f64 / wall.as_secs_f64().max(1e-12),
+        wall_ns: wall.as_nanos() as u64,
+        report,
+    }
+}
+
+/// Times one strided traffic run over `spec` for the `topo-registry`
+/// sweep's host-cost columns. Returns the run report plus
+/// `(wall_ns, events_per_sec)`.
+pub fn timed_topo_run(spec: &TopoSpec, max_dests: u32) -> (TopoRunReport, u64, f64) {
+    let t = Instant::now();
+    let report = topo_fabric::strided(spec, max_dests);
+    let wall = t.elapsed();
+    let eps = report.events as f64 / wall.as_secs_f64().max(1e-12);
+    (report, wall.as_nanos() as u64, eps)
+}
+
 /// The engine-throughput regression report behind `BENCH_engine.json`.
 #[derive(Clone, Debug)]
 pub struct EngineBench {
@@ -441,11 +648,15 @@ pub struct EngineBench {
     /// Heap allocations per event in the steady phase (0 when the
     /// counting allocator is not installed).
     pub allocs_per_event: f64,
-    /// Peak event-heap depth over the steady-state fabric's lifetime.
-    pub peak_heap_depth: u64,
+    /// Peak pending-event depth over the steady-state fabric's lifetime.
+    pub peak_pending: u64,
     /// True when the counting allocator produced non-zero counts, i.e.
     /// the allocation metrics are meaningful.
     pub alloc_counted: bool,
+    /// Wheel-vs-reference-heap race on the deterministic workload.
+    pub race: QueueRace,
+    /// The all-to-all scale point on the workload's registry topology.
+    pub torus: TorusPoint,
 }
 
 /// Runs the default engine workload and derives the throughput report.
@@ -456,6 +667,8 @@ pub fn engine_bench() -> EngineBench {
 /// [`engine_bench`] with explicit workload parameters (tests use
 /// [`EngineWorkload::smoke`]).
 pub fn engine_bench_with(params: EngineWorkload) -> EngineBench {
+    let race = queue_race(params.race_events);
+    let torus = torus_point(&params.torus_topo);
     let profile = run_engine_profile("engine", params);
     let steady = profile.steady().clone();
     let wall_s = (steady.wall_ns as f64 / 1e9).max(1e-12);
@@ -475,14 +688,16 @@ pub fn engine_bench_with(params: EngineWorkload) -> EngineBench {
         } else {
             steady.allocs as f64 / events as f64
         },
-        peak_heap_depth: profile.queue.peak_heap_depth,
+        peak_pending: profile.queue.peak_pending,
         alloc_counted,
+        race,
+        torus,
         profile,
     }
 }
 
 impl EngineBench {
-    /// Serializes the report as `tca-bench-engine/v1` JSON. Schema-stable
+    /// Serializes the report as `tca-bench-engine/v2` JSON. Schema-stable
     /// (fixed keys and ordering); the event/dispatch/TLP counters are
     /// byte-reproducible across runs, the wall-clock-derived values are
     /// not — unlike `BENCH_fabric.json`, which is simulated-time-only and
@@ -514,18 +729,46 @@ impl EngineBench {
             "sweep_puts_per_ring",
             JsonValue::from(u64::from(p.params.sweep_puts_per_ring)),
         );
+        w.push("race_events", JsonValue::from(p.params.race_events));
+        w.push("torus_topo", JsonValue::from(p.params.torus_topo.as_str()));
         let mut s = JsonValue::object();
         s.push("events", JsonValue::from(self.steady_events));
         s.push("wall_ns", JsonValue::from(self.steady_wall_ns));
         s.push("events_per_sec", JsonValue::from(self.events_per_sec));
         s.push("ns_per_event", JsonValue::from(self.ns_per_event));
         s.push("allocs_per_event", JsonValue::from(self.allocs_per_event));
-        s.push("peak_heap_depth", JsonValue::from(self.peak_heap_depth));
+        s.push("peak_pending", JsonValue::from(self.peak_pending));
         s.push("alloc_counted", JsonValue::from(self.alloc_counted));
+        let mut r = JsonValue::object();
+        r.push("events", JsonValue::from(self.race.events));
+        r.push(
+            "wheel_events_per_sec",
+            JsonValue::from(self.race.wheel_events_per_sec),
+        );
+        r.push(
+            "ref_events_per_sec",
+            JsonValue::from(self.race.ref_events_per_sec),
+        );
+        r.push("speedup", JsonValue::from(self.race.speedup));
+        r.push(
+            "checksum",
+            JsonValue::from(format!("{:016x}", self.race.checksum).as_str()),
+        );
+        let mut t = JsonValue::object();
+        t.push("name", JsonValue::from(self.torus.report.name.as_str()));
+        t.push("nodes", JsonValue::from(u64::from(self.torus.report.nodes)));
+        t.push("messages", JsonValue::from(self.torus.report.messages));
+        t.push("relay_hops", JsonValue::from(self.torus.report.relay_hops));
+        t.push("events", JsonValue::from(self.torus.report.events));
+        t.push("sim_ps", JsonValue::from(self.torus.report.sim_ps));
+        t.push("wall_ns", JsonValue::from(self.torus.wall_ns));
+        t.push("events_per_sec", JsonValue::from(self.torus.events_per_sec));
         let mut root = JsonValue::object();
-        root.push("schema", JsonValue::from("tca-bench-engine/v1"));
+        root.push("schema", JsonValue::from("tca-bench-engine/v2"));
         root.push("workload", w);
         root.push("steady", s);
+        root.push("queue_race", r);
+        root.push("torus", t);
         // The full profile rides along for dashboards; same sub-schema as
         // the standalone tca-prof/v1 report.
         root.push(
@@ -567,10 +810,30 @@ impl EngineBench {
                 self.allocs_per_event
             ));
         }
-        if self.peak_heap_depth == 0 || self.peak_heap_depth > 100_000 {
+        if self.peak_pending == 0 || self.peak_pending > 100_000 {
             v.push(format!(
-                "steady.peak_heap_depth = {} outside (0, 100000]",
-                self.peak_heap_depth
+                "steady.peak_pending = {} outside (0, 100000]",
+                self.peak_pending
+            ));
+        }
+        if self.race.events == 0 {
+            v.push("queue_race.events = 0: race replayed nothing".into());
+        }
+        if self.race.speedup < 2.0 {
+            v.push(format!(
+                "queue_race.speedup = {:.2} below the 2x floor \
+                 (timing wheel must beat the reference heap decisively)",
+                self.race.speedup
+            ));
+        }
+        if self.torus.report.messages == 0 {
+            v.push("torus.messages = 0: all-to-all point sent nothing".into());
+        }
+        if self.torus.events_per_sec < 100_000.0 {
+            v.push(format!(
+                "torus.events_per_sec = {:.0} below the 100k floor \
+                 (256-node all-to-all must stay fast at scale)",
+                self.torus.events_per_sec
             ));
         }
         v
@@ -589,7 +852,9 @@ mod tests {
         assert!(b.steady_events > 0);
         assert!(b
             .to_json()
-            .starts_with("{\"schema\":\"tca-bench-engine/v1\""));
+            .starts_with("{\"schema\":\"tca-bench-engine/v2\""));
+        assert!(b.to_json().contains("\"queue_race\":{"));
+        assert!(b.to_json().contains("\"torus\":{\"name\":\"torus2d-4x4\""));
         assert!(b
             .profile
             .to_json()
@@ -614,13 +879,51 @@ mod tests {
         assert_eq!(a.steady_events, b.steady_events);
         assert_eq!(a.profile.queue, b.profile.queue);
         assert_eq!(a.profile.dispatch, b.profile.dispatch);
-        assert_eq!(a.peak_heap_depth, b.peak_heap_depth);
+        assert_eq!(a.peak_pending, b.peak_pending);
+        assert_eq!(a.race.checksum, b.race.checksum);
+        assert_eq!(a.race.events, b.race.events);
+        assert_eq!(a.torus.report, b.torus.report);
         for (x, y) in a.profile.phases.iter().zip(&b.profile.phases) {
             assert_eq!(x.events, y.events, "phase {} event count", x.name);
         }
         for (x, y) in a.profile.kinds.iter().zip(&b.profile.kinds) {
             assert_eq!(x.events, y.events, "kind {} event count", x.kind);
         }
+    }
+
+    #[test]
+    fn queue_race_streams_match_at_smoke_size() {
+        let r = queue_race(5_000);
+        assert!(r.events >= 4_000, "cancels only trim a fraction");
+        assert!(r.wheel_events_per_sec > 0.0 && r.ref_events_per_sec > 0.0);
+        // No speedup assertion here: debug-build timings are noise. The
+        // release-built bench_engine binary gates speedup >= 2x in CI.
+    }
+
+    /// The ISSUE-mandated stress run: one million events through the
+    /// timing wheel and the reference heap, identical pop streams,
+    /// throughput printed for both. Run it with
+    /// `cargo test --release -p tca-bench -- --ignored engine_stress`.
+    #[test]
+    #[ignore = "stress run; release-mode only, prints throughput"]
+    fn engine_stress_1m_events_wheel_vs_reference() {
+        let r = queue_race(1_000_000);
+        println!(
+            "engine_stress: {} events | wheel {:.2} M events/s | \
+             reference heap {:.2} M events/s | speedup {:.2}x | checksum {:016x}",
+            r.events,
+            r.wheel_events_per_sec / 1e6,
+            r.ref_events_per_sec / 1e6,
+            r.speedup,
+            r.checksum
+        );
+        // `events` counts *executed* pops: the race workload cancels
+        // roughly 15% of its one million schedules, so ~850k land.
+        assert!(
+            r.events > 800_000,
+            "stress run executed {} events",
+            r.events
+        );
     }
 
     #[test]

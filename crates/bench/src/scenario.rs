@@ -784,7 +784,8 @@ pub fn scenarios() -> Vec<Scenario> {
         },
         Scenario {
             name: "topo-registry",
-            description: "static CDG + route metrics over every registry topology",
+            description: "static CDG + route metrics over every registry topology, \
+                          plus the host cost of driving strided traffic over it",
             figure: "§III-D scaling",
             backends: TCA_ONLY,
             points: |_| {
@@ -796,6 +797,14 @@ pub fn scenarios() -> Vec<Scenario> {
                             let an = tca_verify::analyze(&spec);
                             let m = tca_verify::topo_metrics(&spec, &an);
                             let rep = tca_verify::lint_topo(&spec);
+                            // Dynamic counterpart of the static metrics:
+                            // a cheap strided run (8 destinations per
+                            // node) through the real event engine, so
+                            // the sweep reports what each topology costs
+                            // to *simulate*, not just its graph shape.
+                            // Wall-clock columns vary run to run; every
+                            // other column is byte-reproducible.
+                            let (traffic, wall_ns, eps) = crate::prof::timed_topo_run(&spec, 8);
                             row(vec![
                                 ("nodes", JsonValue::from(u64::from(m.nodes))),
                                 ("cables", JsonValue::from(m.cables as u64)),
@@ -809,6 +818,10 @@ pub fn scenarios() -> Vec<Scenario> {
                                 ),
                                 ("errors", JsonValue::from(rep.error_count() as u64)),
                                 ("warnings", JsonValue::from(rep.warning_count() as u64)),
+                                ("traffic_msgs", JsonValue::from(traffic.messages)),
+                                ("traffic_events", JsonValue::from(traffic.events)),
+                                ("host_wall_ms", jf(wall_ns as f64 / 1e6)),
+                                ("events_per_sec", jf(eps)),
                             ])
                         })
                     })

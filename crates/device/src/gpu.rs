@@ -22,7 +22,10 @@
 use crate::params::GpuParams;
 use std::collections::VecDeque;
 use tca_pcie::{AddrRange, Ctx, Device, DeviceId, PageMemory, PortIdx, Tlp, TlpKind, PAGE_SIZE};
-use tca_sim::{BandwidthMeter, Counter, Dur, LatencyHistogram, MetricsHub, SimTime, TraceLevel};
+use tca_sim::{
+    BandwidthMeter, Counter, CounterId, Dur, GaugeId, HistogramId, LatencyHistogram, MeterId,
+    MetricsHub, SimTime, TraceLevel,
+};
 
 /// Opaque pin token, as returned by the `cuPointerGetAttribute` step.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -71,6 +74,32 @@ pub struct Gpu {
     pub write_meter: BandwidthMeter,
     /// Completion chunk for read responses.
     completion_chunk: u32,
+    /// Cached metric ids so steady-state publishes skip name formatting.
+    metric_ids: Option<GpuMetricIds>,
+}
+
+/// Metric handles resolved on the first publish and reused thereafter.
+#[derive(Clone, Copy)]
+struct GpuMetricIds {
+    read_q_depth: GaugeId,
+    reads: CounterId,
+    translate_busy_ns: CounterId,
+    read_q_wait_ns: HistogramId,
+    faults: CounterId,
+    write_bytes: MeterId,
+}
+
+impl GpuMetricIds {
+    fn register(name: &str, hub: &mut MetricsHub) -> Self {
+        GpuMetricIds {
+            read_q_depth: hub.gauge(format!("{name}.bar1.read_q_depth")),
+            reads: hub.counter(format!("{name}.bar1.reads")),
+            translate_busy_ns: hub.counter(format!("{name}.bar1.translate_busy_ns")),
+            read_q_wait_ns: hub.histogram(format!("{name}.bar1.read_q_wait_ns")),
+            faults: hub.counter(format!("{name}.faults")),
+            write_bytes: hub.meter(format!("{name}.write_bytes")),
+        }
+    }
 }
 
 const TAG_READ_DONE: u64 = 1;
@@ -99,6 +128,7 @@ impl Gpu {
             faults: Counter::new(),
             write_meter: BandwidthMeter::new(),
             completion_chunk: 256,
+            metric_ids: None,
         }
     }
 
@@ -278,22 +308,18 @@ impl Device for Gpu {
         &self.name
     }
 
-    fn publish_metrics(&self, hub: &mut MetricsHub) {
-        let p = &self.name;
+    fn publish_metrics(&mut self, hub: &mut MetricsHub) {
+        let ids = *self
+            .metric_ids
+            .get_or_insert_with(|| GpuMetricIds::register(&self.name, hub));
         // Current depth second so the monotonic peak lands in the watermark.
-        let g = hub.gauge(format!("{p}.bar1.read_q_depth"));
-        hub.gauge_set(g, self.read_q_peak as i64);
-        hub.gauge_set(g, self.read_q.len() as i64);
-        let c = hub.counter(format!("{p}.bar1.reads"));
-        hub.counter_sync(c, self.reads_served.get());
-        let c = hub.counter(format!("{p}.bar1.translate_busy_ns"));
-        hub.counter_sync(c, self.translate_busy.as_ps() / 1_000);
-        let h = hub.histogram(format!("{p}.bar1.read_q_wait_ns"));
-        hub.histogram_sync(h, &self.read_q_wait_hist);
-        let c = hub.counter(format!("{p}.faults"));
-        hub.counter_sync(c, self.faults.get());
-        let m = hub.meter(format!("{p}.write_bytes"));
-        hub.meter_sync(m, self.write_meter);
+        hub.gauge_set(ids.read_q_depth, self.read_q_peak as i64);
+        hub.gauge_set(ids.read_q_depth, self.read_q.len() as i64);
+        hub.counter_sync(ids.reads, self.reads_served.get());
+        hub.counter_sync(ids.translate_busy_ns, self.translate_busy.as_ps() / 1_000);
+        hub.histogram_sync(ids.read_q_wait_ns, &self.read_q_wait_hist);
+        hub.counter_sync(ids.faults, self.faults.get());
+        hub.meter_sync(ids.write_bytes, self.write_meter);
     }
 
     fn health_status(&self) -> Option<String> {

@@ -22,7 +22,7 @@
 use crate::params::IbParams;
 use std::collections::HashMap;
 use tca_pcie::{Ctx, Device, DeviceId, PortIdx, ReadReassembly, TagPool, Tlp, TlpKind};
-use tca_sim::{Counter, MetricsHub, TraceLevel};
+use tca_sim::{Counter, CounterId, GaugeId, MetricsHub, TraceLevel};
 
 /// Bit position of the node tag in an IB wire address.
 pub const IB_NODE_SHIFT: u32 = 48;
@@ -91,6 +91,9 @@ pub struct IbHca {
     pub frames_tx: Counter,
     /// Frames received from the network.
     pub frames_rx: Counter,
+    /// Metric ids cached on first publish (send-queue gauge, tx/rx
+    /// counters, reads-in-flight gauge).
+    metric_ids: Option<(GaugeId, CounterId, CounterId, GaugeId)>,
 }
 
 impl IbHca {
@@ -110,6 +113,7 @@ impl IbHca {
             fwd_free: Vec::new(),
             frames_tx: Counter::new(),
             frames_rx: Counter::new(),
+            metric_ids: None,
         }
     }
 
@@ -282,20 +286,27 @@ impl Device for IbHca {
         &self.name
     }
 
-    fn publish_metrics(&self, hub: &mut MetricsHub) {
-        let p = &self.name;
+    fn publish_metrics(&mut self, hub: &mut MetricsHub) {
+        // Ids registered once, reused on every later publish (host-side
+        // cache; see `Device::publish_metrics`).
+        let (send_q_depth, frames_tx, frames_rx, reads_in_flight) =
+            *self.metric_ids.get_or_insert_with(|| {
+                let p = &self.name;
+                (
+                    hub.gauge(format!("{p}.send_q_depth")),
+                    hub.counter(format!("{p}.frames_tx")),
+                    hub.counter(format!("{p}.frames_rx")),
+                    hub.gauge(format!("{p}.reads_in_flight")),
+                )
+            });
         // Posted work requests waiting plus the one being gathered/framed,
         // so the gauge reads as "operations the HCA has not finished".
         let depth =
             self.queue.len() + usize::from(self.active.is_some()) + usize::from(self.setup_pending);
-        let g = hub.gauge(format!("{p}.send_q_depth"));
-        hub.gauge_set(g, depth as i64);
-        let c = hub.counter(format!("{p}.frames_tx"));
-        hub.counter_sync(c, self.frames_tx.get());
-        let c = hub.counter(format!("{p}.frames_rx"));
-        hub.counter_sync(c, self.frames_rx.get());
-        let g = hub.gauge(format!("{p}.reads_in_flight"));
-        hub.gauge_set(g, self.reads.len() as i64);
+        hub.gauge_set(send_q_depth, depth as i64);
+        hub.counter_sync(frames_tx, self.frames_tx.get());
+        hub.counter_sync(frames_rx, self.frames_rx.get());
+        hub.gauge_set(reads_in_flight, self.reads.len() as i64);
     }
 
     fn health_status(&self) -> Option<String> {

@@ -137,9 +137,13 @@ pub trait Device: Any {
 
     /// Publishes this device's internal collectors into the fabric-wide
     /// registry. Called by `Fabric::metrics_snapshot` before every snapshot;
-    /// implementations must only *read* device state and *write* metrics —
-    /// never schedule events — so snapshots stay time-neutral.
-    fn publish_metrics(&self, _hub: &mut MetricsHub) {}
+    /// implementations must only read *simulated* device state and write
+    /// metrics — never schedule events — so snapshots stay time-neutral.
+    /// The receiver is `&mut self` solely so implementations can cache the
+    /// [`MetricsHub`] ids they register on first publish (name lookups
+    /// allocate; id-based updates do not); cached ids are host-side state
+    /// invisible to the event stream.
+    fn publish_metrics(&mut self, _hub: &mut MetricsHub) {}
 
     /// One-line description of the device's engine state for the stall
     /// watchdog's diagnosis (DMA phase, queue depths, in-flight work).

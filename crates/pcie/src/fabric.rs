@@ -19,6 +19,7 @@
 use crate::device::{Action, CreditHold, Ctx, Device};
 use crate::flow::CreditState;
 use crate::link::{LinkParams, WireState};
+use crate::slab::{TlpHandle, TlpSlab};
 use crate::tlp::{DeviceId, Dir, FcClass, PortIdx, Tlp, TlpKind};
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
@@ -58,11 +59,16 @@ impl std::fmt::Display for ConfigError {
     }
 }
 
+/// One queued fabric event. Kept small (16 bytes of payload) on purpose:
+/// the timing wheel moves entries between levels as time advances, and a
+/// `Deliver` carries only a [`TlpHandle`] into the fabric's [`TlpSlab`] —
+/// the packet itself is parked once at transmit and taken at delivery,
+/// never cloned and never dragged through the wheel.
 enum Ev {
     Deliver {
         link: u32,
         dir: Dir,
-        tlp: Tlp,
+        tlp: TlpHandle,
     },
     Timer {
         dst: DeviceId,
@@ -206,6 +212,13 @@ pub struct Fabric {
     prof: FabricProf,
     /// Flight recorder; `None` unless enabled.
     flight: Option<FlightRecorder>,
+    /// In-flight TLP storage; `Ev::Deliver` carries handles into it.
+    tlps: TlpSlab,
+    /// Reusable action buffer lent to each [`Ctx`]; drained and returned
+    /// after every handler so steady-state dispatch allocates nothing.
+    action_scratch: Vec<Action>,
+    /// Reusable same-timestamp event batch for [`Fabric::run_until_idle`].
+    batch_buf: Vec<Ev>,
 }
 
 impl Default for Fabric {
@@ -231,6 +244,9 @@ impl Fabric {
             watchdog: None,
             prof: FabricProf::default(),
             flight: None,
+            tlps: TlpSlab::new(),
+            action_scratch: Vec::new(),
+            batch_buf: Vec::new(),
         }
     }
 
@@ -375,7 +391,7 @@ impl Fabric {
     /// [`Device::publish_metrics`]; the snapshot is a pure read of simulated
     /// state and never advances time.
     pub fn metrics_snapshot(&mut self) -> MetricsSnapshot {
-        for dev in &self.devices {
+        for dev in &mut self.devices {
             dev.publish_metrics(&mut self.metrics);
         }
         self.metrics.snapshot()
@@ -479,7 +495,7 @@ impl Fabric {
         let mut ctx = Ctx {
             now: self.queue.now(),
             self_id: id,
-            actions: Vec::new(),
+            actions: std::mem::take(&mut self.action_scratch),
             delivery_credits: None,
             progress: false,
             tracer: &mut self.tracer,
@@ -488,9 +504,10 @@ impl Fabric {
         let dev: &mut dyn Any = self.devices[id.0 as usize].as_mut();
         let dev = dev.downcast_mut::<T>().expect("device type mismatch");
         let r = f(dev, &mut ctx);
-        let actions = std::mem::take(&mut ctx.actions);
+        let mut actions = std::mem::take(&mut ctx.actions);
         debug_assert!(ctx.delivery_credits.is_none());
-        self.apply_actions(id, actions);
+        self.apply_actions(id, &mut actions);
+        self.action_scratch = actions;
         r
     }
 
@@ -545,8 +562,31 @@ impl Fabric {
     /// With the watchdog armed, a drain that leaves TLPs blocked on credits
     /// (a permanently starved link — nothing left to pump them) fires the
     /// watchdog with a diagnosis instead of returning silently.
+    ///
+    /// The drain is batched: [`EventQueue::pop_run`] detaches every event
+    /// sharing the earliest timestamp in one queue operation, and the batch
+    /// dispatches back-to-back. Dispatch order is exactly the single-step
+    /// order (a slot list is stored in sequence order, and events a handler
+    /// schedules at the *same* instant get larger sequence numbers, so they
+    /// surface in the next batch precisely where `step` would pop them);
+    /// the flight recorder and watchdog still run per event, and the
+    /// sampler runs once per batch — equivalent to once per event, since no
+    /// sample grid point can fall strictly *before* a timestamp the batch
+    /// is already at.
     pub fn run_until_idle(&mut self) -> SimTime {
-        while self.step() {}
+        let mut batch = std::mem::take(&mut self.batch_buf);
+        loop {
+            self.sample_pending();
+            if self.queue.pop_run(&mut batch).is_none() {
+                break;
+            }
+            for ev in batch.drain(..) {
+                self.record_flight(&ev);
+                self.dispatch(ev);
+                self.check_watchdog();
+            }
+        }
+        self.batch_buf = batch;
         self.check_drained_stall();
         self.queue.now()
     }
@@ -574,9 +614,18 @@ impl Fabric {
         self.sample_pending();
         let (_, ev) = self.queue.pop()?;
         self.record_flight(&ev);
-        let kind = match ev {
+        let kind = self.dispatch(ev);
+        self.check_watchdog();
+        Some(kind)
+    }
+
+    /// Executes one already-popped event (shared by the single-step and
+    /// batched drivers) and reports its kind.
+    fn dispatch(&mut self, ev: Ev) -> StepKind {
+        match ev {
             Ev::Deliver { link, dir, tlp } => {
                 self.prof.deliver_events += 1;
+                let tlp = self.tlps.take(tlp);
                 self.deliver(link, dir, tlp);
                 StepKind::Deliver
             }
@@ -599,9 +648,7 @@ impl Fabric {
                 self.pump_link(link, dir);
                 StepKind::CreditReturn
             }
-        };
-        self.check_watchdog();
-        Some(kind)
+        }
     }
 
     /// Host-side dispatch counters accumulated since construction.
@@ -610,20 +657,16 @@ impl Fabric {
     }
 
     /// Host-side counters of the underlying event queue (pushes, pops,
-    /// cancels, tombstone drains, peak heap depth).
+    /// cancels, wheel cascades, peak pending depth).
     pub fn queue_prof(&self) -> tca_sim::ProfCounters {
         *self.queue.prof()
     }
 
-    /// Event-queue occupancy ledger as `(pending, live, tombstones)`,
-    /// where `pending` counts lazily-cancelled tombstones too. Consumers
-    /// (tests, tca-prof reports) assert `pending == live + tombstones`.
-    pub fn queue_depths(&self) -> (usize, usize, usize) {
-        (
-            self.queue.pending(),
-            self.queue.live_count(),
-            self.queue.tombstone_count(),
-        )
+    /// Number of events currently pending in the queue. Exact: the timing
+    /// wheel unlinks cancelled entries eagerly, so there is no tombstone
+    /// residue to subtract.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.pending()
     }
 
     /// Appends the just-popped event to the flight recorder, if enabled.
@@ -638,6 +681,7 @@ impl Fabric {
         match ev {
             Ev::Deliver { link, dir, tlp } => {
                 let (dst, port) = self.links[*link as usize].ends[dir.flip().index()];
+                let tlp = self.tlps.get(*tlp);
                 fl.record(
                     at,
                     StepKind::Deliver.name(),
@@ -695,7 +739,7 @@ impl Fabric {
             while sampler.due_before(next_event) {
                 let at = sampler.next_due();
                 self.refresh_live_gauges();
-                for dev in &self.devices {
+                for dev in &mut self.devices {
                     dev.publish_metrics(&mut self.metrics);
                 }
                 sampler.capture(at, &self.metrics);
@@ -836,7 +880,7 @@ impl Fabric {
         let mut ctx = Ctx {
             now: self.queue.now(),
             self_id: dst,
-            actions: Vec::new(),
+            actions: std::mem::take(&mut self.action_scratch),
             delivery_credits: Some(CreditHold {
                 link,
                 dir,
@@ -849,7 +893,7 @@ impl Fabric {
             spans: &mut self.spans,
         };
         self.devices[dst.0 as usize].on_tlp(port, tlp, &mut ctx);
-        let actions = std::mem::take(&mut ctx.actions);
+        let mut actions = std::mem::take(&mut ctx.actions);
         if ctx.progress {
             if let Some(w) = &mut self.watchdog {
                 w.progress(self.queue.now());
@@ -870,31 +914,35 @@ impl Fabric {
                 },
             );
         }
-        self.apply_actions(dst, actions);
+        self.apply_actions(dst, &mut actions);
+        self.action_scratch = actions;
     }
 
     fn dispatch_timer(&mut self, dst: DeviceId, tag: u64) {
         let mut ctx = Ctx {
             now: self.queue.now(),
             self_id: dst,
-            actions: Vec::new(),
+            actions: std::mem::take(&mut self.action_scratch),
             delivery_credits: None,
             progress: false,
             tracer: &mut self.tracer,
             spans: &mut self.spans,
         };
         self.devices[dst.0 as usize].on_timer(tag, &mut ctx);
-        let actions = std::mem::take(&mut ctx.actions);
+        let mut actions = std::mem::take(&mut ctx.actions);
         if ctx.progress {
             if let Some(w) = &mut self.watchdog {
                 w.progress(self.queue.now());
             }
         }
-        self.apply_actions(dst, actions);
+        self.apply_actions(dst, &mut actions);
+        self.action_scratch = actions;
     }
 
-    fn apply_actions(&mut self, src: DeviceId, actions: Vec<Action>) {
-        for a in actions {
+    /// Applies a handler's queued actions, draining (but keeping the
+    /// capacity of) the borrowed scratch buffer.
+    fn apply_actions(&mut self, src: DeviceId, actions: &mut Vec<Action>) {
+        for a in actions.drain(..) {
             match a {
                 Action::Send { port, tlp } => self.submit(src, port, tlp),
                 Action::Timer { delay, tag } => {
@@ -965,6 +1013,7 @@ impl Fabric {
                 &mut self.spans,
                 &mut self.rng,
                 &mut self.prof,
+                &mut self.tlps,
                 link,
                 end,
                 params,
@@ -996,6 +1045,7 @@ impl Fabric {
         spans: &mut SpanStore,
         rng: &mut SimRng,
         prof: &mut FabricProf,
+        tlps: &mut TlpSlab,
         link: u32,
         dir: Dir,
         params: LinkParams,
@@ -1041,6 +1091,7 @@ impl Fabric {
             tracer.emit(TraceLevel::Packet, queue.now(), || {
                 format!("tx link{link}/{dir} {tlp:?} depart={departure} arrive={arrival}")
             });
+            let tlp = tlps.insert(tlp);
             queue.schedule_at(arrival, Ev::Deliver { link, dir, tlp });
             break;
         }
@@ -1086,6 +1137,7 @@ impl Fabric {
                 &mut self.spans,
                 &mut self.rng,
                 &mut self.prof,
+                &mut self.tlps,
                 link,
                 dir,
                 params,

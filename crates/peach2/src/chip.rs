@@ -22,7 +22,10 @@ use tca_device::map::{gpu_bar, TcaBlock, TcaMap};
 use tca_pcie::{
     Ctx, Device, DeviceId, Fabric, PageMemory, PortIdx, ReadReassembly, TagPool, Tlp, TlpKind,
 };
-use tca_sim::{Counter, Dur, LatencyHistogram, MetricsHub, SimTime, TraceCtx, TraceLevel};
+use tca_sim::{
+    Counter, CounterId, Dur, GaugeId, HistogramId, LatencyHistogram, MetricsHub, SimTime, TraceCtx,
+    TraceLevel,
+};
 
 /// Port N: host connection (always, §III-D).
 pub const PORT_N: PortIdx = PortIdx(0);
@@ -148,6 +151,59 @@ impl DmaState {
     }
 }
 
+/// Cached [`MetricsHub`] ids for [`Peach2`]'s publication path:
+/// registered once on the first `publish_metrics` call, then reused, so
+/// repeated snapshots neither format metric names nor probe the hub's
+/// string index. Host-side state only — invisible to the event stream.
+#[derive(Clone, Copy)]
+struct ChipMetricIds {
+    relayed: CounterId,
+    dma_runs: CounterId,
+    dma_bytes: CounterId,
+    dma_descriptors: CounterId,
+    dma_engine_busy_ns: CounterId,
+    dma_chain_len: GaugeId,
+    dma_window_ns: HistogramId,
+    dma_desc_fetch_ns: HistogramId,
+    /// Per-port ingress/egress counters in N/E/W/S order.
+    port_ingress: [CounterId; 4],
+    port_egress: [CounterId; 4],
+    dma_read_q_depth: GaugeId,
+    dma_engine_active: GaugeId,
+}
+
+impl ChipMetricIds {
+    fn register(name: &str, hub: &mut MetricsHub) -> ChipMetricIds {
+        let mut port = |p: &str, kind: &str| hub.counter(format!("{name}.port.{p}.{kind}"));
+        let port_ingress = [
+            port("n", "ingress"),
+            port("e", "ingress"),
+            port("w", "ingress"),
+            port("s", "ingress"),
+        ];
+        let port_egress = [
+            port("n", "egress"),
+            port("e", "egress"),
+            port("w", "egress"),
+            port("s", "egress"),
+        ];
+        ChipMetricIds {
+            relayed: hub.counter(format!("{name}.relayed")),
+            dma_runs: hub.counter(format!("{name}.dma.runs")),
+            dma_bytes: hub.counter(format!("{name}.dma.bytes")),
+            dma_descriptors: hub.counter(format!("{name}.dma.descriptors")),
+            dma_engine_busy_ns: hub.counter(format!("{name}.dma.engine_busy_ns")),
+            dma_chain_len: hub.gauge(format!("{name}.dma.chain_len")),
+            dma_window_ns: hub.histogram(format!("{name}.dma.window_ns")),
+            dma_desc_fetch_ns: hub.histogram(format!("{name}.dma.desc_fetch_ns")),
+            port_ingress,
+            port_egress,
+            dma_read_q_depth: hub.gauge(format!("{name}.dma.read_q_depth")),
+            dma_engine_active: hub.gauge(format!("{name}.dma.engine_active")),
+        }
+    }
+}
+
 /// One PEACH2 chip.
 pub struct Peach2 {
     id: DeviceId,
@@ -175,6 +231,8 @@ pub struct Peach2 {
     pub desc_fetch_hist: LatencyHistogram,
     /// The NIOS management microcontroller (§III-D).
     nios: Nios,
+    /// Metric ids cached on first publish (see [`ChipMetricIds`]).
+    metric_ids: Option<ChipMetricIds>,
 }
 
 impl Peach2 {
@@ -207,6 +265,7 @@ impl Peach2 {
             dma_window_hist: LatencyHistogram::new(),
             desc_fetch_hist: LatencyHistogram::new(),
             nios: Nios::default(),
+            metric_ids: None,
         }
     }
 
@@ -731,19 +790,19 @@ impl Peach2 {
     // Ingress handling
     // ------------------------------------------------------------------
 
-    fn on_mem_write(
-        &mut self,
-        in_port: PortIdx,
-        addr: u64,
-        data: bytes::Bytes,
-        span: Option<TraceCtx>,
-        ctx: &mut Ctx<'_>,
-    ) {
+    fn on_mem_write(&mut self, in_port: PortIdx, mut tlp: Tlp, ctx: &mut Ctx<'_>) {
+        let TlpKind::MemWrite { addr, .. } = tlp.kind else {
+            unreachable!("on_mem_write dispatched on a non-write TLP");
+        };
+        let span = tlp.span;
         match self.map.classify(addr) {
             Some((node, block, off)) if node == self.regs.node_id => {
                 if block == TcaBlock::Internal {
+                    let TlpKind::MemWrite { ref data, .. } = tlp.kind else {
+                        unreachable!();
+                    };
                     if off < SRAM_OFFSET {
-                        match self.regs.write(off, &data) {
+                        match self.regs.write(off, data) {
                             Ok(RegEffect::Doorbell) => self.doorbell(span, ctx),
                             Ok(RegEffect::None) => {}
                             Err(e) => {
@@ -756,13 +815,15 @@ impl Peach2 {
                             }
                         }
                     } else {
-                        self.sram.write(off - SRAM_OFFSET, &data);
+                        self.sram.write(off - SRAM_OFFSET, data);
                     }
                 } else {
                     // Terminates at this node: port-N address conversion,
                     // then up to the host bridge. (A store from the local
                     // CPU into the node's own slice legitimately hairpins
                     // here: down port N, translate, back up port N.)
+                    // The conversion retargets the packet in place — the
+                    // payload handle and span ride along untouched.
                     let _ = in_port;
                     if let Some(sp) = span {
                         let now = ctx.now();
@@ -770,12 +831,17 @@ impl Peach2 {
                         ctx.spans().segment(sp, "relay", now, end, Some(self.id.0));
                     }
                     let local = self.translate_own(block, off);
-                    let tlp = Tlp::write(local, data).with_span(span);
+                    if let TlpKind::MemWrite { ref mut addr, .. } = tlp.kind {
+                        *addr = local;
+                    }
                     self.forward_after(self.params.port_n_translate, PORT_N, tlp, ctx);
                 }
             }
             Some(_) => {
-                // Relay toward another node.
+                // Relay toward another node: the packet is forwarded *by
+                // move* — no rebuild, no payload clone, no new TLP. The
+                // hop counter keeps the per-hop cost visible to the host
+                // profiler (clones-per-hop must stay ~0).
                 let out = self
                     .regs
                     .route(addr)
@@ -787,15 +853,12 @@ impl Peach2 {
                     self.name
                 );
                 self.relayed.inc();
-                // tca-prof: a relay hop rebuilds the TLP at this chip, so
-                // the host profiler can report constructions *per hop*.
                 tca_pcie::prof::count_relay_hop();
                 if let Some(sp) = span {
                     let now = ctx.now();
                     let end = now + self.params.chip_transit;
                     ctx.spans().segment(sp, "relay", now, end, Some(self.id.0));
                 }
-                let tlp = Tlp::write(addr, data).with_span(span);
                 self.forward_after(self.params.chip_transit, out, tlp, ctx);
             }
             None => panic!(
@@ -810,10 +873,7 @@ impl Device for Peach2 {
     fn on_tlp(&mut self, port: PortIdx, tlp: Tlp, ctx: &mut Ctx<'_>) {
         self.nios.count_ingress(port.0);
         match tlp.kind {
-            TlpKind::MemWrite { addr, ref data } => {
-                let span = tlp.span;
-                self.on_mem_write(port, addr, data.clone(), span, ctx)
-            }
+            TlpKind::MemWrite { .. } => self.on_mem_write(port, tlp, ctx),
             TlpKind::Completion { .. } => {
                 assert_eq!(
                     port, PORT_N,
@@ -879,49 +939,49 @@ impl Device for Peach2 {
         &self.name
     }
 
-    fn publish_metrics(&self, hub: &mut MetricsHub) {
-        let p = &self.name;
-        let c = hub.counter(format!("{p}.relayed"));
-        hub.counter_sync(c, self.relayed.get());
-        let done: Vec<&DmaRunRecord> = self.runs.iter().filter(|r| r.complete.is_some()).collect();
-        let c = hub.counter(format!("{p}.dma.runs"));
-        hub.counter_sync(c, done.len() as u64);
-        let c = hub.counter(format!("{p}.dma.bytes"));
-        hub.counter_sync(c, done.iter().map(|r| r.bytes).sum());
-        let c = hub.counter(format!("{p}.dma.descriptors"));
-        hub.counter_sync(c, done.iter().map(|r| r.descriptors as u64).sum());
+    fn publish_metrics(&mut self, hub: &mut MetricsHub) {
+        let ids = *self
+            .metric_ids
+            .get_or_insert_with(|| ChipMetricIds::register(&self.name, hub));
+        hub.counter_sync(ids.relayed, self.relayed.get());
+        let mut runs = 0u64;
+        let mut bytes = 0u64;
+        let mut descriptors = 0u64;
+        let mut longest_chain = 0u32;
+        let mut last_chain = 0u32;
         // Engine-busy time: the sum of doorbell→completion windows.
-        let busy = done.iter().fold(Dur::ZERO, |acc, r| {
-            acc + r.complete.unwrap().since(r.doorbell)
-        });
-        let c = hub.counter(format!("{p}.dma.engine_busy_ns"));
-        hub.counter_sync(c, busy.as_ps() / 1_000);
+        let mut busy = Dur::ZERO;
+        for r in self.runs.iter().filter(|r| r.complete.is_some()) {
+            runs += 1;
+            bytes += r.bytes;
+            descriptors += u64::from(r.descriptors);
+            longest_chain = longest_chain.max(r.descriptors);
+            last_chain = r.descriptors;
+            busy += r.complete.unwrap().since(r.doorbell);
+        }
+        hub.counter_sync(ids.dma_runs, runs);
+        hub.counter_sync(ids.dma_bytes, bytes);
+        hub.counter_sync(ids.dma_descriptors, descriptors);
+        hub.counter_sync(ids.dma_engine_busy_ns, busy.as_ps() / 1_000);
         // Chain length: current = last completed run, peak = longest ever.
         // Setting the (monotonic) maximum first makes the peak watermark
         // exact even though the gauge is only written at snapshot time.
-        let g = hub.gauge(format!("{p}.dma.chain_len"));
-        hub.gauge_set(
-            g,
-            done.iter().map(|r| r.descriptors).max().unwrap_or(0) as i64,
-        );
-        hub.gauge_set(g, done.last().map(|r| r.descriptors).unwrap_or(0) as i64);
-        let h = hub.histogram(format!("{p}.dma.window_ns"));
-        hub.histogram_sync(h, &self.dma_window_hist);
-        let h = hub.histogram(format!("{p}.dma.desc_fetch_ns"));
-        hub.histogram_sync(h, &self.desc_fetch_hist);
-        for (i, port) in ["n", "e", "w", "s"].iter().enumerate() {
-            let pc = self.nios.counters(i as u8);
-            let c = hub.counter(format!("{p}.port.{port}.ingress"));
-            hub.counter_sync(c, pc.ingress);
-            let c = hub.counter(format!("{p}.port.{port}.egress"));
-            hub.counter_sync(c, pc.egress);
+        hub.gauge_set(ids.dma_chain_len, i64::from(longest_chain));
+        hub.gauge_set(ids.dma_chain_len, i64::from(last_chain));
+        hub.histogram_sync(ids.dma_window_ns, &self.dma_window_hist);
+        hub.histogram_sync(ids.dma_desc_fetch_ns, &self.desc_fetch_hist);
+        for i in 0..4u8 {
+            let pc = self.nios.counters(i);
+            hub.counter_sync(ids.port_ingress[i as usize], pc.ingress);
+            hub.counter_sync(ids.port_egress[i as usize], pc.egress);
         }
         // Live engine state, refreshed on every publish so the sampler's
         // periodic captures see descriptor-queue backpressure as it happens.
-        let g = hub.gauge(format!("{p}.dma.read_q_depth"));
-        hub.gauge_set(g, self.dma.read_q.len() as i64);
-        let g = hub.gauge(format!("{p}.dma.engine_active"));
-        hub.gauge_set(g, (self.dma.phase != Phase::Idle) as i64);
+        hub.gauge_set(ids.dma_read_q_depth, self.dma.read_q.len() as i64);
+        hub.gauge_set(
+            ids.dma_engine_active,
+            (self.dma.phase != Phase::Idle) as i64,
+        );
     }
 
     fn health_status(&self) -> Option<String> {

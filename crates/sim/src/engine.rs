@@ -1,59 +1,116 @@
 //! Generic discrete-event engine.
 //!
-//! [`EventQueue`] is a priority queue of `(SimTime, E)` pairs with a strict
-//! deterministic tie-break: events scheduled at the same instant pop in the
+//! [`EventQueue`] is a deterministic scheduler of `(SimTime, E)` pairs with
+//! a strict tie-break: events scheduled at the same instant pop in the
 //! order they were scheduled. The engine is deliberately payload-agnostic;
 //! the PCIe fabric layer defines the payload type and the dispatch loop.
+//!
+//! # Implementation: hierarchical timing wheel
+//!
+//! Events live in a slab (stable indices, generation-checked handles) and
+//! are threaded onto intrusive doubly-linked lists hanging off a
+//! hierarchical timing wheel — [`LEVELS`] levels of [`SLOTS`] slots, each
+//! level covering a 256× longer horizon than the one below, over integer
+//! picoseconds. Level 0 slots each hold exactly one absolute timestamp;
+//! higher levels hold coarser buckets that are *cascaded* down (lazily
+//! re-binned) as the wheel's base time advances past their boundary.
+//! Events beyond the wheel horizon (`2^56` ps ≈ 20 simulated hours) park
+//! in a `BTreeMap` overflow tier keyed by `(time, seq)`.
+//!
+//! * `schedule_at` / `cancel` are O(1): a slab allocation plus a list
+//!   append (or unlink) — no tombstones, no hashing, no re-heapification.
+//! * `pop` is O(1) amortized: find the first occupied slot via per-level
+//!   occupancy bitmaps, unlink the head.
+//!
+//! Determinism is preserved exactly (see DESIGN.md "Timing-wheel event
+//! queue"): sequence numbers are monotone, slot lists only ever append, and
+//! cascades walk their source list head→tail, so every level-0 slot is in
+//! seq order and global pop order is lexicographic `(at, seq)` — the same
+//! total order the previous binary-heap implementation produced, byte for
+//! byte in every flight log.
 
 use crate::prof::ProfCounters;
 use crate::time::{Dur, SimTime};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::BTreeMap;
+
+/// Bits of the slot index at each wheel level (256 slots per level).
+const SLOT_BITS: u32 = 8;
+/// Slots per wheel level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Wheel levels; together they cover `2^(8*7) = 2^56` picoseconds.
+const LEVELS: usize = 7;
+/// Null link in the intrusive slot lists.
+const NIL: u32 = u32::MAX;
+/// `Entry::level` marker: parked in the overflow `BTreeMap`.
+const LVL_OVERFLOW: u8 = 0xFF;
+/// `Entry::level` marker: entry is on the free list.
+const LVL_FREE: u8 = 0xFE;
 
 /// Identifier of a scheduled event, usable for cancellation.
+///
+/// Encodes the slab index (low 32 bits) and the slot's generation (high 32
+/// bits); a cancel with a stale generation — the event already fired or
+/// was already cancelled and its slot reused — is detected exactly and
+/// returns `false`.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct EventId(u64);
 
-struct Scheduled<E> {
-    at: SimTime,
+impl EventId {
+    fn encode(idx: u32, gen: u32) -> EventId {
+        EventId((u64::from(gen) << 32) | u64::from(idx))
+    }
+
+    fn decode(self) -> (u32, u32) {
+        (self.0 as u32, (self.0 >> 32) as u32)
+    }
+}
+
+/// One slab slot: an event (live in a wheel slot or the overflow tier) or
+/// a free-list entry awaiting reuse.
+struct Entry<E> {
+    at: u64,
     seq: u64,
-    payload: E,
+    gen: u32,
+    prev: u32,
+    next: u32,
+    /// Wheel level, or `LVL_OVERFLOW` / `LVL_FREE`.
+    level: u8,
+    slot: u8,
+    payload: Option<E>,
 }
 
-// BinaryHeap is a max-heap; invert the ordering to pop the earliest event.
-impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
+/// Head/tail of one wheel slot's intrusive list.
+#[derive(Clone, Copy)]
+struct SlotList {
+    head: u32,
+    tail: u32,
 }
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Scheduled<E> {}
 
-/// A deterministic discrete-event queue.
+const EMPTY_SLOT: SlotList = SlotList {
+    head: NIL,
+    tail: NIL,
+};
+
+/// A deterministic discrete-event queue (hierarchical timing wheel).
 ///
 /// Invariants:
 /// * time never moves backwards: popping advances `now` monotonically;
 /// * scheduling in the past (before `now`) is a model bug and panics;
 /// * same-instant events pop in scheduling order (FIFO tie-break).
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
-    cancelled: std::collections::HashSet<u64>,
-    /// Seqs currently in the heap and not cancelled. Bounded by `heap.len()`;
-    /// membership is what makes `cancel` exact (no tombstone leak for ids
-    /// that already fired or were never scheduled).
-    live: std::collections::HashSet<u64>,
+    slab: Vec<Entry<E>>,
+    free: Vec<u32>,
+    wheel: Vec<SlotList>,
+    /// Per-level slot-occupancy bitmaps (256 bits each).
+    occ: [[u64; 4]; LEVELS],
+    /// Far-future tier: events whose time differs from `base` above the
+    /// wheel horizon, keyed `(at, seq)` so drain order is pop order.
+    overflow: BTreeMap<(u64, u64), u32>,
+    /// Wheel origin in ps. Equal to `now` between operations; advances
+    /// only inside `pop`/`pop_run` (never in `peek_time` — scheduling
+    /// between a peek and the pop it predicts must stay legal).
+    base: u64,
+    live: usize,
     now: SimTime,
     next_seq: u64,
     popped: u64,
@@ -73,9 +130,13 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue at t = 0.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            cancelled: std::collections::HashSet::new(),
-            live: std::collections::HashSet::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            wheel: vec![EMPTY_SLOT; LEVELS * SLOTS],
+            occ: [[0; 4]; LEVELS],
+            overflow: BTreeMap::new(),
+            base: 0,
+            live: 0,
             now: SimTime::ZERO,
             next_seq: 0,
             popped: 0,
@@ -95,31 +156,21 @@ impl<E> EventQueue<E> {
         self.popped
     }
 
-    /// Number of events still pending (including cancelled tombstones).
+    /// Number of live events still pending. Cancelled events leave no
+    /// residue, so this is exact (the old heap counted tombstones too).
     #[inline]
     pub fn pending(&self) -> usize {
-        self.heap.len()
-    }
-
-    /// Number of live (not cancelled, not yet fired) events pending.
-    #[inline]
-    pub fn live_count(&self) -> usize {
-        self.live.len()
-    }
-
-    /// Number of cancelled tombstones still parked in the heap. Always
-    /// `pending() - live_count()` — the invariant the engine property
-    /// tests pin down.
-    #[inline]
-    pub fn tombstone_count(&self) -> usize {
-        self.cancelled.len()
+        self.live
     }
 
     /// True while `id` is still pending (scheduled, not fired, not
-    /// cancelled) — exact membership, never fooled by tombstones.
+    /// cancelled) — exact via the slot's generation check.
     #[inline]
     pub fn is_pending(&self, id: EventId) -> bool {
-        self.live.contains(&id.0)
+        let (idx, gen) = id.decode();
+        self.slab
+            .get(idx as usize)
+            .is_some_and(|e| e.gen == gen && e.level != LVL_FREE)
     }
 
     /// Host-side activity counters accumulated since construction.
@@ -141,11 +192,36 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { at, seq, payload });
-        self.live.insert(seq);
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                let e = &mut self.slab[idx as usize];
+                e.at = at.as_ps();
+                e.seq = seq;
+                e.payload = Some(payload);
+                idx
+            }
+            None => {
+                let idx = self.slab.len() as u32;
+                assert!(idx != NIL, "event slab exhausted");
+                self.slab.push(Entry {
+                    at: at.as_ps(),
+                    seq,
+                    gen: 0,
+                    prev: NIL,
+                    next: NIL,
+                    level: LVL_FREE,
+                    slot: 0,
+                    payload: Some(payload),
+                });
+                idx
+            }
+        };
+        let gen = self.slab[idx as usize].gen;
+        self.place(idx);
+        self.live += 1;
         self.prof.pushes += 1;
-        self.prof.peak_heap_depth = self.prof.peak_heap_depth.max(self.heap.len() as u64);
-        EventId(seq)
+        self.prof.peak_pending = self.prof.peak_pending.max(self.live as u64);
+        EventId::encode(idx, gen)
     }
 
     /// Schedules `payload` after a delay relative to now.
@@ -154,85 +230,287 @@ impl<E> EventQueue<E> {
         self.schedule_at(self.now + delay, payload)
     }
 
-    /// Cancels a previously scheduled event. Returns `true` only if the
-    /// event is still pending (cancellation is lazy; the tombstone is
-    /// dropped when the event would have popped). Cancelling an event that
-    /// already fired, was already cancelled, or was never scheduled returns
-    /// `false` and leaves no tombstone behind.
+    /// Cancels a previously scheduled event in O(1): the entry is unlinked
+    /// from its wheel slot (or overflow tier) immediately — no tombstone
+    /// is parked and nothing is drained later. Returns `true` only if the
+    /// event was still pending; an event that already fired, was already
+    /// cancelled, or was never scheduled returns `false` (the slab
+    /// generation check makes this exact).
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if !self.live.remove(&id.0) {
+        let (idx, gen) = id.decode();
+        let Some(e) = self.slab.get(idx as usize) else {
+            return false;
+        };
+        if e.gen != gen || e.level == LVL_FREE {
             return false;
         }
+        if e.level == LVL_OVERFLOW {
+            let key = (e.at, e.seq);
+            self.overflow.remove(&key);
+        } else {
+            self.unlink(idx);
+        }
+        self.release(idx);
+        self.live -= 1;
         self.prof.cancels += 1;
-        self.cancelled.insert(id.0)
+        true
     }
 
-    /// Pops the next live event, advancing the clock to its timestamp.
+    /// Pops the next event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(ev) = self.heap.pop() {
-            if self.cancelled.remove(&ev.seq) {
-                self.prof.tombstone_drains += 1;
+        loop {
+            if self.live == 0 {
+                return None;
+            }
+            let Some((level, slot)) = self.first_occupied() else {
+                self.admit_overflow();
+                continue;
+            };
+            if level > 0 {
+                self.cascade(level, slot);
                 continue;
             }
-            self.live.remove(&ev.seq);
-            debug_assert!(ev.at >= self.now, "event queue went backwards");
-            self.now = ev.at;
+            let idx = self.wheel[slot].head;
+            self.unlink(idx);
+            let e = &mut self.slab[idx as usize];
+            let at = e.at;
+            let payload = e.payload.take().expect("live entry has a payload");
+            debug_assert!(at >= self.now.as_ps(), "event queue went backwards");
+            self.release(idx);
+            self.base = at;
+            self.now = SimTime::from_ps(at);
+            self.live -= 1;
             self.popped += 1;
             self.prof.pops += 1;
-            return Some((ev.at, ev.payload));
+            return Some((self.now, payload));
         }
-        None
     }
 
-    /// Timestamp of the next live event without popping it.
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        // Drop leading tombstones so peek is accurate.
-        while let Some(top) = self.heap.peek() {
-            if self.cancelled.contains(&top.seq) {
-                let seq = self.heap.pop().expect("peeked").seq;
-                self.cancelled.remove(&seq);
-                self.prof.tombstone_drains += 1;
-            } else {
-                return Some(top.at);
+    /// Pops the entire run of events sharing the earliest timestamp into
+    /// `out` (in FIFO seq order), advancing the clock once. Returns the
+    /// run's timestamp, or `None` when the queue is empty.
+    ///
+    /// Equivalent to calling [`EventQueue::pop`] until the head timestamp
+    /// changes — a level-0 wheel slot holds exactly one absolute
+    /// timestamp, so the whole batch is one list detach. Events the caller
+    /// schedules *at the same timestamp* while dispatching the batch carry
+    /// larger seqs and surface in a later run, exactly as they would have
+    /// popped after the batch one-by-one.
+    pub fn pop_run(&mut self, out: &mut Vec<E>) -> Option<SimTime> {
+        loop {
+            if self.live == 0 {
+                return None;
+            }
+            let Some((level, slot)) = self.first_occupied() else {
+                self.admit_overflow();
+                continue;
+            };
+            if level > 0 {
+                self.cascade(level, slot);
+                continue;
+            }
+            let mut idx = self.detach_all(slot);
+            let at = self.slab[idx as usize].at;
+            debug_assert!(at >= self.now.as_ps(), "event queue went backwards");
+            self.base = at;
+            self.now = SimTime::from_ps(at);
+            while idx != NIL {
+                let e = &mut self.slab[idx as usize];
+                debug_assert_eq!(e.at, at, "level-0 slot mixed timestamps");
+                let next = e.next;
+                out.push(e.payload.take().expect("live entry has a payload"));
+                self.release(idx);
+                self.live -= 1;
+                self.popped += 1;
+                self.prof.pops += 1;
+                idx = next;
+            }
+            return Some(self.now);
+        }
+    }
+
+    /// Timestamp of the next event without popping it.
+    ///
+    /// Never advances the wheel base: `schedule_at(t)` for any
+    /// `now <= t <= peek_time()` must remain legal between a peek and the
+    /// pop it predicts (the `run_until` + `drive` pattern relies on it).
+    pub fn peek_time(&self) -> Option<SimTime> {
+        if self.live == 0 {
+            return None;
+        }
+        if let Some((level, slot)) = self.first_occupied() {
+            if level == 0 {
+                // A level-0 slot holds exactly one timestamp: base's page
+                // with the slot index as the low byte.
+                let page = self.base & !u64::from(u8::MAX);
+                return Some(SimTime::from_ps(page | (slot & (SLOTS - 1)) as u64));
+            }
+            // Coarser buckets mix timestamps; scan the (short) list.
+            let mut min = u64::MAX;
+            let mut idx = self.wheel[level * SLOTS + (slot & (SLOTS - 1))].head;
+            while idx != NIL {
+                let e = &self.slab[idx as usize];
+                min = min.min(e.at);
+                idx = e.next;
+            }
+            return Some(SimTime::from_ps(min));
+        }
+        self.overflow
+            .first_key_value()
+            .map(|(&(at, _), _)| SimTime::from_ps(at))
+    }
+
+    /// True when no events remain.
+    pub fn is_idle(&self) -> bool {
+        self.live == 0
+    }
+
+    // -- wheel internals ----------------------------------------------------
+
+    /// Wheel level for time `at` given the current base: the index of the
+    /// highest 8-bit block in which `at` differs from `base`, or
+    /// `LEVELS..` (overflow) when they differ above the wheel horizon.
+    #[inline]
+    fn level_for(&self, at: u64) -> usize {
+        let x = at ^ self.base;
+        if x == 0 {
+            0
+        } else {
+            ((63 - x.leading_zeros()) / SLOT_BITS) as usize
+        }
+    }
+
+    /// Files entry `idx` into the wheel slot (or overflow tier) its time
+    /// maps to relative to the current base, appending at the tail so
+    /// every slot list stays in ascending-seq order.
+    fn place(&mut self, idx: u32) {
+        let (at, seq) = {
+            let e = &self.slab[idx as usize];
+            (e.at, e.seq)
+        };
+        let level = self.level_for(at);
+        if level >= LEVELS {
+            let e = &mut self.slab[idx as usize];
+            e.level = LVL_OVERFLOW;
+            e.prev = NIL;
+            e.next = NIL;
+            self.overflow.insert((at, seq), idx);
+            return;
+        }
+        let slot = ((at >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        let cell = level * SLOTS + slot;
+        let tail = self.wheel[cell].tail;
+        {
+            let e = &mut self.slab[idx as usize];
+            e.level = level as u8;
+            e.slot = slot as u8;
+            e.prev = tail;
+            e.next = NIL;
+        }
+        if tail == NIL {
+            self.wheel[cell].head = idx;
+        } else {
+            self.slab[tail as usize].next = idx;
+        }
+        self.wheel[cell].tail = idx;
+        self.occ[level][slot >> 6] |= 1u64 << (slot & 63);
+    }
+
+    /// Unlinks entry `idx` from its wheel slot list, clearing the
+    /// occupancy bit when the slot empties.
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next, level, slot) = {
+            let e = &self.slab[idx as usize];
+            (e.prev, e.next, e.level as usize, e.slot as usize)
+        };
+        let cell = level * SLOTS + slot;
+        if prev == NIL {
+            self.wheel[cell].head = next;
+        } else {
+            self.slab[prev as usize].next = next;
+        }
+        if next == NIL {
+            self.wheel[cell].tail = prev;
+        } else {
+            self.slab[next as usize].prev = prev;
+        }
+        if self.wheel[cell].head == NIL {
+            self.occ[level][slot >> 6] &= !(1u64 << (slot & 63));
+        }
+    }
+
+    /// Detaches and returns the whole list of level-0 slot `slot`.
+    fn detach_all(&mut self, slot: usize) -> u32 {
+        let slot = slot & (SLOTS - 1);
+        let head = self.wheel[slot].head;
+        self.wheel[slot] = EMPTY_SLOT;
+        self.occ[0][slot >> 6] &= !(1u64 << (slot & 63));
+        head
+    }
+
+    /// First occupied `(level, slot)`, scanning coarse levels only when
+    /// every finer one is empty. By the wheel invariant the finest
+    /// occupied level's lowest slot holds the earliest event.
+    #[inline]
+    fn first_occupied(&self) -> Option<(usize, usize)> {
+        for (level, words) in self.occ.iter().enumerate() {
+            for (w, &bits) in words.iter().enumerate() {
+                if bits != 0 {
+                    return Some((level, w * 64 + bits.trailing_zeros() as usize));
+                }
             }
         }
         None
     }
 
-    /// True when no live events remain.
-    pub fn is_idle(&mut self) -> bool {
-        self.peek_time().is_none()
-    }
-}
-
-// Counter-independent invariant audit at end of life: whatever sequence of
-// schedule/cancel/pop/peek calls ran, the ledger must close — the heap
-// holds exactly the live events plus the parked tombstones, and a drained
-// heap implies no live entry survived in the side sets. These re-derive
-// the tombstone-leak regression (PR 4) from set sizes alone, without
-// trusting the `ProfCounters` arithmetic. Debug builds only; skipped while
-// unwinding so a panicking test reports its own failure, not this one.
-impl<E> Drop for EventQueue<E> {
-    fn drop(&mut self) {
-        if cfg!(debug_assertions) && !std::thread::panicking() {
-            debug_assert_eq!(
-                self.heap.len(),
-                self.live.len() + self.cancelled.len(),
-                "EventQueue dropped with heap len != live + tombstones"
-            );
-            if self.heap.is_empty() {
-                debug_assert!(
-                    self.live.is_empty(),
-                    "EventQueue drained but {} live id(s) leaked",
-                    self.live.len()
-                );
-                debug_assert!(
-                    self.cancelled.is_empty(),
-                    "EventQueue drained but {} tombstone(s) leaked",
-                    self.cancelled.len()
-                );
-            }
+    /// Advances the base into level-`level` slot `slot` (zeroing all finer
+    /// blocks) and re-files that bucket's events one level down. Walking
+    /// the source list head→tail preserves ascending-seq order in every
+    /// target slot — the cornerstone of the FIFO tie-break.
+    fn cascade(&mut self, level: usize, slot: usize) {
+        let slot = slot & (SLOTS - 1);
+        let cell = level * SLOTS + slot;
+        let mut idx = self.wheel[cell].head;
+        self.wheel[cell] = EMPTY_SLOT;
+        self.occ[level][slot >> 6] &= !(1u64 << (slot & 63));
+        let shift = SLOT_BITS * level as u32;
+        let keep_above = !((1u64 << (shift + SLOT_BITS)) - 1);
+        self.base = (self.base & keep_above) | ((slot as u64) << shift);
+        while idx != NIL {
+            let next = self.slab[idx as usize].next;
+            self.place(idx);
+            self.prof.cascades += 1;
+            idx = next;
         }
+    }
+
+    /// The wheel is empty but overflow is not: jump the base to the first
+    /// overflow timestamp and admit every overflow event that now fits the
+    /// horizon, in `(at, seq)` order (which keeps slot lists seq-sorted).
+    fn admit_overflow(&mut self) {
+        let (&(at, _), _) = self
+            .overflow
+            .first_key_value()
+            .expect("live events but empty wheel implies a non-empty overflow tier");
+        self.base = at;
+        while let Some((&(at, _), _)) = self.overflow.first_key_value() {
+            if self.level_for(at) >= LEVELS {
+                break;
+            }
+            let ((_, _), idx) = self.overflow.pop_first().expect("peeked entry");
+            self.place(idx);
+            self.prof.cascades += 1;
+        }
+    }
+
+    /// Returns entry `idx` to the free list, bumping its generation so any
+    /// outstanding [`EventId`] for it goes stale.
+    fn release(&mut self, idx: u32) {
+        let e = &mut self.slab[idx as usize];
+        e.gen = e.gen.wrapping_add(1);
+        e.level = LVL_FREE;
+        e.payload = None;
+        self.free.push(idx);
     }
 }
 
@@ -298,26 +576,39 @@ mod tests {
         let a = q.schedule_at(SimTime::from_ps(10), "a");
         let b = q.schedule_at(SimTime::from_ps(20), "b");
         assert_eq!(q.pop().unwrap().1, "a");
-        // `a` has already fired: cancelling it must fail and must not park
-        // a tombstone that would shadow a live event or grow forever.
+        // `a` has already fired: its slab slot's generation moved on, so
+        // cancelling it must fail — even after the slot is reused.
         assert!(!q.cancel(a), "cancel of fired event must return false");
         assert!(!q.cancel(a), "repeated cancel of fired event");
         assert!(q.cancel(b), "b is still pending");
         assert!(!q.cancel(b), "double-cancel of same pending event");
         assert!(q.pop().is_none());
-        // Cancel-heavy model: fire-then-cancel in a loop must not grow the
-        // tombstone set (it would previously accumulate one per iteration).
+        // Cancel-heavy model: fire-then-cancel in a loop must not grow
+        // anything (the old heap accumulated a tombstone per iteration).
         for i in 0..1000u64 {
             let id = q.schedule_at(SimTime::from_ps(100 + i), "x");
             assert!(q.pop().is_some());
             assert!(!q.cancel(id));
         }
-        assert!(q.cancelled.is_empty(), "no tombstones may leak");
-        assert!(q.live.is_empty());
+        assert_eq!(q.pending(), 0, "no residue may leak");
+        assert!(q.slab.len() <= 2, "slab slots are reused, not leaked");
     }
 
     #[test]
-    fn peek_skips_tombstones() {
+    fn stale_id_on_reused_slot_is_rejected() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_ps(10), 0);
+        q.pop();
+        // The new event reuses a's slab slot with a bumped generation.
+        let b = q.schedule_at(SimTime::from_ps(20), 1);
+        assert!(!q.cancel(a), "stale generation must not cancel the tenant");
+        assert!(q.is_pending(b));
+        assert!(!q.is_pending(a));
+        assert!(q.cancel(b));
+    }
+
+    #[test]
+    fn peek_skips_cancelled_events() {
         let mut q = EventQueue::new();
         let a = q.schedule_at(SimTime::from_ps(10), "a");
         q.schedule_at(SimTime::from_ps(20), "b");
@@ -326,6 +617,20 @@ mod tests {
         assert!(!q.is_idle());
         q.pop();
         assert!(q.is_idle());
+    }
+
+    #[test]
+    fn peek_does_not_advance_the_wheel() {
+        // Scheduling between a peek and its pop, at a time at or before
+        // the peeked one, must stay legal and pop first — the `run_until`
+        // + `drive` pattern depends on it.
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_ps(100_000), "far");
+        assert_eq!(q.peek_time(), Some(SimTime::from_ps(100_000)));
+        q.schedule_at(SimTime::from_ps(7), "near");
+        assert_eq!(q.peek_time(), Some(SimTime::from_ps(7)));
+        assert_eq!(q.pop().unwrap().1, "near");
+        assert_eq!(q.pop().unwrap().1, "far");
     }
 
     #[test]
@@ -345,38 +650,17 @@ mod tests {
         let b = q.schedule_at(SimTime::from_ps(20), "b");
         q.schedule_at(SimTime::from_ps(30), "c");
         assert_eq!(q.prof().pushes, 3);
-        assert_eq!(q.prof().peak_heap_depth, 3);
+        assert_eq!(q.prof().peak_pending, 3);
         assert!(q.cancel(a));
         assert!(q.cancel(b));
         assert!(!q.cancel(b), "double cancel must not count twice");
         assert_eq!(q.prof().cancels, 2);
-        // Popping walks over both tombstones before reaching "c".
+        // Cancellation is eager: popping goes straight to "c".
         assert_eq!(q.pop().unwrap().1, "c");
-        assert_eq!(q.prof().tombstone_drains, 2);
-        assert_eq!(q.prof().pops, 1, "only live events count as pops");
+        assert_eq!(q.prof().pops, 1, "only executed events count as pops");
         assert!(q.pop().is_none());
         let p = *q.prof();
-        assert_eq!(
-            (
-                p.pushes,
-                p.pops,
-                p.cancels,
-                p.tombstone_drains,
-                p.peak_heap_depth
-            ),
-            (3, 1, 2, 2, 3)
-        );
-    }
-
-    #[test]
-    fn prof_peek_drains_count_as_tombstone_drains() {
-        let mut q = EventQueue::new();
-        let a = q.schedule_at(SimTime::from_ps(10), 0);
-        q.schedule_at(SimTime::from_ps(20), 1);
-        q.cancel(a);
-        assert_eq!(q.peek_time(), Some(SimTime::from_ps(20)));
-        assert_eq!(q.prof().tombstone_drains, 1);
-        assert_eq!(q.prof().pops, 0, "peek must not count as a pop");
+        assert_eq!((p.pushes, p.pops, p.cancels, p.peak_pending), (3, 1, 2, 3));
     }
 
     #[test]
@@ -396,47 +680,134 @@ mod tests {
     }
 
     #[test]
-    fn drop_audit_passes_on_clean_drain_and_on_pending_events() {
-        // Drained queue with cancel traffic: ledger closes, drop is silent.
+    fn cascades_preserve_order_across_slot_boundaries() {
+        // Times straddling level boundaries (255/256 = level 0→1 edge,
+        // 65535/65536 = level 1→2 edge) plus same-time pairs scheduled
+        // out of order: pop order must be (time, schedule-order) exactly.
         let mut q = EventQueue::new();
-        let a = q.schedule_at(SimTime::from_ps(10), "a");
-        q.schedule_at(SimTime::from_ps(20), "b");
-        assert!(q.cancel(a));
-        while q.pop().is_some() {}
-        drop(q);
-        // Undrained queue (run_until-style early exit): still consistent.
-        let mut q = EventQueue::new();
-        q.schedule_at(SimTime::from_ps(10), "a");
-        let b = q.schedule_at(SimTime::from_ps(20), "b");
-        assert!(q.cancel(b));
-        drop(q);
+        let times = [
+            65_536u64, 256, 255, 65_535, 257, 256, 1, 0, 65_536, 16_777_216, 255,
+        ];
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(SimTime::from_ps(t), (t, i));
+        }
+        let mut sorted: Vec<(u64, usize)> = times.iter().copied().zip(0..).collect();
+        sorted.sort_by_key(|&(t, i)| (t, i));
+        let popped: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(popped, sorted);
+        assert!(q.prof().cascades > 0, "the workload must exercise cascades");
     }
 
     #[test]
-    #[cfg(debug_assertions)]
-    fn drop_audit_catches_forged_live_leak() {
-        // Forge the exact corruption the audit exists for: a live id that
-        // survived a full drain. The drop must panic (caught here) instead
-        // of letting the leak escape the test unnoticed.
-        let caught = std::panic::catch_unwind(|| {
-            let mut q = EventQueue::new();
-            q.schedule_at(SimTime::from_ps(1), ());
-            while q.pop().is_some() {}
-            q.live.insert(99);
-        });
-        assert!(caught.is_err(), "drop audit must flag live != heap ledger");
+    fn far_future_events_park_in_overflow_and_return_in_order() {
+        let mut q = EventQueue::new();
+        let horizon = 1u64 << (SLOT_BITS as usize * LEVELS);
+        let far_a = q.schedule_at(SimTime::from_ps(horizon + 50), "far_a");
+        q.schedule_at(SimTime::from_ps(horizon + 50), "far_b");
+        q.schedule_at(SimTime::from_ps(3 * horizon), "farther");
+        q.schedule_at(SimTime::from_ps(40), "near");
+        assert_eq!(q.peek_time(), Some(SimTime::from_ps(40)));
+        assert_eq!(q.pop().unwrap().1, "near");
+        // Cancel inside the overflow tier.
+        assert!(q.cancel(far_a));
+        assert_eq!(q.pop().unwrap().1, "far_b");
+        assert_eq!(q.now(), SimTime::from_ps(horizon + 50));
+        // Scheduling relative to the jumped clock still works.
+        q.schedule_in(Dur::from_ps(1), "after_jump");
+        assert_eq!(q.pop().unwrap().1, "after_jump");
+        assert_eq!(q.pop().unwrap().1, "farther");
+        assert!(q.pop().is_none());
     }
 
-    // Extends `cancel_of_fired_event_returns_false_and_leaks_nothing`
-    // (the PR 4 tombstone-leak regression) from one fixed interleaving to
-    // arbitrary ones: under any schedule/cancel/pop sequence, the heap
-    // length (`pending()`, tombstones included) must equal live events
-    // plus parked tombstones, and id membership must stay exact — every
-    // id is pending iff it was scheduled and neither fired nor cancelled.
+    #[test]
+    fn pop_run_batches_exactly_one_timestamp() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_ps(10), 0);
+        q.schedule_at(SimTime::from_ps(10), 1);
+        q.schedule_at(SimTime::from_ps(10), 2);
+        q.schedule_at(SimTime::from_ps(20), 3);
+        let mut batch = Vec::new();
+        assert_eq!(q.pop_run(&mut batch), Some(SimTime::from_ps(10)));
+        assert_eq!(batch, [0, 1, 2], "whole run, FIFO order, nothing more");
+        // Same-time events scheduled mid-batch surface in the next run.
+        q.schedule_at(SimTime::from_ps(20), 4);
+        batch.clear();
+        assert_eq!(q.pop_run(&mut batch), Some(SimTime::from_ps(20)));
+        assert_eq!(batch, [3, 4]);
+        batch.clear();
+        assert_eq!(q.pop_run(&mut batch), None);
+        assert_eq!(q.events_executed(), 5);
+        assert_eq!(q.prof().pops, 5, "batched pops count per event");
+    }
+
+    #[test]
+    fn pop_run_matches_pop_on_a_mixed_workload() {
+        let build = || {
+            let mut q = EventQueue::new();
+            for i in 0..200u64 {
+                // Deliberate collisions: only 37 distinct timestamps.
+                q.schedule_at(SimTime::from_ps((i * 7) % 37 * 1000), i);
+            }
+            q
+        };
+        let mut a = build();
+        let mut via_pop = Vec::new();
+        while let Some((t, e)) = a.pop() {
+            via_pop.push((t, e));
+        }
+        let mut b = build();
+        let mut via_run = Vec::new();
+        let mut batch = Vec::new();
+        while let Some(t) = b.pop_run(&mut batch) {
+            via_run.extend(batch.drain(..).map(|e| (t, e)));
+        }
+        assert_eq!(via_pop, via_run);
+    }
+
+    // The determinism contract, checked against a naive reference model:
+    // under any schedule/cancel/pop interleaving, pop order must equal a
+    // sorted-Vec model ordered by (time, schedule seq), `is_pending` must
+    // match exact membership, and `pending()` must track the live count.
     mod properties {
         use super::*;
         use proptest::prelude::*;
-        use std::collections::HashSet;
+
+        /// Naive reference: a Vec kept sorted by `(at, seq)`.
+        #[derive(Default)]
+        struct RefModel {
+            events: Vec<(u64, u64, u32)>, // (at, seq, payload)
+            now: u64,
+            next_seq: u64,
+        }
+
+        impl RefModel {
+            fn schedule(&mut self, at: u64, payload: u32) -> u64 {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.events.push((at, seq, payload));
+                self.events.sort_unstable_by_key(|&(a, s, _)| (a, s));
+                seq
+            }
+
+            fn cancel(&mut self, seq: u64) -> bool {
+                match self.events.iter().position(|&(_, s, _)| s == seq) {
+                    Some(i) => {
+                        self.events.remove(i);
+                        true
+                    }
+                    None => false,
+                }
+            }
+
+            fn pop(&mut self) -> Option<(u64, u32)> {
+                if self.events.is_empty() {
+                    return None;
+                }
+                let (at, _, payload) = self.events.remove(0);
+                self.now = at;
+                Some((at, payload))
+            }
+        }
 
         proptest! {
             #![proptest_config(ProptestConfig {
@@ -445,79 +816,71 @@ mod tests {
             })]
 
             #[test]
-            fn cancel_pop_interleavings_keep_len_and_membership_exact(
-                ops in proptest::collection::vec(any::<u8>(), 1..300),
+            fn wheel_matches_sorted_vec_reference(
+                ops in proptest::collection::vec(any::<u64>(), 1..300),
             ) {
                 let mut q = EventQueue::new();
-                let mut ids: Vec<EventId> = Vec::new();
-                let mut fired: HashSet<EventId> = HashSet::new();
-                let mut cancelled: HashSet<EventId> = HashSet::new();
-                let mut at = 0u64;
-                for op in ops {
-                    match op % 3 {
+                let mut model = RefModel::default();
+                // seq -> (wheel id, cancelled-or-fired) mirror.
+                let mut ids: Vec<(u64, EventId)> = Vec::new();
+                for word in ops {
+                    let (op, arg) = ((word & 0xFF) as u8, (word >> 8) as u32);
+                    match op % 4 {
+                        // Near future: exercises level 0/1 and cascades.
                         0 => {
-                            // Schedule strictly in the future of `now`.
-                            at += 1 + (op / 3) as u64;
-                            let t = q.now().as_ps() + at;
-                            ids.push(q.schedule_at(SimTime::from_ps(t), ()));
+                            let at = model.now + u64::from(arg % 4096);
+                            let seq = model.schedule(at, arg);
+                            ids.push((seq, q.schedule_at(SimTime::from_ps(at), arg)));
                         }
-                        1 if !ids.is_empty() => {
-                            let id = ids[(op as usize / 3) % ids.len()];
-                            let expect =
-                                !fired.contains(&id) && !cancelled.contains(&id);
+                        // Far future: exercises high levels and overflow.
+                        1 => {
+                            let at = model.now
+                                + (u64::from(arg % 64) << (8 * u32::from(arg as u8 % 8)));
+                            let seq = model.schedule(at, arg);
+                            ids.push((seq, q.schedule_at(SimTime::from_ps(at), arg)));
+                        }
+                        2 if !ids.is_empty() => {
+                            let (seq, id) = ids[arg as usize % ids.len()];
                             prop_assert_eq!(
                                 q.cancel(id),
-                                expect,
+                                model.cancel(seq),
                                 "cancel result diverged from the model"
                             );
-                            if expect {
-                                cancelled.insert(id);
-                            }
                         }
                         _ => {
-                            if let Some(_ev) = q.pop() {
-                                // Pops happen in time order; mirror by
-                                // marking the earliest un-fired,
-                                // un-cancelled id as fired.
-                                let next = ids
-                                    .iter()
-                                    .find(|i| {
-                                        !fired.contains(i) && !cancelled.contains(i)
-                                    })
-                                    .copied();
-                                prop_assert!(next.is_some(), "pop with empty model");
-                                fired.insert(next.unwrap());
-                            }
+                            let got = q.pop();
+                            let want = model.pop();
+                            prop_assert_eq!(
+                                got.map(|(t, e)| (t.as_ps(), e)),
+                                want,
+                                "pop diverged from the model"
+                            );
                         }
                     }
-                    // The tentpole invariants, checked after every op:
-                    prop_assert_eq!(
-                        q.pending(),
-                        q.live_count() + q.tombstone_count(),
-                        "heap len diverged from live + tombstones"
-                    );
-                    for id in &ids {
-                        let model_live =
-                            !fired.contains(id) && !cancelled.contains(id);
+                    prop_assert_eq!(q.pending(), model.events.len());
+                    for (seq, id) in &ids {
                         prop_assert_eq!(
                             q.is_pending(*id),
-                            model_live,
+                            model.events.iter().any(|&(_, s, _)| s == *seq),
                             "id membership diverged from the model"
                         );
                     }
                 }
-                // Drain: afterwards no live events and no leaked tombstones
-                // beyond those whose events never popped (pop drains them).
-                while q.pop().is_some() {}
-                prop_assert_eq!(q.live_count(), 0);
-                prop_assert_eq!(q.tombstone_count(), 0, "tombstones leaked past drain");
+                // Drain both to the end: identical tails.
+                loop {
+                    let got = q.pop();
+                    let want = model.pop();
+                    prop_assert_eq!(got.map(|(t, e)| (t.as_ps(), e)), want);
+                    if want.is_none() {
+                        break;
+                    }
+                }
                 prop_assert_eq!(q.pending(), 0);
-                // Counter cross-check: every scheduled event either fired,
-                // was cancelled, or drained as a tombstone.
+                // Counter cross-check: every scheduled event either fired
+                // or was cancelled — nothing else exists.
                 let p = *q.prof();
                 prop_assert_eq!(p.pushes, ids.len() as u64);
-                prop_assert_eq!(p.pops + p.tombstone_drains, p.pushes);
-                prop_assert_eq!(p.cancels, p.tombstone_drains);
+                prop_assert_eq!(p.pops + p.cancels, p.pushes);
             }
         }
     }

@@ -70,70 +70,90 @@ impl MetricsHub {
 
     /// Registers (or looks up) a counter under `name`.
     ///
+    /// A lookup hit returns the existing handle without allocating: the
+    /// name is only converted to an owned `String` on first registration.
+    /// (Callers on repeated paths should still cache the returned id —
+    /// *formatting* a name allocates before this method ever sees it.)
+    ///
     /// # Panics
     /// Panics if `name` is already registered as a different metric kind.
-    pub fn counter(&mut self, name: impl Into<String>) -> CounterId {
-        let name = name.into();
-        if let Some(slot) = self.index.get(&name) {
+    pub fn counter(&mut self, name: impl AsRef<str> + Into<String>) -> CounterId {
+        if let Some(slot) = self.index.get(name.as_ref()) {
             match slot {
                 Slot::Counter(i) => return CounterId(*i),
-                _ => panic!("metric `{name}` already registered with another kind"),
+                _ => panic!(
+                    "metric `{}` already registered with another kind",
+                    name.as_ref()
+                ),
             }
         }
+        let name = name.into();
         let idx = self.counters.len() as u32;
         self.index.insert(name.clone(), Slot::Counter(idx));
         self.counters.push((name, 0));
         CounterId(idx)
     }
 
-    /// Registers (or looks up) a gauge under `name`.
+    /// Registers (or looks up) a gauge under `name` (allocation-free on
+    /// a lookup hit, as for [`MetricsHub::counter`]).
     ///
     /// # Panics
     /// Panics if `name` is already registered as a different metric kind.
-    pub fn gauge(&mut self, name: impl Into<String>) -> GaugeId {
-        let name = name.into();
-        if let Some(slot) = self.index.get(&name) {
+    pub fn gauge(&mut self, name: impl AsRef<str> + Into<String>) -> GaugeId {
+        if let Some(slot) = self.index.get(name.as_ref()) {
             match slot {
                 Slot::Gauge(i) => return GaugeId(*i),
-                _ => panic!("metric `{name}` already registered with another kind"),
+                _ => panic!(
+                    "metric `{}` already registered with another kind",
+                    name.as_ref()
+                ),
             }
         }
+        let name = name.into();
         let idx = self.gauges.len() as u32;
         self.index.insert(name.clone(), Slot::Gauge(idx));
         self.gauges.push((name, GaugeState::default()));
         GaugeId(idx)
     }
 
-    /// Registers (or looks up) a latency histogram under `name`.
+    /// Registers (or looks up) a latency histogram under `name`
+    /// (allocation-free on a lookup hit, as for [`MetricsHub::counter`]).
     ///
     /// # Panics
     /// Panics if `name` is already registered as a different metric kind.
-    pub fn histogram(&mut self, name: impl Into<String>) -> HistogramId {
-        let name = name.into();
-        if let Some(slot) = self.index.get(&name) {
+    pub fn histogram(&mut self, name: impl AsRef<str> + Into<String>) -> HistogramId {
+        if let Some(slot) = self.index.get(name.as_ref()) {
             match slot {
                 Slot::Histogram(i) => return HistogramId(*i),
-                _ => panic!("metric `{name}` already registered with another kind"),
+                _ => panic!(
+                    "metric `{}` already registered with another kind",
+                    name.as_ref()
+                ),
             }
         }
+        let name = name.into();
         let idx = self.histograms.len() as u32;
         self.index.insert(name.clone(), Slot::Histogram(idx));
         self.histograms.push((name, LatencyHistogram::new()));
         HistogramId(idx)
     }
 
-    /// Registers (or looks up) a bandwidth meter under `name`.
+    /// Registers (or looks up) a bandwidth meter under `name`
+    /// (allocation-free on a lookup hit, as for [`MetricsHub::counter`]).
     ///
     /// # Panics
     /// Panics if `name` is already registered as a different metric kind.
-    pub fn meter(&mut self, name: impl Into<String>) -> MeterId {
-        let name = name.into();
-        if let Some(slot) = self.index.get(&name) {
+    pub fn meter(&mut self, name: impl AsRef<str> + Into<String>) -> MeterId {
+        if let Some(slot) = self.index.get(name.as_ref()) {
             match slot {
                 Slot::Meter(i) => return MeterId(*i),
-                _ => panic!("metric `{name}` already registered with another kind"),
+                _ => panic!(
+                    "metric `{}` already registered with another kind",
+                    name.as_ref()
+                ),
             }
         }
+        let name = name.into();
         let idx = self.meters.len() as u32;
         self.index.insert(name.clone(), Slot::Meter(idx));
         self.meters.push((name, BandwidthMeter::new()));

@@ -20,33 +20,34 @@
 use crate::json::JsonValue;
 
 /// Pure host-side counters of one [`EventQueue`](crate::EventQueue)'s
-/// activity. Every field is a monotone `u64` except `peak_heap_depth`,
+/// activity. Every field is a monotone `u64` except `peak_pending`,
 /// which is a high-water mark; none of them feed back into scheduling.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ProfCounters {
     /// Events scheduled (`schedule_at` / `schedule_in`).
     pub pushes: u64,
-    /// Live events popped and executed.
+    /// Events popped and executed.
     pub pops: u64,
-    /// Successful cancellations (a tombstone was parked).
+    /// Successful cancellations (entry unlinked eagerly, O(1)).
     pub cancels: u64,
-    /// Tombstones dropped while popping or peeking past cancelled events.
-    pub tombstone_drains: u64,
-    /// Maximum heap depth observed, including parked tombstones.
-    pub peak_heap_depth: u64,
+    /// Entries re-filed one wheel level down (or admitted from the
+    /// overflow tier) as the wheel base advanced past their bucket.
+    pub cascades: u64,
+    /// Maximum number of simultaneously pending events observed.
+    pub peak_pending: u64,
 }
 
 impl ProfCounters {
     /// Counter increments since `earlier` (a snapshot of the same queue).
-    /// The monotone counters subtract; `peak_heap_depth` keeps the later
+    /// The monotone counters subtract; `peak_pending` keeps the later
     /// absolute high-water mark, since a peak has no meaningful delta.
     pub fn since(&self, earlier: &ProfCounters) -> ProfCounters {
         ProfCounters {
             pushes: self.pushes - earlier.pushes,
             pops: self.pops - earlier.pops,
             cancels: self.cancels - earlier.cancels,
-            tombstone_drains: self.tombstone_drains - earlier.tombstone_drains,
-            peak_heap_depth: self.peak_heap_depth,
+            cascades: self.cascades - earlier.cascades,
+            peak_pending: self.peak_pending,
         }
     }
 
@@ -56,8 +57,8 @@ impl ProfCounters {
         o.push("pushes", JsonValue::from(self.pushes));
         o.push("pops", JsonValue::from(self.pops));
         o.push("cancels", JsonValue::from(self.cancels));
-        o.push("tombstone_drains", JsonValue::from(self.tombstone_drains));
-        o.push("peak_heap_depth", JsonValue::from(self.peak_heap_depth));
+        o.push("cascades", JsonValue::from(self.cascades));
+        o.push("peak_pending", JsonValue::from(self.peak_pending));
         o
     }
 }
@@ -210,22 +211,22 @@ mod tests {
             pushes: 10,
             pops: 8,
             cancels: 1,
-            tombstone_drains: 1,
-            peak_heap_depth: 5,
+            cascades: 1,
+            peak_pending: 5,
         };
         let later = ProfCounters {
             pushes: 25,
             pops: 20,
             cancels: 3,
-            tombstone_drains: 2,
-            peak_heap_depth: 9,
+            cascades: 2,
+            peak_pending: 9,
         };
         let d = later.since(&earlier);
         assert_eq!(d.pushes, 15);
         assert_eq!(d.pops, 12);
         assert_eq!(d.cancels, 2);
-        assert_eq!(d.tombstone_drains, 1);
-        assert_eq!(d.peak_heap_depth, 9, "peak carries the absolute value");
+        assert_eq!(d.cascades, 1);
+        assert_eq!(d.peak_pending, 9, "peak carries the absolute value");
     }
 
     #[test]
@@ -234,12 +235,12 @@ mod tests {
             pushes: 2,
             pops: 1,
             cancels: 0,
-            tombstone_drains: 0,
-            peak_heap_depth: 2,
+            cascades: 0,
+            peak_pending: 2,
         };
         assert_eq!(
             c.to_json().to_json(),
-            r#"{"pushes":2,"pops":1,"cancels":0,"tombstone_drains":0,"peak_heap_depth":2}"#
+            r#"{"pushes":2,"pops":1,"cancels":0,"cascades":0,"peak_pending":2}"#
         );
     }
 

@@ -144,6 +144,24 @@ if ! cargo run -q --release --offline -p tca-bench --bin tca-flight -- \
     echo "tca-flight smoke: diff found divergences between identical runs" >&2
     exit 1
 fi
+# Engine-equivalence gate: the timing-wheel rewrite must not move a single
+# event. The ring-hops flight log just recorded is held against the
+# pre-rewrite golden checked in at configs/flight/ring-hops.golden.jsonl —
+# first byte-for-byte, then through the divergence engine so any drift is
+# reported with a TCA-X code and the first divergent record.
+golden=configs/flight/ring-hops.golden.jsonl
+if ! cmp -s "$golden" "$log_a"; then
+    echo "engine equivalence: ring-hops flight log drifted from the golden" >&2
+    cargo run -q --release --offline -p tca-bench --bin tca-flight -- \
+        diff "$golden" "$log_a" >&2 || true
+    exit 1
+fi
+if ! cargo run -q --release --offline -p tca-bench --bin tca-flight -- \
+    diff "$golden" "$log_a" > /dev/null; then
+    echo "engine equivalence: divergence engine flagged the golden comparison" >&2
+    exit 1
+fi
+
 sed '2s/deliver/deliXer/' "$log_a" > "$flightdir/corrupt.jsonl"
 if flight_out=$(cargo run -q --release --offline -p tca-bench --bin tca-flight -- \
     diff "$log_a" "$flightdir/corrupt.jsonl" 2>&1); then
@@ -176,10 +194,13 @@ fi
 cargo run -q --release --offline -p tca-bench --bin bench_regression
 
 # Engine-throughput gate: drive the fixed 8-node-ring steady-state workload
-# plus the ring-size sweep under the counting allocator, write the
-# schema-stable results/BENCH_engine.json, and fail the build if host
-# events/sec, ns/event, allocs/event, or peak heap depth drifts outside its
-# bound — same contract as BENCH_fabric.json, but for simulator speed.
+# plus the ring-size sweep under the counting allocator, race the timing
+# wheel against the pre-rewrite reference heap (>= 2x speedup required,
+# identical pop-stream checksums), run the 256-node torus2d-16x16
+# all-to-all point (~1M events), write the schema-stable
+# results/BENCH_engine.json, and fail the build if host events/sec,
+# ns/event, allocs/event, or peak pending drifts outside its bound — same
+# contract as BENCH_fabric.json, but for simulator speed.
 cargo run -q --release --offline -p tca-bench --bin bench_engine
 
 # BENCH-artifact neutrality under flight recording: re-run both gates with
@@ -197,7 +218,8 @@ if ! diff results/BENCH_fabric.json "$profdir/fabric_plain.json" > /dev/null; th
     exit 1
 fi
 sim_fields() {
-    grep -oE '"(events|peak_heap_depth|pushes|pops|cancels|tombstone_drains|deliver_events|timer_events|credit_return_events|tlp_transmits|constructed|cloned|relay_hops)":[0-9]+' "$1"
+    grep -oE '"(events|peak_pending|pushes|pops|cancels|cascades|deliver_events|timer_events|credit_return_events|tlp_transmits|constructed|cloned|relay_hops|nodes|messages|sim_ps)":[0-9]+' "$1"
+    grep -oE '"checksum":"[0-9a-f]+"' "$1"
 }
 if [[ "$(sim_fields results/BENCH_engine.json)" != "$(sim_fields "$profdir/engine_plain.json")" ]]; then
     echo "tca-flight smoke: recording changed BENCH_engine.json sim-side counters" >&2
