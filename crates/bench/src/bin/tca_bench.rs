@@ -35,6 +35,17 @@
 //! Profiling is observationally neutral: stdout — sweep JSON, tables,
 //! health reports — is byte-identical with and without it, which
 //! `scripts/ci.sh` asserts on every run.
+//!
+//! `--whatif` switches to the causal-profiler mode (tca backend only):
+//! the scenario's whatif workload is re-run once per duration parameter
+//! per virtual speedup (0x/0.25x/0.5x/0.75x of the default, plus any
+//! `--set id=value` overrides on the baseline), and the ranked
+//! `tca-whatif/v1` report replaces the sweep output (text table, or JSON
+//! with `--json`). `--whatif-dir <dir>` instead writes the report and
+//! the baseline-vs-best folded flamegraph diff as
+//! `WHATIF_<scenario>.json` / `WHATIF_<scenario>.folded.diff` into
+//! `<dir>` without touching stdout — neutral exactly like `--profile` /
+//! `--flight-dir`, which `scripts/ci.sh` asserts.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -48,7 +59,8 @@ static ALLOC: tca_sim::prof::CountingAllocator = tca_sim::prof::CountingAllocato
 const USAGE: &str = "usage: tca-bench --list [--json]
        tca-bench --scenario <name> [--backend tca|mpi|mpi-gpudirect] [--json] [--jobs N]
                  [--top] [--telemetry-dir <dir>] [--flight-dir <dir>]
-                 [--profile] [--profile-dir <dir>]";
+                 [--profile] [--profile-dir <dir>]
+                 [--whatif] [--whatif-dir <dir>] [--set id=value]...";
 
 fn list() {
     println!(
@@ -86,12 +98,31 @@ fn main() -> ExitCode {
     let mut flight_dir: Option<PathBuf> = None;
     let mut profile = false;
     let mut profile_dir = PathBuf::from("results");
+    let mut whatif = false;
+    let mut whatif_dir: Option<PathBuf> = None;
+    let mut overrides = tca_sim::ParamSet::new();
 
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--list" => do_list = true,
             "--json" => json = true,
             "--top" => top = true,
+            "--whatif" => whatif = true,
+            "--whatif-dir" => match args.next() {
+                Some(dir) => whatif_dir = Some(PathBuf::from(dir)),
+                None => return fail("--whatif-dir needs a directory"),
+            },
+            "--set" => match args
+                .next()
+                .as_deref()
+                .map(tca_sim::ParamSet::parse_assignment)
+            {
+                Some(Ok((id, v))) => {
+                    overrides.set(id, v);
+                }
+                Some(Err(e)) => return fail(&e),
+                None => return fail("--set needs id=value"),
+            },
             "--profile" => profile = true,
             "--profile-dir" => match args.next() {
                 Some(dir) => profile_dir = PathBuf::from(dir),
@@ -140,6 +171,39 @@ fn main() -> ExitCode {
             "scenario '{name}' does not support backend '{}'",
             backend.name()
         ));
+    }
+
+    // Causal what-if profiling: deterministic virtual-speedup sweeps on
+    // the scenario's whatif workload. With --whatif-dir only, artifacts
+    // go to files and notices to stderr, keeping stdout byte-identical
+    // (asserted by the ci.sh neutrality smoke).
+    if whatif || whatif_dir.is_some() {
+        if backend != BackendKind::Tca {
+            return fail("--whatif runs on the tca backend only");
+        }
+        let rep = match tca_bench::whatif::whatif_report(sc.name, &overrides) {
+            Ok(rep) => rep,
+            Err(e) => return fail(&e),
+        };
+        if let Some(dir) = &whatif_dir {
+            tca_bench::ensure_out_dir(dir);
+            let json_path = dir.join(format!("WHATIF_{}.json", sc.name));
+            let diff_path = dir.join(format!("WHATIF_{}.folded.diff", sc.name));
+            std::fs::write(&json_path, rep.to_json() + "\n").expect("write whatif report");
+            std::fs::write(&diff_path, rep.folded_diff()).expect("write whatif folded diff");
+            eprintln!("tca-bench: wrote {}", json_path.display());
+            eprintln!("tca-bench: wrote {}", diff_path.display());
+        }
+        if whatif {
+            if json {
+                println!("{}", rep.to_json());
+            } else {
+                print!("{}", rep.render());
+            }
+            return ExitCode::SUCCESS;
+        }
+    } else if !overrides.is_empty() {
+        return fail("--set only applies to --whatif runs");
     }
 
     // Host-side engine profile of the representative rig. Artifacts go to

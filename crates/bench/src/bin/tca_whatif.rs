@@ -1,0 +1,115 @@
+//! `tca-whatif` — the causal what-if profiler as a standalone report
+//! tool.
+//!
+//! ```text
+//! tca-whatif --list-params
+//! tca-whatif --scenario <name> [--json] [--top N] [--set id=value]... [--out <dir>]
+//! ```
+//!
+//! `--list-params` prints every registered fabric parameter (stable
+//! dotted id, unit, default value, doc string) — the knobs a `--set`
+//! override or a sweep can touch. `--scenario` runs the deterministic
+//! virtual-speedup experiment (see `tca-bench --whatif`) and prints the
+//! ranked report: a text table, or the schema-pinned `tca-whatif/v1`
+//! JSON with `--json`. `--top N` truncates the table to the N
+//! highest-gain parameters. `--out <dir>` additionally writes
+//! `WHATIF_<scenario>.json` and the baseline-vs-best folded flamegraph
+//! diff `WHATIF_<scenario>.folded.diff` into `<dir>`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use tca_core::FabricParams;
+use tca_sim::{ParamSet, Parameterized};
+
+const USAGE: &str = "usage: tca-whatif --list-params
+       tca-whatif --scenario <name> [--json] [--top N] [--set id=value]... [--out <dir>]";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("tca-whatif: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn list_params() {
+    let fp = FabricParams::default();
+    println!("{:<34} {:<4} {:>14}  doc", "parameter", "unit", "default");
+    for d in FabricParams::param_descs() {
+        let v = fp.get_param(&d.id).expect("registered id resolves");
+        println!("{:<34} {:<4} {:>14}  {}", d.id, d.unit.suffix(), v, d.doc);
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut scenario: Option<String> = None;
+    let mut json = false;
+    let mut top: Option<usize> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut overrides = ParamSet::new();
+    let mut do_list = false;
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list-params" => do_list = true,
+            "--json" => json = true,
+            "--scenario" => match args.next() {
+                Some(name) => scenario = Some(name),
+                None => return fail("--scenario needs a name"),
+            },
+            "--top" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => top = Some(n),
+                _ => return fail("--top needs a positive integer"),
+            },
+            "--set" => match args.next().as_deref().map(ParamSet::parse_assignment) {
+                Some(Ok((id, v))) => {
+                    overrides.set(id, v);
+                }
+                Some(Err(e)) => return fail(&e),
+                None => return fail("--set needs id=value"),
+            },
+            "--out" => match args.next() {
+                Some(dir) => out = Some(PathBuf::from(dir)),
+                None => return fail("--out needs a directory"),
+            },
+            other => return fail(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    if do_list {
+        list_params();
+        return ExitCode::SUCCESS;
+    }
+    let Some(name) = scenario else {
+        return fail("nothing to do");
+    };
+    let rep = match tca_bench::whatif::whatif_report(&name, &overrides) {
+        Ok(rep) => rep,
+        Err(e) => return fail(&e),
+    };
+    if let Some(dir) = &out {
+        tca_bench::ensure_out_dir(dir);
+        let json_path = dir.join(format!("WHATIF_{name}.json"));
+        let diff_path = dir.join(format!("WHATIF_{name}.folded.diff"));
+        std::fs::write(&json_path, rep.to_json() + "\n").expect("write whatif report");
+        std::fs::write(&diff_path, rep.folded_diff()).expect("write whatif folded diff");
+        eprintln!("tca-whatif: wrote {}", json_path.display());
+        eprintln!("tca-whatif: wrote {}", diff_path.display());
+    }
+    if json {
+        println!("{}", rep.to_json());
+    } else if let Some(n) = top {
+        let full = rep.render();
+        // Keep the header lines plus the first N ranked rows (and the
+        // trailing interaction line, which starts unindented).
+        for line in full.lines() {
+            let rank: Option<usize> = line.split_whitespace().next().and_then(|w| w.parse().ok());
+            match rank {
+                Some(r) if r > n => continue,
+                _ => println!("{line}"),
+            }
+        }
+    } else {
+        print!("{}", rep.render());
+    }
+    ExitCode::SUCCESS
+}

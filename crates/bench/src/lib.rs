@@ -17,6 +17,7 @@ pub mod prof;
 pub mod refqueue;
 pub mod scenario;
 pub mod topo_fabric;
+pub mod whatif;
 
 pub use prof::{
     engine_bench, engine_bench_with, profile_scenario, queue_race, EngineBench, EngineProfile,
@@ -71,6 +72,26 @@ pub fn rig(n: u32) -> Rig {
         &NodeConfig::default(),
         Peach2Params::default(),
     );
+    let drivers: Vec<Peach2Driver> = (0..n as usize)
+        .map(|i| Peach2Driver::new(sc.map, i as u32, sc.nodes[i].host, sc.chips[i]))
+        .collect();
+    for d in &drivers {
+        d.init(&mut fabric);
+    }
+    Rig {
+        fabric,
+        sc,
+        drivers,
+    }
+}
+
+/// Builds a ring rig of `n` nodes from an explicit parameter bundle —
+/// the entry point the `tca-whatif` causal profiler re-runs with one
+/// knob virtually scaled. `rig(n)` is exactly `rig_with(n, &default)`.
+pub fn rig_with(n: u32, fp: &tca_core::FabricParams) -> Rig {
+    let mut fabric = Fabric::new();
+    apply_env_flight(&mut fabric);
+    let sc = build_ring(&mut fabric, n, &fp.node, fp.peach2);
     let drivers: Vec<Peach2Driver> = (0..n as usize)
         .map(|i| Peach2Driver::new(sc.map, i as u32, sc.nodes[i].host, sc.chips[i]))
         .collect();

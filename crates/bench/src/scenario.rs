@@ -255,6 +255,11 @@ impl Sweep {
     /// Schema-stable JSON (`tca-bench-sweep/v1`): fixed key order and
     /// deterministic number formatting, byte-identical at any `--jobs`.
     pub fn to_json(&self) -> String {
+        // Registry points all build their fabrics from the default
+        // Table I/II parameter bundle, so every point record carries that
+        // bundle's config hash — the cache key a result store (ROADMAP
+        // item 5) would dedup identical points by.
+        let config_fnv = tca_core::params::default_fingerprint_hex();
         let mut root = JsonValue::object();
         root.push("schema", JsonValue::from("tca-bench-sweep/v1"));
         root.push("scenario", JsonValue::from(self.scenario));
@@ -265,6 +270,7 @@ impl Sweep {
             .map(|(label, row)| {
                 let mut o = JsonValue::object();
                 o.push("label", JsonValue::from(label.clone()));
+                o.push("config_fnv", JsonValue::from(config_fnv.clone()));
                 for (k, v) in row.as_object().expect("rows are objects") {
                     o.push(k.clone(), v.clone());
                 }

@@ -21,6 +21,7 @@ pub struct TcaClusterBuilder {
     topology: Topology,
     node_cfg: NodeConfig,
     peach2: Peach2Params,
+    qpi: tca_device::QpiParams,
     ib: Option<IbParams>,
 }
 
@@ -33,7 +34,37 @@ impl TcaClusterBuilder {
             topology: Topology::Ring,
             node_cfg: crate::presets::table_ii_node_config(),
             peach2: crate::presets::table_ii_peach2_params(),
+            qpi: tca_device::QpiParams::default(),
             ib: None,
+        }
+    }
+
+    /// Replaces the whole parameter bundle (node config, PEACH2 chip, QPI)
+    /// with `fp` — the registry-driven way to configure a cluster.
+    pub fn fabric_params(mut self, fp: crate::params::FabricParams) -> Self {
+        self.node_cfg = fp.node;
+        self.peach2 = fp.peach2;
+        self.qpi = fp.qpi;
+        self
+    }
+
+    /// Applies a [`tca_sim::ParamSet`] overlay on top of the current
+    /// configuration. Errors on unknown ids or rejected values.
+    pub fn overlay(mut self, set: &tca_sim::ParamSet) -> Result<Self, String> {
+        let mut fp = self.effective_params();
+        fp.apply(set)?;
+        self.node_cfg = fp.node;
+        self.peach2 = fp.peach2;
+        self.qpi = fp.qpi;
+        Ok(self)
+    }
+
+    /// The parameter bundle this builder would build from.
+    pub fn effective_params(&self) -> crate::params::FabricParams {
+        crate::params::FabricParams {
+            node: self.node_cfg,
+            peach2: self.peach2,
+            qpi: self.qpi,
         }
     }
 
@@ -78,6 +109,7 @@ impl TcaClusterBuilder {
         for d in &drivers {
             d.init(&mut fabric);
         }
+        let config_fnv = self.effective_params().fingerprint();
         let mpi = self.ib.map(|p| {
             let net = attach_ib(&mut fabric, &mut sub.nodes, p);
             MpiWorld::new(sub.nodes.clone(), net)
@@ -88,6 +120,7 @@ impl TcaClusterBuilder {
             drivers,
             mpi,
             coll: crate::collectives::Collectives::new(),
+            config_fnv,
         }
     }
 }
@@ -106,6 +139,9 @@ pub struct TcaCluster {
     /// Persistent collectives communicator backing the [`crate::CommWorld`]
     /// trait methods (its generation counter must survive across calls).
     pub(crate) coll: crate::collectives::Collectives,
+    /// FNV config hash of the [`crate::params::FabricParams`] the cluster
+    /// was built from — stamped into health reports for cache keying.
+    pub config_fnv: u64,
 }
 
 impl TcaCluster {
@@ -278,14 +314,14 @@ impl TcaCluster {
     /// percentiles per completed root-span kind. Byte-stable across runs.
     pub fn health_report(&mut self) -> String {
         let snapshot = self.metrics_snapshot();
-        collect_fabric_health(&self.fabric, self.nodes(), snapshot).render()
+        collect_fabric_health(&self.fabric, self.nodes(), snapshot, self.config_fnv).render()
     }
 
     /// The health report as JSON (schema `tca-health/v1`), for machine
     /// consumption and the CI schema gate. Byte-stable across runs.
     pub fn health_report_json(&mut self) -> String {
         let snapshot = self.metrics_snapshot();
-        collect_fabric_health(&self.fabric, self.nodes(), snapshot).to_json()
+        collect_fabric_health(&self.fabric, self.nodes(), snapshot, self.config_fnv).to_json()
     }
 }
 
@@ -298,6 +334,7 @@ pub(crate) fn collect_fabric_health(
     fabric: &tca_pcie::Fabric,
     nodes: u32,
     snapshot: tca_sim::MetricsSnapshot,
+    config_fnv: u64,
 ) -> HealthData {
     use std::collections::BTreeMap;
     let elapsed_ps = fabric.now().as_ps().max(1);
@@ -362,6 +399,7 @@ pub(crate) fn collect_fabric_health(
     }
     HealthData {
         nodes,
+        config_fnv,
         now: fabric.now(),
         events: fabric.events_executed(),
         sampling: sampler.map(|sp| (sp.period(), sp.captures())),
@@ -404,6 +442,7 @@ struct EngineHealth {
 /// Everything [`TcaCluster::health_report`] shows.
 pub(crate) struct HealthData {
     nodes: u32,
+    config_fnv: u64,
     now: tca_sim::SimTime,
     events: u64,
     sampling: Option<(tca_sim::Dur, usize)>,
@@ -425,8 +464,11 @@ impl HealthData {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "fabric health: {} nodes, {} simulated, {} events",
-            self.nodes, self.now, self.events
+            "fabric health: {} nodes, {} simulated, {} events, config {}",
+            self.nodes,
+            self.now,
+            self.events,
+            tca_sim::fingerprint_hex(self.config_fnv)
         );
         let sampling = match self.sampling {
             Some((period, caps)) => format!("{period} period, {caps} captures"),
@@ -508,6 +550,10 @@ impl HealthData {
         use tca_sim::JsonValue;
         let mut root = JsonValue::object();
         root.push("schema", JsonValue::from("tca-health/v1"));
+        root.push(
+            "config_fnv",
+            JsonValue::from(tca_sim::fingerprint_hex(self.config_fnv)),
+        );
         root.push("nodes", JsonValue::from(self.nodes));
         root.push("now_ns", JsonValue::from(self.now.as_ps() / 1_000));
         root.push("events", JsonValue::from(self.events));

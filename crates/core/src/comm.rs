@@ -247,6 +247,11 @@ pub struct MpiBackend {
     pub world: MpiWorld,
     /// GPU transfer mode.
     pub gpu_mode: MpiGpuMode,
+    /// FNV config hash of the node-parameter bundle the world was built
+    /// from (same registry as [`crate::params::FabricParams`]; the MPI
+    /// world has no PEACH2 boards, but stamping the full bundle keeps the
+    /// hash directly comparable across backends).
+    pub config_fnv: u64,
 }
 
 impl MpiBackend {
@@ -265,6 +270,11 @@ impl MpiBackend {
     pub fn with_params(nodes: u32, gpu_mode: MpiGpuMode, cfg: NodeConfig, ib: IbParams) -> Self {
         let mut fabric = Fabric::new();
         crate::apply_env_flight(&mut fabric);
+        let config_fnv = crate::params::FabricParams {
+            node: cfg,
+            ..crate::params::FabricParams::default()
+        }
+        .fingerprint();
         let mut ns: Vec<Node> = (0..nodes)
             .map(|i| build_node(&mut fabric, &format!("n{i}"), &cfg))
             .collect();
@@ -273,6 +283,7 @@ impl MpiBackend {
             fabric,
             world: MpiWorld::new(ns, net),
             gpu_mode,
+            config_fnv,
         }
     }
 
@@ -315,7 +326,8 @@ impl MpiBackend {
     pub fn health_report(&mut self) -> String {
         let snapshot = self.fabric.metrics_snapshot();
         let nodes = self.world.nodes.len() as u32;
-        crate::cluster::collect_fabric_health(&self.fabric, nodes, snapshot).render()
+        crate::cluster::collect_fabric_health(&self.fabric, nodes, snapshot, self.config_fnv)
+            .render()
     }
 
     /// The health report as JSON (schema `tca-health/v1`), in the same
@@ -323,7 +335,8 @@ impl MpiBackend {
     pub fn health_report_json(&mut self) -> String {
         let snapshot = self.fabric.metrics_snapshot();
         let nodes = self.world.nodes.len() as u32;
-        crate::cluster::collect_fabric_health(&self.fabric, nodes, snapshot).to_json()
+        crate::cluster::collect_fabric_health(&self.fabric, nodes, snapshot, self.config_fnv)
+            .to_json()
     }
 
     fn gpu_dev(&self, node: u32, gpu: usize) -> tca_pcie::DeviceId {

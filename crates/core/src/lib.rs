@@ -34,6 +34,7 @@ pub mod cluster;
 pub mod collectives;
 pub mod comm;
 pub mod hierarchy;
+pub mod params;
 pub mod presets;
 
 pub use api::{GpuAlloc, MemRef, MemSpace, TcaEvent};
@@ -62,6 +63,7 @@ pub(crate) fn apply_env_flight(fabric: &mut tca_pcie::Fabric) {
 pub use collectives::Collectives;
 pub use comm::{CommWorld, MpiBackend, MpiGpuMode, PutSpec, TcaBackend};
 pub use hierarchy::{HierarchicalCluster, Route};
+pub use params::{default_fingerprint_hex, FabricParams};
 
 /// Common imports for examples and tests.
 pub mod prelude {
@@ -70,8 +72,10 @@ pub mod prelude {
     pub use crate::collectives::Collectives;
     pub use crate::comm::{CommWorld, MpiBackend, MpiGpuMode, PutSpec, TcaBackend};
     pub use crate::hierarchy::{HierarchicalCluster, Route};
+    pub use crate::params::FabricParams;
     pub use crate::presets;
     pub use tca_net::{IbParams, Protocol};
     pub use tca_peach2::{Descriptor, EngineKind};
     pub use tca_sim::{Dur, SimTime};
+    pub use tca_sim::{ParamSet, Parameterized};
 }

@@ -5,7 +5,7 @@
 //! source. Changing these shifts absolute results; the *shapes* of the
 //! reproduced figures come from the protocol model, not from these knobs.
 
-use tca_sim::Dur;
+use tca_sim::{Dur, ParamDesc, ParamUnit, Parameterized};
 
 /// Parameters of one CPU socket (Xeon E5-2670 of Table II).
 #[derive(Clone, Copy, Debug)]
@@ -94,6 +94,198 @@ impl Default for QpiParams {
     }
 }
 
+impl HostParams {
+    /// `(id, value)` for every field; the exhaustive destructuring is the
+    /// registry-completeness guard (new fields fail to compile here).
+    fn param_fields(&self) -> [(&'static str, u64); 6] {
+        let HostParams {
+            dram_base,
+            dram_size,
+            mem_read_latency,
+            completion_chunk,
+            interrupt_entry,
+            wc_burst,
+        } = *self;
+        [
+            ("host.dram_base", dram_base),
+            ("host.dram_size", dram_size),
+            ("host.mem_read_latency", mem_read_latency.as_ps()),
+            ("host.completion_chunk", u64::from(completion_chunk)),
+            ("host.interrupt_entry", interrupt_entry.as_ps()),
+            ("host.wc_burst", u64::from(wc_burst)),
+        ]
+    }
+}
+
+impl Parameterized for HostParams {
+    fn param_descs() -> Vec<ParamDesc> {
+        vec![
+            ParamDesc::new(
+                "host.dram_base",
+                "base of socket DRAM in the node-local PCIe map",
+                ParamUnit::Bytes,
+            ),
+            ParamDesc::new("host.dram_size", "DRAM size per node", ParamUnit::Bytes),
+            ParamDesc::new(
+                "host.mem_read_latency",
+                "memory-controller read latency to first completion",
+                ParamUnit::DurationPs,
+            ),
+            ParamDesc::new(
+                "host.completion_chunk",
+                "completion payload chunking (RCB-style)",
+                ParamUnit::Bytes,
+            ),
+            ParamDesc::new(
+                "host.interrupt_entry",
+                "MSI delivery to first handler instruction",
+                ParamUnit::DurationPs,
+            ),
+            ParamDesc::new(
+                "host.wc_burst",
+                "write-combining burst size for streaming stores",
+                ParamUnit::Bytes,
+            ),
+        ]
+    }
+
+    fn get_param(&self, id: &str) -> Option<u64> {
+        self.param_fields()
+            .iter()
+            .find(|(k, _)| *k == id)
+            .map(|(_, v)| *v)
+    }
+
+    fn set_param(&mut self, id: &str, value: u64) -> bool {
+        match id {
+            "host.dram_base" => self.dram_base = value,
+            "host.dram_size" => self.dram_size = value,
+            "host.mem_read_latency" => self.mem_read_latency = Dur::from_ps(value),
+            "host.completion_chunk" => match u32::try_from(value) {
+                Ok(v) if v > 0 => self.completion_chunk = v,
+                _ => return false,
+            },
+            "host.interrupt_entry" => self.interrupt_entry = Dur::from_ps(value),
+            "host.wc_burst" => match u32::try_from(value) {
+                Ok(v) if v > 0 => self.wc_burst = v,
+                _ => return false,
+            },
+            _ => return false,
+        }
+        true
+    }
+}
+
+impl GpuParams {
+    /// `(id, value)` for every field (exhaustive — see `HostParams`).
+    fn param_fields(&self) -> [(&'static str, u64); 4] {
+        let GpuParams {
+            mem_size,
+            write_latency,
+            read_rate,
+            read_latency,
+        } = *self;
+        [
+            ("gpu.mem_size", mem_size),
+            ("gpu.write_latency", write_latency.as_ps()),
+            ("gpu.read_rate", read_rate),
+            ("gpu.read_latency", read_latency.as_ps()),
+        ]
+    }
+}
+
+impl Parameterized for GpuParams {
+    fn param_descs() -> Vec<ParamDesc> {
+        vec![
+            ParamDesc::new("gpu.mem_size", "GDDR5 size", ParamUnit::Bytes),
+            ParamDesc::new(
+                "gpu.write_latency",
+                "extra latency for a write landing in GDDR",
+                ParamUnit::DurationPs,
+            ),
+            ParamDesc::new(
+                "gpu.read_rate",
+                "BAR read path translation-unit service rate",
+                ParamUnit::BytesPerSec,
+            ),
+            ParamDesc::new(
+                "gpu.read_latency",
+                "fixed per-request latency of the translation unit",
+                ParamUnit::DurationPs,
+            ),
+        ]
+    }
+
+    fn get_param(&self, id: &str) -> Option<u64> {
+        self.param_fields()
+            .iter()
+            .find(|(k, _)| *k == id)
+            .map(|(_, v)| *v)
+    }
+
+    fn set_param(&mut self, id: &str, value: u64) -> bool {
+        match id {
+            "gpu.mem_size" => self.mem_size = value,
+            "gpu.write_latency" => self.write_latency = Dur::from_ps(value),
+            "gpu.read_rate" => {
+                if value == 0 {
+                    return false;
+                }
+                self.read_rate = value;
+            }
+            "gpu.read_latency" => self.read_latency = Dur::from_ps(value),
+            _ => return false,
+        }
+        true
+    }
+}
+
+impl QpiParams {
+    /// `(id, value)` for every field (exhaustive — see `HostParams`).
+    fn param_fields(&self) -> [(&'static str, u64); 2] {
+        let QpiParams { p2p_rate, latency } = *self;
+        [("qpi.p2p_rate", p2p_rate), ("qpi.latency", latency.as_ps())]
+    }
+}
+
+impl Parameterized for QpiParams {
+    fn param_descs() -> Vec<ParamDesc> {
+        vec![
+            ParamDesc::new(
+                "qpi.p2p_rate",
+                "peer-to-peer payload rate across QPI",
+                ParamUnit::BytesPerSec,
+            ),
+            ParamDesc::new(
+                "qpi.latency",
+                "one-way QPI hop latency",
+                ParamUnit::DurationPs,
+            ),
+        ]
+    }
+
+    fn get_param(&self, id: &str) -> Option<u64> {
+        self.param_fields()
+            .iter()
+            .find(|(k, _)| *k == id)
+            .map(|(_, v)| *v)
+    }
+
+    fn set_param(&mut self, id: &str, value: u64) -> bool {
+        match id {
+            "qpi.p2p_rate" => {
+                if value == 0 {
+                    return false;
+                }
+                self.p2p_rate = value;
+            }
+            "qpi.latency" => self.latency = Dur::from_ps(value),
+            _ => return false,
+        }
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,5 +306,56 @@ mod tests {
     fn qpi_rate_is_several_hundred_mbytes() {
         let q = QpiParams::default();
         assert!((100_000_000..1_000_000_000).contains(&q.p2p_rate));
+    }
+
+    #[test]
+    fn param_registries_are_complete() {
+        let h = HostParams::default();
+        assert_eq!(HostParams::param_descs().len(), h.param_fields().len());
+        let g = GpuParams::default();
+        assert_eq!(GpuParams::param_descs().len(), g.param_fields().len());
+        let q = QpiParams::default();
+        assert_eq!(QpiParams::param_descs().len(), q.param_fields().len());
+        for (desc, (fid, fval)) in HostParams::param_descs().iter().zip(h.param_fields()) {
+            assert_eq!(desc.id, fid);
+            assert_eq!(h.get_param(&desc.id), Some(fval));
+        }
+        for (desc, (fid, fval)) in GpuParams::param_descs().iter().zip(g.param_fields()) {
+            assert_eq!(desc.id, fid);
+            assert_eq!(g.get_param(&desc.id), Some(fval));
+        }
+        for (desc, (fid, fval)) in QpiParams::param_descs().iter().zip(q.param_fields()) {
+            assert_eq!(desc.id, fid);
+            assert_eq!(q.get_param(&desc.id), Some(fval));
+        }
+    }
+
+    #[test]
+    fn param_round_trips_get_set_get() {
+        let mut h = HostParams::default();
+        for (id, v) in HostParams::default().param_values() {
+            assert!(h.set_param(&id, v), "set_param({id})");
+            assert_eq!(h.get_param(&id), Some(v));
+        }
+        let mut g = GpuParams::default();
+        for (id, v) in GpuParams::default().param_values() {
+            assert!(g.set_param(&id, v), "set_param({id})");
+            assert_eq!(g.get_param(&id), Some(v));
+        }
+        let mut q = QpiParams::default();
+        for (id, v) in QpiParams::default().param_values() {
+            assert!(q.set_param(&id, v), "set_param({id})");
+            assert_eq!(q.get_param(&id), Some(v));
+        }
+        // Typed sets land in the underlying representation.
+        assert!(h.set_param("host.mem_read_latency", 777));
+        assert_eq!(h.mem_read_latency, Dur::from_ps(777));
+        assert!(q.set_param("qpi.latency", 123_456));
+        assert_eq!(q.latency, Dur::from_ps(123_456));
+        // Invalid values rejected.
+        assert!(!h.set_param("host.wc_burst", u64::MAX));
+        assert!(!g.set_param("gpu.read_rate", 0));
+        assert!(!q.set_param("qpi.p2p_rate", 0));
+        assert!(!h.set_param("host.unknown", 1));
     }
 }

@@ -6,7 +6,7 @@
 //! `4 GB/s × 256/280 = 3.657 GB/s` for a 256-byte max payload.
 
 use crate::tlp::TLP_OVERHEAD_BYTES;
-use tca_sim::{Dur, SimTime};
+use tca_sim::{Dur, ParamDesc, ParamUnit, Parameterized, SimTime};
 
 /// PCI Express generation (lane signalling rate + line encoding).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -173,6 +173,187 @@ impl LinkParams {
     pub fn serialize(&self, wire_bytes: u64) -> Dur {
         Dur::for_bytes(wire_bytes, self.raw_bytes_per_sec())
     }
+
+    /// `(id, value)` for every field. The exhaustive destructuring is the
+    /// registry-completeness guard: adding a field to `LinkParams` without
+    /// registering it here fails to compile.
+    fn param_fields(&self) -> [(&'static str, u64); 13] {
+        let LinkParams {
+            gen,
+            lanes,
+            latency,
+            max_payload,
+            max_read_request,
+            posted_hdr_credits,
+            posted_data_credits,
+            nonposted_hdr_credits,
+            completion_hdr_credits,
+            completion_data_credits,
+            credit_return_delay,
+            rate_override,
+            error_rate_ppm,
+        } = *self;
+        [
+            (
+                "link.gen",
+                match gen {
+                    PcieGen::Gen1 => 1,
+                    PcieGen::Gen2 => 2,
+                    PcieGen::Gen3 => 3,
+                },
+            ),
+            ("link.lanes", u64::from(lanes)),
+            ("link.latency", latency.as_ps()),
+            ("link.max_payload", u64::from(max_payload)),
+            ("link.max_read_request", u64::from(max_read_request)),
+            ("link.posted_hdr_credits", u64::from(posted_hdr_credits)),
+            ("link.posted_data_credits", u64::from(posted_data_credits)),
+            (
+                "link.nonposted_hdr_credits",
+                u64::from(nonposted_hdr_credits),
+            ),
+            (
+                "link.completion_hdr_credits",
+                u64::from(completion_hdr_credits),
+            ),
+            (
+                "link.completion_data_credits",
+                u64::from(completion_data_credits),
+            ),
+            ("link.credit_return_delay", credit_return_delay.as_ps()),
+            ("link.rate_override", rate_override.unwrap_or(0)),
+            ("link.error_rate_ppm", u64::from(error_rate_ppm)),
+        ]
+    }
+}
+
+impl Parameterized for LinkParams {
+    fn param_descs() -> Vec<ParamDesc> {
+        vec![
+            ParamDesc::new(
+                "link.gen",
+                "PCIe generation (1 = Gen1, 2 = Gen2, 3 = Gen3)",
+                ParamUnit::Count,
+            ),
+            ParamDesc::new("link.lanes", "bundled lane count (x n)", ParamUnit::Count),
+            ParamDesc::new(
+                "link.latency",
+                "one-way traversal latency (SerDes + cable propagation)",
+                ParamUnit::DurationPs,
+            ),
+            ParamDesc::new("link.max_payload", "maximum TLP payload", ParamUnit::Bytes),
+            ParamDesc::new(
+                "link.max_read_request",
+                "maximum read-request size",
+                ParamUnit::Bytes,
+            ),
+            ParamDesc::new(
+                "link.posted_hdr_credits",
+                "receiver posted-header credits (TLPs)",
+                ParamUnit::Count,
+            ),
+            ParamDesc::new(
+                "link.posted_data_credits",
+                "receiver posted-data credits (16-byte units)",
+                ParamUnit::Count,
+            ),
+            ParamDesc::new(
+                "link.nonposted_hdr_credits",
+                "receiver non-posted-header credits",
+                ParamUnit::Count,
+            ),
+            ParamDesc::new(
+                "link.completion_hdr_credits",
+                "receiver completion-header credits",
+                ParamUnit::Count,
+            ),
+            ParamDesc::new(
+                "link.completion_data_credits",
+                "receiver completion-data credits (16-byte units)",
+                ParamUnit::Count,
+            ),
+            ParamDesc::new(
+                "link.credit_return_delay",
+                "consumption-to-credit-update delay",
+                ParamUnit::DurationPs,
+            ),
+            ParamDesc::new(
+                "link.rate_override",
+                "byte-rate override; 0 keeps the gen/lanes rate",
+                ParamUnit::BytesPerSec,
+            ),
+            ParamDesc::new(
+                "link.error_rate_ppm",
+                "per-TLP corruption probability (parts per million)",
+                ParamUnit::Count,
+            ),
+        ]
+    }
+
+    fn get_param(&self, id: &str) -> Option<u64> {
+        self.param_fields()
+            .iter()
+            .find(|(k, _)| *k == id)
+            .map(|(_, v)| *v)
+    }
+
+    fn set_param(&mut self, id: &str, value: u64) -> bool {
+        match id {
+            "link.gen" => {
+                self.gen = match value {
+                    1 => PcieGen::Gen1,
+                    2 => PcieGen::Gen2,
+                    3 => PcieGen::Gen3,
+                    _ => return false,
+                }
+            }
+            "link.lanes" => match u8::try_from(value) {
+                Ok(l) if l > 0 => self.lanes = l,
+                _ => return false,
+            },
+            "link.latency" => self.latency = Dur::from_ps(value),
+            "link.max_payload" => match u32::try_from(value) {
+                Ok(mps) if mps.is_power_of_two() && (128..=4096).contains(&mps) => {
+                    self.max_payload = mps
+                }
+                _ => return false,
+            },
+            "link.max_read_request" => match u32::try_from(value) {
+                Ok(v) if v > 0 => self.max_read_request = v,
+                _ => return false,
+            },
+            "link.posted_hdr_credits" => match u32::try_from(value) {
+                Ok(v) if v > 0 => self.posted_hdr_credits = v,
+                _ => return false,
+            },
+            "link.posted_data_credits" => match u32::try_from(value) {
+                Ok(v) if v > 0 => self.posted_data_credits = v,
+                _ => return false,
+            },
+            "link.nonposted_hdr_credits" => match u32::try_from(value) {
+                Ok(v) if v > 0 => self.nonposted_hdr_credits = v,
+                _ => return false,
+            },
+            "link.completion_hdr_credits" => match u32::try_from(value) {
+                Ok(v) if v > 0 => self.completion_hdr_credits = v,
+                _ => return false,
+            },
+            "link.completion_data_credits" => match u32::try_from(value) {
+                Ok(v) if v > 0 => self.completion_data_credits = v,
+                _ => return false,
+            },
+            "link.credit_return_delay" => self.credit_return_delay = Dur::from_ps(value),
+            "link.rate_override" => {
+                self.rate_override = if value == 0 { None } else { Some(value) }
+            }
+            "link.error_rate_ppm" => match u32::try_from(value) {
+                Ok(ppm) if ppm < 500_000 => self.error_rate_ppm = ppm,
+                _ => return false,
+            },
+            _ => return false,
+        }
+        true
+    }
 }
 
 /// Tracks one direction of a link: when the wire frees up, and byte/packet
@@ -292,5 +473,43 @@ mod tests {
         assert_eq!(p.raw_bytes_per_sec(), 300_000_000);
         // 300 bytes at 300 MB/s = 1 µs.
         assert_eq!(p.serialize(300), Dur::from_us(1));
+    }
+
+    #[test]
+    fn param_registry_is_complete() {
+        let p = LinkParams::gen3_x8().with_rate(123).with_error_rate_ppm(7);
+        let descs = LinkParams::param_descs();
+        // Every field registered exactly once, every desc resolvable.
+        assert_eq!(descs.len(), p.param_fields().len());
+        for (desc, (fid, fval)) in descs.iter().zip(p.param_fields()) {
+            assert_eq!(desc.id, fid, "desc order must match field order");
+            assert_eq!(p.get_param(&desc.id), Some(fval));
+        }
+        assert_eq!(p.get_param("link.gen"), Some(3));
+        assert_eq!(p.get_param("link.rate_override"), Some(123));
+        assert_eq!(p.get_param("no.such.param"), None);
+    }
+
+    #[test]
+    fn param_round_trip_get_set_get() {
+        let mut p = LinkParams::gen2_x8();
+        for (id, v) in LinkParams::gen2_x8().param_values() {
+            assert!(p.set_param(&id, v), "set_param({id}, {v}) rejected");
+            assert_eq!(p.get_param(&id), Some(v), "round trip of {id}");
+        }
+        assert_eq!(p, LinkParams::gen2_x8(), "identity overlay is a no-op");
+        // Typed sets round-trip through the underlying representation.
+        assert!(p.set_param("link.latency", 12_345));
+        assert_eq!(p.latency, Dur::from_ps(12_345));
+        assert!(p.set_param("link.rate_override", 0));
+        assert_eq!(p.rate_override, None);
+        assert!(p.set_param("link.gen", 1));
+        assert_eq!(p.gen, PcieGen::Gen1);
+        // Out-of-range values are rejected without mutating.
+        assert!(!p.set_param("link.gen", 4));
+        assert!(!p.set_param("link.lanes", 0));
+        assert!(!p.set_param("link.max_payload", 300));
+        assert!(!p.set_param("link.error_rate_ppm", 600_000));
+        assert!(!p.set_param("link.nope", 1));
     }
 }

@@ -10,7 +10,7 @@
 //! * PIO latency between adjacent chips ≈ 782 ns (§IV-B1).
 
 use tca_pcie::LinkParams;
-use tca_sim::Dur;
+use tca_sim::{unnest_id, Dur, ParamDesc, ParamUnit, Parameterized};
 
 /// Timing/sizing parameters of one PEACH2 chip.
 #[derive(Clone, Copy, Debug)]
@@ -78,6 +78,175 @@ impl Default for Peach2Params {
     }
 }
 
+impl Peach2Params {
+    /// `(id, value)` for every scalar field of the chip itself (the two
+    /// nested `LinkParams` are registered through their own registry under
+    /// `link.host.*` / `link.cable.*`). The exhaustive destructuring is
+    /// the registry-completeness guard: a new field fails to compile here.
+    fn own_param_fields(&self) -> [(&'static str, u64); 12] {
+        let Peach2Params {
+            chip_transit,
+            port_n_translate,
+            engine_start,
+            desc_decode,
+            desc_gap_write,
+            desc_gap_read,
+            completion_flush,
+            remote_ack,
+            dma_tags,
+            sram_size,
+            pipeline_fifo,
+            host_link: _,
+            cable_link: _,
+            dma_msi_vector,
+        } = *self;
+        [
+            ("peach2.chip_transit", chip_transit.as_ps()),
+            ("peach2.port_n_translate", port_n_translate.as_ps()),
+            ("peach2.engine_start", engine_start.as_ps()),
+            ("peach2.desc_decode", desc_decode.as_ps()),
+            ("peach2.desc_gap_write", desc_gap_write.as_ps()),
+            ("peach2.desc_gap_read", desc_gap_read.as_ps()),
+            ("peach2.completion_flush", completion_flush.as_ps()),
+            ("peach2.remote_ack", remote_ack.as_ps()),
+            ("peach2.dma_tags", u64::from(dma_tags)),
+            ("peach2.sram_size", sram_size),
+            ("peach2.pipeline_fifo", pipeline_fifo),
+            ("peach2.dma_msi_vector", u64::from(dma_msi_vector)),
+        ]
+    }
+}
+
+impl Parameterized for Peach2Params {
+    fn param_descs() -> Vec<ParamDesc> {
+        let mut descs = vec![
+            ParamDesc::new(
+                "peach2.chip_transit",
+                "ingress-to-egress relay latency through the crossbar",
+                ParamUnit::DurationPs,
+            ),
+            ParamDesc::new(
+                "peach2.port_n_translate",
+                "port-N global-to-local address conversion latency",
+                ParamUnit::DurationPs,
+            ),
+            ParamDesc::new(
+                "peach2.engine_start",
+                "doorbell decode to DMA engine running",
+                ParamUnit::DurationPs,
+            ),
+            ParamDesc::new(
+                "peach2.desc_decode",
+                "descriptor bytes fetched to transfer issue",
+                ParamUnit::DurationPs,
+            ),
+            ParamDesc::new(
+                "peach2.desc_gap_write",
+                "chaining-engine gap between write descriptors",
+                ParamUnit::DurationPs,
+            ),
+            ParamDesc::new(
+                "peach2.desc_gap_read",
+                "chaining-engine gap between read descriptors",
+                ParamUnit::DurationPs,
+            ),
+            ParamDesc::new(
+                "peach2.completion_flush",
+                "last transfer action to status writeback + MSI",
+                ParamUnit::DurationPs,
+            ),
+            ParamDesc::new(
+                "peach2.remote_ack",
+                "remote host-memory write retirement acknowledgment",
+                ParamUnit::DurationPs,
+            ),
+            ParamDesc::new(
+                "peach2.dma_tags",
+                "outstanding non-posted tags of the DMA engine",
+                ParamUnit::Count,
+            ),
+            ParamDesc::new(
+                "peach2.sram_size",
+                "internal SRAM + DDR3 staging window",
+                ParamUnit::Bytes,
+            ),
+            ParamDesc::new(
+                "peach2.pipeline_fifo",
+                "pipelined-DMAC FIFO depth (bytes in flight)",
+                ParamUnit::Bytes,
+            ),
+            ParamDesc::new(
+                "peach2.dma_msi_vector",
+                "MSI vector for DMA completion interrupts",
+                ParamUnit::Count,
+            ),
+        ];
+        for d in LinkParams::param_descs() {
+            descs.push(d.nested("host"));
+        }
+        for d in LinkParams::param_descs() {
+            descs.push(d.nested("cable"));
+        }
+        descs
+    }
+
+    fn get_param(&self, id: &str) -> Option<u64> {
+        if let Some((_, v)) = self.own_param_fields().iter().find(|(k, _)| *k == id) {
+            return Some(*v);
+        }
+        if let Some(inner) = unnest_id(id, "host") {
+            return self.host_link.get_param(&inner);
+        }
+        if let Some(inner) = unnest_id(id, "cable") {
+            return self.cable_link.get_param(&inner);
+        }
+        None
+    }
+
+    fn set_param(&mut self, id: &str, value: u64) -> bool {
+        match id {
+            "peach2.chip_transit" => self.chip_transit = Dur::from_ps(value),
+            "peach2.port_n_translate" => self.port_n_translate = Dur::from_ps(value),
+            "peach2.engine_start" => self.engine_start = Dur::from_ps(value),
+            "peach2.desc_decode" => self.desc_decode = Dur::from_ps(value),
+            "peach2.desc_gap_write" => self.desc_gap_write = Dur::from_ps(value),
+            "peach2.desc_gap_read" => self.desc_gap_read = Dur::from_ps(value),
+            "peach2.completion_flush" => self.completion_flush = Dur::from_ps(value),
+            "peach2.remote_ack" => self.remote_ack = Dur::from_ps(value),
+            "peach2.dma_tags" => match u16::try_from(value) {
+                Ok(t) if t > 0 => self.dma_tags = t,
+                _ => return false,
+            },
+            "peach2.sram_size" => {
+                if value == 0 {
+                    return false;
+                }
+                self.sram_size = value;
+            }
+            "peach2.pipeline_fifo" => {
+                if value == 0 {
+                    return false;
+                }
+                self.pipeline_fifo = value;
+            }
+            "peach2.dma_msi_vector" => match u32::try_from(value) {
+                Ok(v) => self.dma_msi_vector = v,
+                _ => return false,
+            },
+            _ => {
+                if let Some(inner) = unnest_id(id, "host") {
+                    return self.host_link.set_param(&inner, value);
+                }
+                if let Some(inner) = unnest_id(id, "cable") {
+                    return self.cable_link.set_param(&inner, value);
+                }
+                return false;
+            }
+        }
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,5 +274,60 @@ mod tests {
         ] {
             assert!(d < Dur::from_ns(1000), "{d} too large");
         }
+    }
+
+    #[test]
+    fn param_registry_is_complete_including_nested_links() {
+        let p = Peach2Params::default();
+        let descs = Peach2Params::param_descs();
+        // 12 own fields + two nested LinkParams registries.
+        assert_eq!(
+            descs.len(),
+            p.own_param_fields().len() + 2 * LinkParams::param_descs().len()
+        );
+        let mut seen = std::collections::BTreeSet::new();
+        for d in &descs {
+            assert!(seen.insert(d.id.clone()), "duplicate id {}", d.id);
+            assert!(
+                p.get_param(&d.id).is_some(),
+                "registered id {} must resolve",
+                d.id
+            );
+        }
+        // The issue's canonical examples resolve with the documented ids.
+        assert_eq!(
+            p.get_param("peach2.desc_gap_write"),
+            Some(Dur::from_ns(100).as_ps())
+        );
+        assert_eq!(
+            p.get_param("link.cable.latency"),
+            Some(Dur::from_ns(60).as_ps())
+        );
+        assert_eq!(
+            p.get_param("link.host.latency"),
+            Some(Dur::from_ns(200).as_ps())
+        );
+        assert_eq!(p.get_param("link.latency"), None, "bare link ids ambiguous");
+    }
+
+    #[test]
+    fn param_round_trip_get_set_get() {
+        let mut p = Peach2Params::default();
+        for (id, v) in Peach2Params::default().param_values() {
+            assert!(p.set_param(&id, v), "set_param({id}, {v}) rejected");
+            assert_eq!(p.get_param(&id), Some(v), "round trip of {id}");
+        }
+        // Nested sets reach the right link.
+        assert!(p.set_param("link.cable.latency", 1_000));
+        assert_eq!(p.cable_link.latency, Dur::from_ps(1_000));
+        assert_eq!(
+            p.host_link.latency,
+            Dur::from_ns(200),
+            "host link untouched"
+        );
+        assert!(p.set_param("peach2.desc_gap_write", 0));
+        assert_eq!(p.desc_gap_write, Dur::ZERO);
+        assert!(!p.set_param("peach2.dma_tags", 0));
+        assert!(!p.set_param("link.south.latency", 1));
     }
 }

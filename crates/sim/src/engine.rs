@@ -720,6 +720,85 @@ mod tests {
     }
 
     #[test]
+    fn horizon_edge_events_pop_in_time_seq_order_and_survive_cancel() {
+        // The wheel covers [now, now + 2^56); times at or past the
+        // horizon park in the BTreeMap overflow tier. Straddling the
+        // exact edge — horizon-1 in the top wheel level, horizon and
+        // horizon+1 in overflow, plus duplicates at the horizon itself —
+        // must still pop in (time, schedule-order), and cancels must
+        // land in whichever tier holds the event.
+        let mut q = EventQueue::new();
+        let horizon = 1u64 << (SLOT_BITS as usize * LEVELS);
+        let times = [
+            horizon + 1,
+            horizon - 1,
+            horizon,
+            horizon,
+            horizon - 1,
+            2 * horizon - 1,
+            2 * horizon,
+            1,
+        ];
+        let mut ids = Vec::new();
+        for (i, &t) in times.iter().enumerate() {
+            ids.push(q.schedule_at(SimTime::from_ps(t), (t, i)));
+        }
+        // Cancel one wheel-resident and one overflow-resident event.
+        assert!(q.cancel(ids[1]), "cancel below the horizon (wheel tier)");
+        assert!(q.cancel(ids[3]), "cancel at the horizon (overflow tier)");
+        assert!(!q.cancel(ids[3]), "double cancel must report false");
+        let mut expect: Vec<(u64, usize)> = times
+            .iter()
+            .copied()
+            .zip(0..)
+            .filter(|&(_, i)| i != 1 && i != 3)
+            .collect();
+        expect.sort_by_key(|&(t, i)| (t, i));
+        let popped: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(popped, expect);
+        assert_eq!(q.now(), SimTime::from_ps(2 * horizon));
+    }
+
+    #[test]
+    fn exact_cascade_boundary_events_pop_in_time_seq_order() {
+        // Times exactly on level boundaries (multiples of 256^k) are the
+        // off-by-one hot spot of hierarchical wheels: an event at 256^k
+        // lives in level k's first slot and must cascade down — not fire
+        // early with its whole slot, nor be skipped. Schedule boundary^k
+        // for every level, each with a (boundary - 1) and (boundary + 1)
+        // neighbour, out of order, and mix in cancels.
+        let mut q = EventQueue::new();
+        let mut times = Vec::new();
+        for k in 1..=LEVELS {
+            let boundary = 1u64 << (SLOT_BITS as usize * k);
+            times.extend([boundary + 1, boundary - 1, boundary, boundary]);
+        }
+        let mut ids = Vec::new();
+        for (i, &t) in times.iter().enumerate() {
+            ids.push(q.schedule_at(SimTime::from_ps(t), (t, i)));
+        }
+        // Cancel one duplicate on every boundary: survivors must keep
+        // their original schedule order, not renumber.
+        let mut cancelled = Vec::new();
+        for (i, _) in times.iter().enumerate() {
+            if i % 4 == 3 {
+                assert!(q.cancel(ids[i]));
+                cancelled.push(i);
+            }
+        }
+        let mut expect: Vec<(u64, usize)> = times
+            .iter()
+            .copied()
+            .zip(0..)
+            .filter(|&(_, i)| !cancelled.contains(&i))
+            .collect();
+        expect.sort_by_key(|&(t, i)| (t, i));
+        let popped: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(popped, expect);
+        assert!(q.prof().cascades > 0, "boundary times must cascade");
+    }
+
+    #[test]
     fn pop_run_batches_exactly_one_timestamp() {
         let mut q = EventQueue::new();
         q.schedule_at(SimTime::from_ps(10), 0);
@@ -825,7 +904,7 @@ mod tests {
                 let mut ids: Vec<(u64, EventId)> = Vec::new();
                 for word in ops {
                     let (op, arg) = ((word & 0xFF) as u8, (word >> 8) as u32);
-                    match op % 4 {
+                    match op % 5 {
                         // Near future: exercises level 0/1 and cascades.
                         0 => {
                             let at = model.now + u64::from(arg % 4096);
@@ -839,7 +918,19 @@ mod tests {
                             let seq = model.schedule(at, arg);
                             ids.push((seq, q.schedule_at(SimTime::from_ps(at), arg)));
                         }
-                        2 if !ids.is_empty() => {
+                        // Edge times: exactly on a level-cascade boundary
+                        // (now + m * 256^k) or hugging it by one, for every
+                        // level up to and past the 2^56 horizon — the
+                        // off-by-one hot spots of hierarchical wheels.
+                        2 => {
+                            let k = 1 + usize::from(arg as u8 % LEVELS as u8);
+                            let m = u64::from((arg >> 8) % 3) + 1;
+                            let nudge = [0u64, 1, u64::MAX][(arg >> 4) as usize % 3];
+                            let at = (model.now + (m << (8 * k))).wrapping_add(nudge);
+                            let seq = model.schedule(at, arg);
+                            ids.push((seq, q.schedule_at(SimTime::from_ps(at), arg)));
+                        }
+                        3 if !ids.is_empty() => {
                             let (seq, id) = ids[arg as usize % ids.len()];
                             prop_assert_eq!(
                                 q.cancel(id),

@@ -42,6 +42,7 @@ pub mod engine;
 pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod params;
 pub mod prof;
 pub mod rng;
 pub mod sampler;
@@ -55,6 +56,10 @@ pub use flight::{FlightEvent, FlightRecorder, Fnv64, FLIGHT_SCHEMA};
 pub use json::{write_escaped, JsonValue};
 pub use metrics::{
     CounterId, GaugeId, HistogramId, MeterId, MetricValue, MetricsHub, MetricsSnapshot,
+};
+pub use params::{
+    fingerprint_hex, fingerprint_pairs, nest_id, unnest_id, ParamDesc, ParamSet, ParamUnit,
+    Parameterized,
 };
 pub use prof::{alloc_snapshot, AllocSnapshot, ProfCounters};
 pub use rng::SimRng;

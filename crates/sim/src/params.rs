@@ -1,0 +1,297 @@
+//! Parameter registry: named, introspectable timing/sizing knobs.
+//!
+//! Every `*Params` struct in the workspace (PEACH2, host, GPU, QPI, PCIe
+//! link) registers each of its fields under a stable dotted id such as
+//! `peach2.desc_gap_write` or `link.cable.latency`. The registry powers
+//! the `tca-whatif` causal profiler (virtually scale one knob, re-run
+//! deterministically, measure the true end-to-end delta) and the config
+//! fingerprint stamped into `tca-health/v1` / `tca-bench` artifacts.
+//!
+//! All values are plain `u64` in the unit declared by [`ParamDesc`];
+//! durations are integer picoseconds, matching the simulator clock.
+
+use crate::flight::Fnv64;
+
+/// Unit of a registered parameter value.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ParamUnit {
+    /// A duration in integer picoseconds.
+    DurationPs,
+    /// A size in bytes.
+    Bytes,
+    /// A rate in bytes per second.
+    BytesPerSec,
+    /// A dimensionless count (lanes, credits, tags, ppm, ...).
+    Count,
+}
+
+impl ParamUnit {
+    /// Short unit suffix for human-readable listings.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            ParamUnit::DurationPs => "ps",
+            ParamUnit::Bytes => "B",
+            ParamUnit::BytesPerSec => "B/s",
+            ParamUnit::Count => "",
+        }
+    }
+}
+
+/// Descriptor of one registered parameter.
+#[derive(Clone, Debug)]
+pub struct ParamDesc {
+    /// Stable dotted id, e.g. `peach2.desc_gap_write`.
+    pub id: String,
+    /// One-line doc string.
+    pub doc: &'static str,
+    /// Unit of the value.
+    pub unit: ParamUnit,
+}
+
+impl ParamDesc {
+    /// Convenience constructor.
+    pub fn new(id: impl Into<String>, doc: &'static str, unit: ParamUnit) -> Self {
+        ParamDesc {
+            id: id.into(),
+            doc,
+            unit,
+        }
+    }
+
+    /// Re-roots the id under a new prefix: `link.latency` nested as
+    /// `host` becomes `link.host.latency`.
+    pub fn nested(&self, group: &str) -> ParamDesc {
+        ParamDesc {
+            id: nest_id(&self.id, group),
+            doc: self.doc,
+            unit: self.unit,
+        }
+    }
+}
+
+/// Rewrites `link.latency` under nesting group `host` to
+/// `link.host.latency` (the group slots in after the first segment).
+pub fn nest_id(id: &str, group: &str) -> String {
+    match id.split_once('.') {
+        Some((head, rest)) => format!("{head}.{group}.{rest}"),
+        None => format!("{group}.{id}"),
+    }
+}
+
+/// Inverse of [`nest_id`]: strips nesting group `host` out of
+/// `link.host.latency`, yielding `link.latency`. Returns `None` when the
+/// id does not carry that group in second position.
+pub fn unnest_id(id: &str, group: &str) -> Option<String> {
+    let (head, rest) = id.split_once('.')?;
+    let (g, tail) = rest.split_once('.')?;
+    if g == group {
+        Some(format!("{head}.{tail}"))
+    } else {
+        None
+    }
+}
+
+/// A struct whose knobs are registered, introspectable parameters.
+///
+/// Implementations destructure the struct exhaustively, so adding a
+/// field without registering it is a compile error, and the
+/// completeness tests cross-check descriptor count against field count.
+pub trait Parameterized {
+    /// Descriptors for every registered parameter, in stable order.
+    fn param_descs() -> Vec<ParamDesc>;
+
+    /// Current value of `id`, or `None` if the id is not registered.
+    fn get_param(&self, id: &str) -> Option<u64>;
+
+    /// Sets `id` to `value`; returns `false` if the id is not
+    /// registered or the value is out of range for the field.
+    fn set_param(&mut self, id: &str, value: u64) -> bool;
+
+    /// `(id, value)` pairs for every registered parameter, in
+    /// descriptor order.
+    fn param_values(&self) -> Vec<(String, u64)> {
+        Self::param_descs()
+            .into_iter()
+            .map(|d| {
+                let v = self.get_param(&d.id).expect("registered id must resolve");
+                (d.id, v)
+            })
+            .collect()
+    }
+
+    /// FNV-1a fingerprint over all `(id, value)` pairs in descriptor
+    /// order — the config hash stamped into artifacts.
+    fn param_fingerprint(&self) -> u64 {
+        fingerprint_pairs(self.param_values().iter().map(|(id, v)| (id.as_str(), *v)))
+    }
+}
+
+/// FNV-1a 64-bit hash over ordered `(id, value)` pairs.
+pub fn fingerprint_pairs<'a>(pairs: impl IntoIterator<Item = (&'a str, u64)>) -> u64 {
+    let mut h = Fnv64::new();
+    for (id, v) in pairs {
+        h.update(id.as_bytes());
+        h.update(&[0]);
+        h.write_u64(v);
+    }
+    h.finish()
+}
+
+/// Renders a fingerprint as 16 lowercase hex digits.
+pub fn fingerprint_hex(fnv: u64) -> String {
+    format!("{fnv:016x}")
+}
+
+/// An ordered overlay of `id = value` assignments applied on top of a
+/// [`Parameterized`] configuration. Insertion order is preserved (later
+/// `set` of the same id replaces in place) so fingerprints and reports
+/// stay deterministic.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ParamSet {
+    entries: Vec<(String, u64)>,
+}
+
+impl ParamSet {
+    /// An empty overlay.
+    pub fn new() -> Self {
+        ParamSet::default()
+    }
+
+    /// Sets `id` to `value`, replacing any earlier assignment in place.
+    pub fn set(&mut self, id: impl Into<String>, value: u64) -> &mut Self {
+        let id = id.into();
+        if let Some(e) = self.entries.iter_mut().find(|(k, _)| *k == id) {
+            e.1 = value;
+        } else {
+            self.entries.push((id, value));
+        }
+        self
+    }
+
+    /// Looks up an assignment.
+    pub fn get(&self, id: &str) -> Option<u64> {
+        self.entries.iter().find(|(k, _)| k == id).map(|(_, v)| *v)
+    }
+
+    /// Iterates assignments in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of assignments.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no assignments are present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Parses a CLI-style `id=value` assignment.
+    pub fn parse_assignment(arg: &str) -> Result<(String, u64), String> {
+        let (id, val) = arg
+            .split_once('=')
+            .ok_or_else(|| format!("expected id=value, got '{arg}'"))?;
+        let id = id.trim();
+        let val = val.trim();
+        if id.is_empty() {
+            return Err(format!("empty parameter id in '{arg}'"));
+        }
+        let value: u64 = val
+            .parse()
+            .map_err(|_| format!("'{val}' is not a u64 value in '{arg}'"))?;
+        Ok((id.to_string(), value))
+    }
+
+    /// Applies every assignment to `target`; errors on the first
+    /// unknown id or rejected value.
+    pub fn apply_to<P: Parameterized>(&self, target: &mut P) -> Result<(), String> {
+        for (id, v) in self.iter() {
+            if !target.set_param(id, v) {
+                return Err(format!("unknown or rejected parameter '{id}' = {v}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Toy {
+        a: u64,
+        b: u64,
+    }
+
+    impl Parameterized for Toy {
+        fn param_descs() -> Vec<ParamDesc> {
+            vec![
+                ParamDesc::new("toy.a", "knob a", ParamUnit::DurationPs),
+                ParamDesc::new("toy.b", "knob b", ParamUnit::Count),
+            ]
+        }
+        fn get_param(&self, id: &str) -> Option<u64> {
+            match id {
+                "toy.a" => Some(self.a),
+                "toy.b" => Some(self.b),
+                _ => None,
+            }
+        }
+        fn set_param(&mut self, id: &str, value: u64) -> bool {
+            match id {
+                "toy.a" => self.a = value,
+                "toy.b" => self.b = value,
+                _ => return false,
+            }
+            true
+        }
+    }
+
+    #[test]
+    fn nest_and_unnest_round_trip() {
+        assert_eq!(nest_id("link.latency", "host"), "link.host.latency");
+        assert_eq!(
+            unnest_id("link.host.latency", "host").as_deref(),
+            Some("link.latency")
+        );
+        assert_eq!(unnest_id("link.cable.latency", "host"), None);
+        assert_eq!(unnest_id("link.latency", "host"), None);
+    }
+
+    #[test]
+    fn fingerprint_depends_on_ids_and_values() {
+        let t = Toy { a: 1, b: 2 };
+        let f0 = t.param_fingerprint();
+        let t2 = Toy { a: 1, b: 3 };
+        assert_ne!(f0, t2.param_fingerprint());
+        // Stable across calls.
+        assert_eq!(f0, Toy { a: 1, b: 2 }.param_fingerprint());
+        assert_eq!(fingerprint_hex(0xabc), "0000000000000abc");
+    }
+
+    #[test]
+    fn param_set_overlay_applies_in_order() {
+        let mut s = ParamSet::new();
+        s.set("toy.a", 10).set("toy.b", 20).set("toy.a", 30);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get("toy.a"), Some(30));
+        let mut t = Toy { a: 0, b: 0 };
+        s.apply_to(&mut t).unwrap();
+        assert_eq!((t.a, t.b), (30, 20));
+        s.set("toy.zzz", 1);
+        assert!(s.apply_to(&mut t).is_err());
+    }
+
+    #[test]
+    fn parse_assignment_accepts_id_eq_value() {
+        assert_eq!(
+            ParamSet::parse_assignment("peach2.desc_gap_write=0").unwrap(),
+            ("peach2.desc_gap_write".to_string(), 0)
+        );
+        assert!(ParamSet::parse_assignment("nope").is_err());
+        assert!(ParamSet::parse_assignment("x=abc").is_err());
+        assert!(ParamSet::parse_assignment("=5").is_err());
+    }
+}

@@ -228,3 +228,52 @@ fi
 # Restore the unrecorded artifacts so the checked-in results/ stay canonical.
 cp "$profdir/fabric_plain.json" results/BENCH_fabric.json
 cp "$profdir/engine_plain.json" results/BENCH_engine.json
+
+# What-if smoke (tca-whatif): the causal profiler must be deterministic,
+# schema-stable, and observationally neutral. Running the small-ring sweep
+# twice must produce byte-identical artifacts; the report JSON is pinned to
+# the tca-whatif/v1 schema; and --whatif-dir riding along on a --top run
+# must change neither the stdout nor the checked-in BENCH_fabric.json.
+wadir="$profdir/whatif"
+cargo run -q --release --offline -p tca-bench --bin tca-whatif -- \
+    --scenario ring-hops --out "$wadir/a" > /dev/null 2>&1
+cargo run -q --release --offline -p tca-bench --bin tca-whatif -- \
+    --scenario ring-hops --out "$wadir/b" > /dev/null 2>&1
+for art in WHATIF_ring-hops.json WHATIF_ring-hops.folded.diff; do
+    if ! cmp -s "$wadir/a/$art" "$wadir/b/$art"; then
+        echo "tca-whatif smoke: two identical sweeps produced different $art" >&2
+        exit 1
+    fi
+done
+wa_json=$(cat "$wadir/a/WHATIF_ring-hops.json")
+if [[ "$wa_json" != '{"schema":"tca-whatif/v1"'* ]]; then
+    echo "tca-whatif smoke: report schema drifted" >&2
+    exit 1
+fi
+if [[ "$wa_json" != *'"config_fnv":"'* || "$wa_json" != *'"interaction":'* ]]; then
+    echo "tca-whatif smoke: report is missing config_fnv or interaction probe" >&2
+    exit 1
+fi
+cp results/BENCH_fabric.json "$profdir/fabric_pre_whatif.json"
+top_nowa=$(cargo run -q --release --offline -p tca-bench --bin tca-bench -- \
+    --scenario ring-hops --top --json 2> /dev/null)
+top_wa=$(cargo run -q --release --offline -p tca-bench --bin tca-bench -- \
+    --scenario ring-hops --top --json --whatif-dir "$wadir/neutral" 2> /dev/null)
+if [[ "$top_nowa" != "$top_wa" ]]; then
+    echo "tca-whatif smoke: --whatif-dir changed the tca-top stdout" >&2
+    exit 1
+fi
+if [[ ! -s "$wadir/neutral/WHATIF_ring-hops.json" ]]; then
+    echo "tca-whatif smoke: --whatif-dir did not write the WHATIF artifacts" >&2
+    exit 1
+fi
+if ! cmp -s results/BENCH_fabric.json "$profdir/fabric_pre_whatif.json"; then
+    echo "tca-whatif smoke: the whatif sweep perturbed BENCH_fabric.json" >&2
+    exit 1
+fi
+# The health report must carry the config fingerprint of the parameter
+# registry the whatif sweep introspects (tca-health/v1 second key).
+if [[ "$top_nowa" != '{"schema":"tca-health/v1","config_fnv":"'* ]]; then
+    echo "tca-whatif smoke: health report lost its config_fnv stamp" >&2
+    exit 1
+fi
